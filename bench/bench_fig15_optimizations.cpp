@@ -1,0 +1,75 @@
+// Figure 15: reduced elapsed time of each §4.3 optimization applied alone to
+// the no-optimization TurboHOM++ configuration, on the two most demanding
+// LUBM queries (Q2, Q9). Expected shape: +INT dominates Q2 (its IsJoinable
+// cost is the bottleneck); -NLF dominates Q9 (small candidate regions make
+// the filter pure overhead); -DEG helps Q9 more than Q2; +REUSE helps Q9
+// (many regions) but not Q2.
+#include "bench_common.hpp"
+#include "workload/lubm.hpp"
+
+using namespace turbo;
+
+namespace {
+
+engine::MatchOptions NoOpt() {
+  engine::MatchOptions o;
+  o.use_intersection = false;
+  o.use_nlf = true;
+  o.use_degree_filter = true;
+  o.reuse_matching_order = false;
+  return o;
+}
+
+double Time(const graph::DataGraph& g, const rdf::Dictionary& dict,
+            const engine::MatchOptions& opts, const std::string& query) {
+  sparql::TurboBgpSolver solver(g, dict, opts);
+  return bench::TimeQuery(solver, query).ms;
+}
+
+}  // namespace
+
+int main() {
+  auto scales = bench::ScalesFromEnv("LUBM_SCALES", {32});
+  workload::LubmConfig cfg;
+  cfg.num_universities = scales.back();
+  // Emulate the >=1000-university regime: degree references hit materialized
+  // universities, giving Q2 the heavy per-university candidate regions it
+  // has at the paper's LUBM8000 scale (see LubmConfig::degree_pool).
+  cfg.degree_pool = cfg.num_universities;
+  util::WallTimer prep;
+  rdf::Dataset ds = workload::GenerateLubmClosed(cfg);
+  graph::DataGraph g = graph::DataGraph::Build(ds, graph::TransformMode::kTypeAware);
+  std::printf("[LUBM%u: %zu triples, prep %.1fs]\n", cfg.num_universities, ds.size(),
+              prep.ElapsedSeconds());
+
+  auto queries = workload::LubmQueries();
+  const std::string q2 = queries[1], q9 = queries[8];
+
+  bench::PrintHeader("Figure 15: reduced elapsed time per optimization [ms]");
+  double base2 = Time(g, ds.dict(), NoOpt(), q2);
+  double base9 = Time(g, ds.dict(), NoOpt(), q9);
+  std::printf("no-optimization baseline: Q2 %.2f ms, Q9 %.2f ms\n", base2, base9);
+  bench::PrintRow("optimization", {"Q2 reduced", "Q9 reduced"});
+
+  struct Variant {
+    const char* name;
+    void (*apply)(engine::MatchOptions*);
+  } variants[] = {
+      {"+INT", [](engine::MatchOptions* o) { o->use_intersection = true; }},
+      {"-NLF", [](engine::MatchOptions* o) { o->use_nlf = false; }},
+      {"-DEG", [](engine::MatchOptions* o) { o->use_degree_filter = false; }},
+      {"+REUSE", [](engine::MatchOptions* o) { o->reuse_matching_order = true; }},
+  };
+  for (const auto& v : variants) {
+    engine::MatchOptions o = NoOpt();
+    v.apply(&o);
+    double t2 = Time(g, ds.dict(), o, q2);
+    double t9 = Time(g, ds.dict(), o, q9);
+    bench::PrintRow(v.name, {bench::Ms(base2 - t2), bench::Ms(base9 - t9)});
+  }
+
+  engine::MatchOptions all;  // default = all optimizations
+  std::printf("all optimizations:        Q2 %.2f ms, Q9 %.2f ms\n",
+              Time(g, ds.dict(), all, q2), Time(g, ds.dict(), all, q9));
+  return 0;
+}

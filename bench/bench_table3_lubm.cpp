@@ -1,0 +1,49 @@
+// Table 3 (a/b/c): elapsed time of the 14 LUBM queries at three scales for
+// the four engines. Expected shapes (paper §7.2):
+//  * constant-solution queries (Q1,Q3-Q5,Q7,Q8,Q10-Q12): TurboHOM++ stays
+//    flat across scales while the scan+join baseline (RDF-3X stand-in)
+//    grows, so the gap widens;
+//  * increasing-solution queries (Q2,Q6,Q9,Q13,Q14): everything grows,
+//    TurboHOM++ stays fastest;
+//  * the index-nested-loop baseline (System-X stand-in) is competitive on
+//    point queries but collapses on Q2/Q9.
+#include "bench_common.hpp"
+#include "workload/lubm.hpp"
+
+using namespace turbo;
+
+int main() {
+  auto scales = bench::ScalesFromEnv("LUBM_SCALES", {2, 8, 32});
+  auto queries = workload::LubmQueries();
+
+  for (uint32_t n : scales) {
+    workload::LubmConfig cfg;
+    cfg.num_universities = n;
+    util::WallTimer prep;
+    rdf::Dataset ds = workload::GenerateLubmClosed(cfg);
+    bench::EngineSet engines(ds);
+    std::printf("\n[LUBM%u: %zu triples, prep %.1fs]\n", n, ds.size(),
+                prep.ElapsedSeconds());
+
+    bench::PrintHeader("Table 3: elapsed time in LUBM" + std::to_string(n) + " [ms]");
+    std::vector<std::string> header;
+    for (int i = 1; i <= 14; ++i) header.push_back("Q" + std::to_string(i));
+    bench::PrintRow("engine", header);
+
+    struct Row {
+      const char* name;
+      const sparql::BgpSolver* solver;
+    } rows[] = {
+        {"TurboHOM++", &engines.turbo},
+        {"SortMerge(RDF-3X-like)", &engines.sortmerge},
+        {"IndexJoin(Sys-X-like)", &engines.indexjoin},
+        {"TurboHOM(direct)", &engines.turbo_direct},
+    };
+    for (const auto& row : rows) {
+      std::vector<std::string> cells;
+      for (const auto& q : queries) cells.push_back(bench::Ms(bench::TimeQuery(*row.solver, q).ms));
+      bench::PrintRow(row.name, cells);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Table 7: effect of the type-aware transformation — TurboHOM (direct
+// transformation) vs TurboHOM++ (type-aware), both WITHOUT the §4.3
+// optimizations, plus the performance-gain row. Expected shape: largest
+// gains on Q6/Q14 (they become point-shaped), large on Q13 (better start
+// vertex), modest on Q2 (~1.1-1.2x — the +INT optimization, measured in
+// Figure 15, is what rescues Q2).
+#include "bench_common.hpp"
+#include "workload/lubm.hpp"
+
+using namespace turbo;
+
+int main() {
+  auto scales = bench::ScalesFromEnv("LUBM_SCALES", {16});
+  uint32_t n = scales.back();
+  workload::LubmConfig cfg;
+  cfg.num_universities = n;
+  util::WallTimer prep;
+  rdf::Dataset ds = workload::GenerateLubmClosed(cfg);
+
+  // "Without optimizations": INT off, NLF on, DEG on, no order reuse
+  // (the baseline configuration of §7.3).
+  engine::MatchOptions noopt;
+  noopt.use_intersection = false;
+  noopt.use_nlf = true;
+  noopt.use_degree_filter = true;
+  noopt.reuse_matching_order = false;
+
+  graph::DataGraph aware = graph::DataGraph::Build(ds, graph::TransformMode::kTypeAware);
+  graph::DataGraph direct = graph::DataGraph::Build(ds, graph::TransformMode::kDirect);
+  sparql::TurboBgpSolver s_aware(aware, ds.dict(), noopt);
+  sparql::TurboBgpSolver s_direct(direct, ds.dict(), noopt);
+  std::printf("[LUBM%u: %zu triples, prep %.1fs]\n", n, ds.size(), prep.ElapsedSeconds());
+
+  auto queries = workload::LubmQueries();
+  bench::PrintHeader("Table 7: effect of type-aware transformation, LUBM" +
+                     std::to_string(n) + " [ms]");
+  std::vector<std::string> header;
+  for (int i = 1; i <= 14; ++i) header.push_back("Q" + std::to_string(i));
+  bench::PrintRow("", header);
+
+  std::vector<double> t_direct, t_aware;
+  for (const auto& q : queries) t_direct.push_back(bench::TimeQuery(s_direct, q).ms);
+  for (const auto& q : queries) t_aware.push_back(bench::TimeQuery(s_aware, q).ms);
+
+  std::vector<std::string> row;
+  for (double t : t_direct) row.push_back(bench::Ms(t));
+  bench::PrintRow("Direct transf. (ms)", row);
+  row.clear();
+  for (double t : t_aware) row.push_back(bench::Ms(t));
+  bench::PrintRow("Type-aware (ms)", row);
+  row.clear();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2fx", t_aware[i] > 0 ? t_direct[i] / t_aware[i] : 0.0);
+    row.push_back(buf);
+  }
+  bench::PrintRow("Performance gain", row);
+  return 0;
+}

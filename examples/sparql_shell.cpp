@@ -1,0 +1,149 @@
+// sparql_shell: command-line SPARQL processor over TurboHOM++ — the kind of
+// front-end a downstream user would drive the library with.
+//
+//   # load N-Triples, run one query:
+//   $ ./examples/sparql_shell --nt data.nt 'SELECT ?s WHERE { ?s ?p ?o . }'
+//   # generate LUBM(2), REPL on stdin:
+//   $ ./examples/sparql_shell --lubm 2
+//   # save / reuse a binary snapshot (skips parsing + inference):
+//   $ ./examples/sparql_shell --lubm 2 --save lubm2.snap
+//   $ ./examples/sparql_shell --snap lubm2.snap 'SELECT ...'
+// Options: --direct (direct transformation), --engine turbo|sortmerge|indexjoin,
+//          --threads N, --no-inference.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "baseline/solvers.hpp"
+#include "graph/data_graph.hpp"
+#include "rdf/ntriples.hpp"
+#include "rdf/reasoner.hpp"
+#include "rdf/snapshot.hpp"
+#include "rdf/turtle.hpp"
+#include "sparql/executor.hpp"
+#include "sparql/turbo_solver.hpp"
+#include "util/timer.hpp"
+#include "workload/lubm.hpp"
+
+using namespace turbo;
+
+namespace {
+
+int Fail(const std::string& msg) {
+  std::fprintf(stderr, "error: %s\n", msg.c_str());
+  return 1;
+}
+
+void RunQuery(const sparql::Executor& ex, const rdf::Dictionary& dict,
+              const std::string& query) {
+  util::WallTimer t;
+  auto r = ex.Execute(query);
+  if (!r.ok()) {
+    std::fprintf(stderr, "error: %s\n", r.message().c_str());
+    return;
+  }
+  for (size_t i = 0; i < r.value().rows.size(); ++i)
+    std::printf("%s\n", sparql::FormatRow(r.value(), i, dict).c_str());
+  std::printf("-- %zu rows in %.2f ms\n", r.value().rows.size(), t.ElapsedMillis());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string nt_path, ttl_path, snap_path, save_path, engine_name = "turbo", query;
+  uint32_t lubm = 0, threads = 1;
+  bool direct = false, inference = true;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    if (arg == "--nt") nt_path = next();
+    else if (arg == "--ttl") ttl_path = next();
+    else if (arg == "--snap") snap_path = next();
+    else if (arg == "--save") save_path = next();
+    else if (arg == "--lubm") lubm = std::atoi(next());
+    else if (arg == "--engine") engine_name = next();
+    else if (arg == "--threads") threads = std::atoi(next());
+    else if (arg == "--direct") direct = true;
+    else if (arg == "--no-inference") inference = false;
+    else query = arg;
+  }
+  if (nt_path.empty() && ttl_path.empty() && snap_path.empty() && lubm == 0)
+    return Fail("need one of --nt <file>, --ttl <file>, --snap <file>, --lubm <N>");
+
+  // ---- Load. ----
+  util::WallTimer t;
+  rdf::Dataset ds;
+  if (!snap_path.empty()) {
+    auto loaded = rdf::LoadSnapshotFile(snap_path);
+    if (!loaded.ok()) return Fail(loaded.message());
+    ds = loaded.take();
+    inference = false;  // snapshots carry their closure
+  } else if (!nt_path.empty()) {
+    std::ifstream in(nt_path);
+    if (!in) return Fail("cannot open " + nt_path);
+    auto st = rdf::ParseNTriples(in, &ds);
+    if (!st.ok()) return Fail(st.message());
+  } else if (!ttl_path.empty()) {
+    std::ifstream in(ttl_path);
+    if (!in) return Fail("cannot open " + ttl_path);
+    auto st = rdf::ParseTurtle(in, &ds);
+    if (!st.ok()) return Fail(st.message());
+  } else {
+    workload::LubmConfig cfg;
+    cfg.num_universities = lubm;
+    ds = workload::GenerateLubm(cfg);
+  }
+  if (inference) {
+    auto opts = lubm > 0 ? workload::LubmReasonerOptions(&ds.dict())
+                         : rdf::ReasonerOptions{};
+    rdf::MaterializeInference(&ds, opts);
+  }
+  std::fprintf(stderr, "loaded %zu triples (%.1fs)\n", ds.size(), t.ElapsedSeconds());
+  if (!save_path.empty()) {
+    auto st = rdf::SaveSnapshotFile(ds, save_path);
+    if (!st.ok()) return Fail(st.message());
+    std::fprintf(stderr, "snapshot written to %s\n", save_path.c_str());
+  }
+
+  // ---- Build the requested engine. ----
+  t.Reset();
+  std::unique_ptr<graph::DataGraph> g;
+  std::unique_ptr<baseline::TripleIndex> index;
+  std::unique_ptr<sparql::BgpSolver> solver;
+  if (engine_name == "turbo") {
+    g = std::make_unique<graph::DataGraph>(graph::DataGraph::Build(
+        ds, direct ? graph::TransformMode::kDirect : graph::TransformMode::kTypeAware));
+    engine::MatchOptions opts;
+    opts.num_threads = threads;
+    solver = std::make_unique<sparql::TurboBgpSolver>(*g, ds.dict(), opts);
+  } else if (engine_name == "sortmerge" || engine_name == "indexjoin") {
+    index = std::make_unique<baseline::TripleIndex>(ds);
+    if (engine_name == "sortmerge")
+      solver = std::make_unique<baseline::SortMergeBgpSolver>(*index, ds.dict());
+    else
+      solver = std::make_unique<baseline::IndexJoinBgpSolver>(*index, ds.dict());
+  } else {
+    return Fail("unknown engine '" + engine_name + "'");
+  }
+  std::fprintf(stderr, "engine '%s' ready (%.1fs)\n", engine_name.c_str(),
+               t.ElapsedSeconds());
+
+  sparql::Executor ex(solver.get());
+  if (!query.empty()) {
+    RunQuery(ex, ds.dict(), query);
+    return 0;
+  }
+  // REPL: one query per line (';' continues are not needed — queries are
+  // single-line); EOF exits.
+  std::string line;
+  std::fprintf(stderr, "sparql> ");
+  while (std::getline(std::cin, line)) {
+    if (!line.empty() && line != "quit" && line != "exit") RunQuery(ex, ds.dict(), line);
+    if (line == "quit" || line == "exit") break;
+    std::fprintf(stderr, "sparql> ");
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+#include "baseline/triple_index.hpp"
+
+#include <algorithm>
+
+namespace turbo::baseline {
+
+namespace {
+
+/// Sorts `v` by the (a, b, c) component projection.
+template <typename KeyFn>
+void SortBy(std::vector<rdf::Triple>* v, KeyFn key) {
+  std::sort(v->begin(), v->end(), [&](const rdf::Triple& x, const rdf::Triple& y) {
+    return key(x) < key(y);
+  });
+}
+
+using Key = std::tuple<TermId, TermId, TermId>;
+
+/// Binary-search range of triples whose `key` projection has the given
+/// prefix (kInvalidId components in `hi`/`lo` act as -inf / +inf).
+template <typename KeyFn>
+std::span<const rdf::Triple> PrefixRange(const std::vector<rdf::Triple>& v, KeyFn key,
+                                         TermId k1, TermId k2, TermId k3) {
+  Key lo{k1 == kInvalidId ? 0 : k1, k2 == kInvalidId ? 0 : k2, k3 == kInvalidId ? 0 : k3};
+  Key hi{k1 == kInvalidId ? kInvalidId : k1, k2 == kInvalidId ? kInvalidId : k2,
+         k3 == kInvalidId ? kInvalidId : k3};
+  auto first = std::lower_bound(v.begin(), v.end(), lo, [&](const rdf::Triple& t, const Key& k) {
+    return key(t) < k;
+  });
+  auto last = std::upper_bound(v.begin(), v.end(), hi, [&](const Key& k, const rdf::Triple& t) {
+    return k < key(t);
+  });
+  if (first >= last) return {};
+  return {&*first, static_cast<size_t>(last - first)};
+}
+
+}  // namespace
+
+TripleIndex::TripleIndex(const rdf::Dataset& dataset) {
+  spo_ = dataset.triples();
+  std::sort(spo_.begin(), spo_.end());
+  spo_.erase(std::unique(spo_.begin(), spo_.end()), spo_.end());
+  sop_ = spo_;
+  pso_ = spo_;
+  pos_ = spo_;
+  osp_ = spo_;
+  ops_ = spo_;
+  SortBy(&sop_, [](const rdf::Triple& t) { return Key{t.s, t.o, t.p}; });
+  SortBy(&pso_, [](const rdf::Triple& t) { return Key{t.p, t.s, t.o}; });
+  SortBy(&pos_, [](const rdf::Triple& t) { return Key{t.p, t.o, t.s}; });
+  SortBy(&osp_, [](const rdf::Triple& t) { return Key{t.o, t.s, t.p}; });
+  SortBy(&ops_, [](const rdf::Triple& t) { return Key{t.o, t.p, t.s}; });
+}
+
+std::span<const rdf::Triple> TripleIndex::Lookup(TermId s, TermId p, TermId o) const {
+  const bool bs = s != kInvalidId, bp = p != kInvalidId, bo = o != kInvalidId;
+  auto spo = [](const rdf::Triple& t) { return Key{t.s, t.p, t.o}; };
+  auto sop = [](const rdf::Triple& t) { return Key{t.s, t.o, t.p}; };
+  auto pso = [](const rdf::Triple& t) { return Key{t.p, t.s, t.o}; };
+  auto pos = [](const rdf::Triple& t) { return Key{t.p, t.o, t.s}; };
+  auto osp = [](const rdf::Triple& t) { return Key{t.o, t.s, t.p}; };
+  if (bs && bp) return PrefixRange(spo_, spo, s, p, o);              // s p (o?)
+  if (bs && bo) return PrefixRange(sop_, sop, s, o, kInvalidId);     // s o
+  if (bs) return PrefixRange(spo_, spo, s, kInvalidId, kInvalidId);  // s
+  if (bp && bo) return PrefixRange(pos_, pos, p, o, kInvalidId);     // p o
+  if (bp) return PrefixRange(pso_, pso, p, kInvalidId, kInvalidId);  // p
+  if (bo) return PrefixRange(osp_, osp, o, kInvalidId, kInvalidId);  // o
+  return {spo_.data(), spo_.size()};                                 // full scan
+}
+
+}  // namespace turbo::baseline

@@ -1,0 +1,37 @@
+// Six-permutation sorted triple index, the storage scheme of RDF-3X
+// ("materializes six different orderings for the EDGE(S,P,O) table", §1).
+// Any subset of bound components is served by the permutation having that
+// subset as a sort prefix, so every triple-pattern lookup is a binary-search
+// range scan.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "rdf/dataset.hpp"
+#include "util/common.hpp"
+
+namespace turbo::baseline {
+
+class TripleIndex {
+ public:
+  /// Builds the index over all (original + inferred) triples, deduplicated.
+  explicit TripleIndex(const rdf::Dataset& dataset);
+
+  /// Triples matching the pattern; kInvalidId = free component. Every
+  /// subset of bound components is a sort prefix of one permutation, so the
+  /// returned range is exact (no post-filtering needed).
+  std::span<const rdf::Triple> Lookup(TermId s, TermId p, TermId o) const;
+
+  /// Cardinality of Lookup without materializing.
+  uint64_t Count(TermId s, TermId p, TermId o) const { return Lookup(s, p, o).size(); }
+
+  size_t size() const { return spo_.size(); }
+
+ private:
+  // Permutations named by sort order; each stores full triples.
+  std::vector<rdf::Triple> spo_, sop_, pso_, pos_, osp_, ops_;
+};
+
+}  // namespace turbo::baseline

@@ -1,0 +1,68 @@
+// TurboHOM / TurboHOM++: the paper's core contribution. An e-graph
+// homomorphism matcher derived from TurboISO (Algorithm 1 / 2):
+//
+//   ChooseStartQueryVertex -> WriteQueryTree -> per starting data vertex:
+//   ExploreCandidateRegion -> DetermineMatchingOrder -> SubgraphSearch.
+//
+// The injectivity constraint of subgraph isomorphism is disabled under
+// MatchSemantics::kHomomorphism (Section 2.2, "Modifying TurboISO for
+// e-Graph Homomorphism"); the four optimizations of Section 4.3 (+INT,
+// -NLF, -DEG, +REUSE) are individually toggleable so the Figure 15 ablation
+// can be reproduced; Section 5.2's parallel execution over dynamic chunks of
+// starting vertices is enabled with MatchOptions::num_threads > 1.
+//
+// The same class implements both TurboHOM (run it on a directly-transformed
+// DataGraph) and TurboHOM++ (run it on a type-aware-transformed DataGraph):
+// the transformation lives in the data, per the paper.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "engine/options.hpp"
+#include "graph/data_graph.hpp"
+#include "graph/query_graph.hpp"
+
+namespace turbo::engine {
+
+/// One embedding: query-vertex index -> data vertex.
+using Solution = std::vector<VertexId>;
+
+/// Called once per solution with the query-vertex-indexed mapping.
+using SolutionCallback = std::function<void(std::span<const VertexId>)>;
+
+class Matcher {
+ public:
+  explicit Matcher(const graph::DataGraph& g, MatchOptions options = {})
+      : g_(g), options_(options) {}
+
+  /// Enumerates all e-graph homomorphisms (or isomorphisms) of `q` in the
+  /// data graph. The callback, if provided, is invoked sequentially (in
+  /// parallel runs, solutions are buffered per thread and delivered after
+  /// the join). Requires a connected query graph with >= 1 vertex.
+  MatchStats Match(const graph::QueryGraph& q, const SolutionCallback& callback) const;
+
+  /// Counts solutions without materializing them.
+  uint64_t Count(const graph::QueryGraph& q, MatchStats* stats = nullptr) const;
+
+  /// Collects all solutions.
+  std::vector<Solution> FindAll(const graph::QueryGraph& q, MatchStats* stats = nullptr) const;
+
+  /// Human-readable plan description: chosen start query vertex with its
+  /// candidate count, the query tree (BFS parents + traversal directions),
+  /// and the non-tree edges IsJoinable will verify. Does not execute the
+  /// query beyond ChooseStartQueryVertex.
+  std::string ExplainPlan(const graph::QueryGraph& q) const;
+
+  const MatchOptions& options() const { return options_; }
+  MatchOptions& mutable_options() { return options_; }
+  const graph::DataGraph& data_graph() const { return g_; }
+
+ private:
+  const graph::DataGraph& g_;
+  MatchOptions options_;
+};
+
+}  // namespace turbo::engine

@@ -1,0 +1,70 @@
+#include "engine/query_tree.hpp"
+
+#include <deque>
+
+namespace turbo::engine {
+
+QueryTree QueryTree::Build(const graph::QueryGraph& q, uint32_t start_qv) {
+  QueryTree t;
+  t.node_of_qv_.assign(q.num_vertices(), kInvalidId);
+  std::vector<bool> edge_in_tree(q.num_edges(), false);
+
+  Node root;
+  root.qv = start_qv;
+  t.nodes_.push_back(root);
+  t.node_of_qv_[start_qv] = 0;
+
+  std::deque<uint32_t> bfs{0};
+  while (!bfs.empty()) {
+    uint32_t ni = bfs.front();
+    bfs.pop_front();
+    uint32_t qv = t.nodes_[ni].qv;
+    for (const auto& inc : q.incident(qv)) {
+      const graph::QueryEdge& e = q.edge(inc.edge);
+      uint32_t other = e.from == qv && inc.dir == graph::Direction::kOut ? e.to : e.from;
+      if (e.from == e.to) other = qv;  // self loop
+      if (other == qv) continue;       // self loops are non-tree edges
+      if (t.node_of_qv_[other] != kInvalidId) continue;
+      Node child;
+      child.qv = other;
+      child.parent = ni;
+      child.edge = inc.edge;
+      child.dir_from_parent = inc.dir;  // kOut if edge goes qv -> other
+      uint32_t ci = static_cast<uint32_t>(t.nodes_.size());
+      t.node_of_qv_[other] = ci;
+      t.nodes_.push_back(child);
+      t.nodes_[ni].children.push_back(ci);
+      edge_in_tree[inc.edge] = true;
+      bfs.push_back(ci);
+    }
+  }
+
+  for (uint32_t e = 0; e < q.num_edges(); ++e)
+    if (!edge_in_tree[e]) t.non_tree_edges_.push_back(e);
+
+  // Enumerate root-to-leaf paths.
+  std::vector<uint32_t> stack{0};
+  std::vector<std::pair<uint32_t, size_t>> dfs{{0, 0}};
+  std::vector<uint32_t> cur{0};
+  while (!dfs.empty()) {
+    auto& [ni, child_idx] = dfs.back();
+    const Node& node = t.nodes_[ni];
+    if (node.children.empty() && child_idx == 0) {
+      t.paths_.push_back(cur);
+      ++child_idx;
+      continue;
+    }
+    if (child_idx >= node.children.size()) {
+      dfs.pop_back();
+      cur.pop_back();
+      continue;
+    }
+    uint32_t c = node.children[child_idx++];
+    dfs.emplace_back(c, 0);
+    cur.push_back(c);
+  }
+  if (t.paths_.empty()) t.paths_.push_back({0});
+  return t;
+}
+
+}  // namespace turbo::engine

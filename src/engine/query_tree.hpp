@@ -1,0 +1,47 @@
+// WriteQueryTree (Algorithm 1, line 7): BFS spanning tree of the query graph
+// rooted at the starting query vertex; non-tree edges are recorded and later
+// verified by IsJoinable during SubgraphSearch.
+#pragma once
+
+#include <vector>
+
+#include "graph/query_graph.hpp"
+
+namespace turbo::engine {
+
+class QueryTree {
+ public:
+  struct Node {
+    uint32_t qv = 0;                     ///< query-graph vertex
+    uint32_t parent = kInvalidId;        ///< parent node index (invalid at root)
+    uint32_t edge = kInvalidId;          ///< query edge to parent
+    /// Direction to walk in the data graph from the parent's match to reach
+    /// this node's candidates: kOut if the query edge goes parent -> child.
+    graph::Direction dir_from_parent = graph::Direction::kOut;
+    std::vector<uint32_t> children;      ///< node indices
+  };
+
+  /// Builds the BFS tree from `start_qv`. The query graph must be connected.
+  static QueryTree Build(const graph::QueryGraph& q, uint32_t start_qv);
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const Node& node(uint32_t i) const { return nodes_[i]; }
+  uint32_t num_nodes() const { return static_cast<uint32_t>(nodes_.size()); }
+  /// Node index of a query vertex.
+  uint32_t node_of(uint32_t qv) const { return node_of_qv_[qv]; }
+
+  /// Query-edge indices not used by the spanning tree (includes self-loops
+  /// and parallel edges).
+  const std::vector<uint32_t>& non_tree_edges() const { return non_tree_edges_; }
+
+  /// Root-to-leaf node paths, used by DetermineMatchingOrder.
+  const std::vector<std::vector<uint32_t>>& paths() const { return paths_; }
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<uint32_t> node_of_qv_;
+  std::vector<uint32_t> non_tree_edges_;
+  std::vector<std::vector<uint32_t>> paths_;
+};
+
+}  // namespace turbo::engine

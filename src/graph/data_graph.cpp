@@ -1,0 +1,292 @@
+#include "graph/data_graph.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+
+#include "rdf/vocabulary.hpp"
+
+namespace turbo::graph {
+
+namespace {
+
+/// CSR helper: builds offsets from sorted (key, ...) rows.
+template <typename Row, typename KeyFn>
+std::vector<uint32_t> BuildOffsets(const std::vector<Row>& rows, size_t num_keys, KeyFn key) {
+  std::vector<uint32_t> offsets(num_keys + 1, 0);
+  for (const Row& r : rows) ++offsets[key(r) + 1];
+  for (size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+  return offsets;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+class GraphBuilder {
+ public:
+  GraphBuilder(const rdf::Dataset& dataset, TransformMode mode)
+      : dataset_(dataset), mode_(mode) {}
+
+  DataGraph Build() {
+    DataGraph g;
+    g.mode_ = mode_;
+
+    const rdf::Dictionary& dict = dataset_.dict();
+    std::optional<TermId> type_p = dict.Find(rdf::Term::Iri(rdf::vocab::kRdfType));
+    std::optional<TermId> subclass_p = dict.Find(rdf::Term::Iri(rdf::vocab::kRdfsSubClassOf));
+
+    // ---- Classify triples; assign vertex / label / edge-label ids. ----
+    struct EdgeTriple {
+      VertexId s;
+      EdgeLabelId el;
+      VertexId o;
+    };
+    std::vector<EdgeTriple> edges;
+    edges.reserve(dataset_.size());
+    // (vertex, label, simple?) assignments.
+    std::vector<std::pair<VertexId, LabelId>> label_pairs;
+    std::vector<std::pair<VertexId, LabelId>> simple_label_pairs;
+
+    auto vertex_of = [&](TermId t) -> VertexId {
+      auto [it, added] = g.term_to_vertex_.try_emplace(
+          t, static_cast<VertexId>(g.vertex_terms_.size()));
+      if (added) g.vertex_terms_.push_back(t);
+      return it->second;
+    };
+    auto label_of = [&](TermId t) -> LabelId {
+      auto [it, added] =
+          g.term_to_label_.try_emplace(t, static_cast<LabelId>(g.label_terms_.size()));
+      if (added) g.label_terms_.push_back(t);
+      return it->second;
+    };
+    auto el_of = [&](TermId t) -> EdgeLabelId {
+      auto [it, added] =
+          g.term_to_el_.try_emplace(t, static_cast<EdgeLabelId>(g.el_terms_.size()));
+      if (added) g.el_terms_.push_back(t);
+      return it->second;
+    };
+
+    const auto& triples = dataset_.triples();
+    for (size_t i = 0; i < triples.size(); ++i) {
+      const rdf::Triple& t = triples[i];
+      if (mode_ == TransformMode::kTypeAware) {
+        if (type_p && t.p == *type_p) {
+          VertexId v = vertex_of(t.s);
+          LabelId l = label_of(t.o);
+          label_pairs.emplace_back(v, l);
+          if (!dataset_.IsInferred(i)) simple_label_pairs.emplace_back(v, l);
+          continue;
+        }
+        if (subclass_p && t.p == *subclass_p) {
+          g.schema_subclass_.emplace_back(t.s, t.o);  // folded into labels
+          continue;
+        }
+      }
+      edges.push_back({vertex_of(t.s), el_of(t.p), vertex_of(t.o)});
+    }
+
+    const uint32_t n = static_cast<uint32_t>(g.vertex_terms_.size());
+    const uint32_t num_labels = static_cast<uint32_t>(g.label_terms_.size());
+    const uint32_t num_els = static_cast<uint32_t>(g.el_terms_.size());
+
+    // ---- Deduplicate edges. ----
+    std::sort(edges.begin(), edges.end(), [](const EdgeTriple& a, const EdgeTriple& b) {
+      return std::tie(a.s, a.el, a.o) < std::tie(b.s, b.el, b.o);
+    });
+    edges.erase(std::unique(edges.begin(), edges.end(),
+                            [](const EdgeTriple& a, const EdgeTriple& b) {
+                              return a.s == b.s && a.el == b.el && a.o == b.o;
+                            }),
+                edges.end());
+    g.num_edges_ = edges.size();
+
+    // ---- Vertex label CSRs. ----
+    auto build_label_csr = [&](std::vector<std::pair<VertexId, LabelId>>& pairs,
+                               std::vector<uint32_t>* offsets, std::vector<LabelId>* flat) {
+      std::sort(pairs.begin(), pairs.end());
+      pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+      *offsets = BuildOffsets(pairs, n, [](const auto& p) { return p.first; });
+      flat->resize(pairs.size());
+      for (size_t i = 0; i < pairs.size(); ++i) (*flat)[i] = pairs[i].second;
+    };
+    build_label_csr(label_pairs, &g.label_offsets_, &g.labels_);
+    build_label_csr(simple_label_pairs, &g.simple_label_offsets_, &g.simple_labels_);
+
+    // ---- Inverse vertex-label list. ----
+    {
+      std::vector<std::pair<LabelId, VertexId>> inv;
+      inv.reserve(g.labels_.size());
+      for (VertexId v = 0; v < n; ++v)
+        for (LabelId l : g.labels(v)) inv.emplace_back(l, v);
+      std::sort(inv.begin(), inv.end());
+      g.inv_label_offsets_ = BuildOffsets(inv, num_labels, [](const auto& p) { return p.first; });
+      g.inv_label_vertices_.resize(inv.size());
+      for (size_t i = 0; i < inv.size(); ++i) g.inv_label_vertices_[i] = inv[i].second;
+    }
+
+    // ---- Adjacency (out, then in by swapping endpoints). ----
+    BuildAdjDir(g, edges, n, /*out=*/true, &g.out_);
+    BuildAdjDir(g, edges, n, /*out=*/false, &g.in_);
+
+    // ---- Predicate index. ----
+    {
+      std::vector<std::pair<EdgeLabelId, VertexId>> subj, obj;
+      subj.reserve(edges.size());
+      obj.reserve(edges.size());
+      for (const EdgeTriple& e : edges) {
+        subj.emplace_back(e.el, e.s);
+        obj.emplace_back(e.el, e.o);
+      }
+      auto finish = [&](std::vector<std::pair<EdgeLabelId, VertexId>>& pairs,
+                        std::vector<uint32_t>* offsets, std::vector<VertexId>* flat) {
+        std::sort(pairs.begin(), pairs.end());
+        pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+        *offsets = BuildOffsets(pairs, num_els, [](const auto& p) { return p.first; });
+        flat->resize(pairs.size());
+        for (size_t i = 0; i < pairs.size(); ++i) (*flat)[i] = pairs[i].second;
+      };
+      finish(subj, &g.pred_subj_offsets_, &g.pred_subjects_);
+      finish(obj, &g.pred_obj_offsets_, &g.pred_objects_);
+    }
+
+    std::sort(g.schema_subclass_.begin(), g.schema_subclass_.end());
+    g.schema_subclass_.erase(
+        std::unique(g.schema_subclass_.begin(), g.schema_subclass_.end()),
+        g.schema_subclass_.end());
+    return g;
+  }
+
+ private:
+  template <typename EdgeTriple>
+  static void BuildAdjDir(DataGraph& g, const std::vector<EdgeTriple>& edges, uint32_t n,
+                          bool out, typename DataGraph::AdjDir* dir) {
+    // Edge-label-only rows: (v, el, nbr).
+    std::vector<std::array<uint32_t, 3>> rows;
+    rows.reserve(edges.size());
+    for (const auto& e : edges) {
+      if (out)
+        rows.push_back({e.s, e.el, e.o});
+      else
+        rows.push_back({e.o, e.el, e.s});
+    }
+    std::sort(rows.begin(), rows.end());
+
+    dir->el_nbrs.resize(rows.size());
+    dir->el_group_offsets.assign(n + 1, 0);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      dir->el_nbrs[i] = rows[i][2];
+      bool new_group = i == 0 || rows[i][0] != rows[i - 1][0] || rows[i][1] != rows[i - 1][1];
+      if (new_group)
+        dir->el_groups.push_back(
+            {rows[i][1], static_cast<uint32_t>(i), static_cast<uint32_t>(i + 1)});
+      else
+        dir->el_groups.back().end = static_cast<uint32_t>(i + 1);
+      if (new_group) ++dir->el_group_offsets[rows[i][0] + 1];
+    }
+    for (size_t i = 1; i < dir->el_group_offsets.size(); ++i)
+      dir->el_group_offsets[i] += dir->el_group_offsets[i - 1];
+
+    // Neighbour-type rows: (v, el, vl, nbr) — one row per label of nbr.
+    std::vector<std::array<uint32_t, 4>> trows;
+    for (const auto& r : rows) {
+      for (LabelId l : g.labels(r[2])) trows.push_back({r[0], r[1], l, r[2]});
+    }
+    std::sort(trows.begin(), trows.end());
+    dir->type_nbrs.resize(trows.size());
+    dir->type_group_offsets.assign(n + 1, 0);
+    for (size_t i = 0; i < trows.size(); ++i) {
+      dir->type_nbrs[i] = trows[i][3];
+      bool new_group = i == 0 || trows[i][0] != trows[i - 1][0] ||
+                       trows[i][1] != trows[i - 1][1] || trows[i][2] != trows[i - 1][2];
+      if (new_group)
+        dir->type_groups.push_back({trows[i][1], trows[i][2], static_cast<uint32_t>(i),
+                                    static_cast<uint32_t>(i + 1)});
+      else
+        dir->type_groups.back().end = static_cast<uint32_t>(i + 1);
+      if (new_group) ++dir->type_group_offsets[trows[i][0] + 1];
+    }
+    for (size_t i = 1; i < dir->type_group_offsets.size(); ++i)
+      dir->type_group_offsets[i] += dir->type_group_offsets[i - 1];
+  }
+
+  const rdf::Dataset& dataset_;
+  TransformMode mode_;
+};
+
+DataGraph DataGraph::Build(const rdf::Dataset& dataset, TransformMode mode) {
+  return GraphBuilder(dataset, mode).Build();
+}
+
+// ---------------------------------------------------------------------------
+// Accessors
+// ---------------------------------------------------------------------------
+
+bool DataGraph::HasLabel(VertexId v, LabelId l, bool simple) const {
+  auto ls = simple ? simple_labels(v) : labels(v);
+  return std::binary_search(ls.begin(), ls.end(), l);
+}
+
+std::span<const VertexId> DataGraph::Neighbors(VertexId v, Direction d, EdgeLabelId el) const {
+  const AdjDir& a = adj(d);
+  auto groups = ElGroups(v, d);
+  auto it = std::lower_bound(groups.begin(), groups.end(), el,
+                             [](const ElGroup& grp, EdgeLabelId x) { return grp.el < x; });
+  if (it == groups.end() || it->el != el) return {};
+  return {a.el_nbrs.data() + it->begin, a.el_nbrs.data() + it->end};
+}
+
+std::span<const VertexId> DataGraph::Neighbors(VertexId v, Direction d, EdgeLabelId el,
+                                               LabelId vl) const {
+  const AdjDir& a = adj(d);
+  auto groups = TypeGroups(v, d);
+  auto it = std::lower_bound(groups.begin(), groups.end(), std::make_pair(el, vl),
+                             [](const TypeGroup& grp, const std::pair<EdgeLabelId, LabelId>& x) {
+                               return std::tie(grp.el, grp.vl) < std::tie(x.first, x.second);
+                             });
+  if (it == groups.end() || it->el != el || it->vl != vl) return {};
+  return {a.type_nbrs.data() + it->begin, a.type_nbrs.data() + it->end};
+}
+
+bool DataGraph::HasEdge(VertexId from, VertexId to, EdgeLabelId el) const {
+  auto nbrs = Neighbors(from, Direction::kOut, el);
+  return std::binary_search(nbrs.begin(), nbrs.end(), to);
+}
+
+void DataGraph::EdgeLabelsBetween(VertexId from, VertexId to,
+                                  std::vector<EdgeLabelId>* out) const {
+  out->clear();
+  for (const ElGroup& grp : ElGroups(from, Direction::kOut)) {
+    std::span<const VertexId> nbrs{out_.el_nbrs.data() + grp.begin,
+                                   out_.el_nbrs.data() + grp.end};
+    if (std::binary_search(nbrs.begin(), nbrs.end(), to)) out->push_back(grp.el);
+  }
+}
+
+uint32_t DataGraph::Degree(VertexId v, Direction d) const {
+  auto groups = ElGroups(v, d);
+  if (groups.empty()) return 0;
+  return groups.back().end - groups.front().begin;
+}
+
+std::optional<VertexId> DataGraph::VertexOfTerm(TermId t) const {
+  auto it = term_to_vertex_.find(t);
+  if (it == term_to_vertex_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<LabelId> DataGraph::LabelOfTerm(TermId t) const {
+  auto it = term_to_label_.find(t);
+  if (it == term_to_label_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<EdgeLabelId> DataGraph::EdgeLabelOfTerm(TermId t) const {
+  auto it = term_to_el_.find(t);
+  if (it == term_to_el_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace turbo::graph

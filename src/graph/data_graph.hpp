@@ -1,0 +1,235 @@
+// Labeled data graph with the paper's in-memory layout (Figure 9):
+//
+//  * inverse vertex-label list  — for each vertex label, the sorted list of
+//    vertices carrying it (CSR: end offsets + vertex ids);
+//  * adjacency lists            — for each vertex and direction, neighbours
+//    grouped by *neighbour type*, i.e. the pair (edge label, vertex label),
+//    each group sorted by neighbour id; plus edge-label-only groups used for
+//    blank-vertex-label lookups and for direct-transformed graphs;
+//  * predicate index            — for each edge label, sorted subject ids and
+//    sorted object ids (Section 4.2, used when a query vertex has neither
+//    label nor ID).
+//
+// One DataGraph instance is produced per transformation mode:
+//  * direct transformation (§3.2): every subject/object becomes a vertex,
+//    every triple an edge, vertex label sets are empty (a query vertex that
+//    names a constant matches via the ID attribute instead);
+//  * type-aware transformation (§4.1, Def. 3): rdf:type / rdfs:subClassOf
+//    triples are folded into vertex label sets (two-attribute vertex model),
+//    and the corresponding vertices/edges disappear from the graph.
+//
+// Both the full-entailment label set L(v) (types from original + inferred
+// triples) and the simple-entailment set L_simple(v) (original only, §4.2)
+// are stored.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/dataset.hpp"
+#include "util/common.hpp"
+
+namespace turbo::graph {
+
+/// Edge direction relative to a vertex.
+enum class Direction : uint8_t { kOut = 0, kIn = 1 };
+
+inline Direction Reverse(Direction d) {
+  return d == Direction::kOut ? Direction::kIn : Direction::kOut;
+}
+
+/// Which RDF-to-graph transformation builds the DataGraph.
+enum class TransformMode { kDirect, kTypeAware };
+
+/// Data graph statistics (drives Table 1).
+struct GraphSizeStats {
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  uint64_t num_vertex_labels = 0;
+  uint64_t num_edge_labels = 0;
+};
+
+class DataGraph {
+ public:
+  /// Neighbour-type group: neighbours of a vertex reached over edge label
+  /// `el` that carry vertex label `vl`.
+  struct TypeGroup {
+    EdgeLabelId el;
+    LabelId vl;
+    uint32_t begin;  ///< range in type_nbrs_
+    uint32_t end;
+  };
+  /// Edge-label-only group.
+  struct ElGroup {
+    EdgeLabelId el;
+    uint32_t begin;  ///< range in el_nbrs_
+    uint32_t end;
+  };
+
+  /// Builds a DataGraph from a dataset under the given transformation.
+  static DataGraph Build(const rdf::Dataset& dataset, TransformMode mode);
+
+  // ---- Counts. ----
+  uint32_t num_vertices() const { return static_cast<uint32_t>(vertex_terms_.size()); }
+  uint64_t num_edges() const { return num_edges_; }
+  uint32_t num_vertex_labels() const { return static_cast<uint32_t>(label_terms_.size()); }
+  uint32_t num_edge_labels() const { return static_cast<uint32_t>(el_terms_.size()); }
+  GraphSizeStats SizeStats() const {
+    return {num_vertices(), num_edges(), num_vertex_labels(), num_edge_labels()};
+  }
+  TransformMode mode() const { return mode_; }
+
+  // ---- Vertex labels. ----
+  /// Full-entailment label set L(v), sorted ascending.
+  std::span<const LabelId> labels(VertexId v) const {
+    return {labels_.data() + label_offsets_[v], labels_.data() + label_offsets_[v + 1]};
+  }
+  /// Simple-entailment label set L_simple(v) (§4.2), sorted ascending.
+  std::span<const LabelId> simple_labels(VertexId v) const {
+    return {simple_labels_.data() + simple_label_offsets_[v],
+            simple_labels_.data() + simple_label_offsets_[v + 1]};
+  }
+  bool HasLabel(VertexId v, LabelId l, bool simple = false) const;
+
+  /// Inverse vertex-label list: sorted vertices carrying label `l`.
+  std::span<const VertexId> VerticesWithLabel(LabelId l) const {
+    return {inv_label_vertices_.data() + inv_label_offsets_[l],
+            inv_label_vertices_.data() + inv_label_offsets_[l + 1]};
+  }
+
+  // ---- Adjacency. ----
+  /// All (edge label)-groups of `v` in direction `d`, sorted by edge label.
+  std::span<const ElGroup> ElGroups(VertexId v, Direction d) const {
+    const AdjDir& a = adj(d);
+    return {a.el_groups.data() + a.el_group_offsets[v],
+            a.el_groups.data() + a.el_group_offsets[v + 1]};
+  }
+  /// All neighbour-type groups of `v` in direction `d`, sorted by (el, vl).
+  std::span<const TypeGroup> TypeGroups(VertexId v, Direction d) const {
+    const AdjDir& a = adj(d);
+    return {a.type_groups.data() + a.type_group_offsets[v],
+            a.type_groups.data() + a.type_group_offsets[v + 1]};
+  }
+  /// Neighbours of `v` over edge label `el` (sorted, duplicate-free).
+  std::span<const VertexId> Neighbors(VertexId v, Direction d, EdgeLabelId el) const;
+  /// Neighbours of `v` over edge label `el` carrying vertex label `vl`
+  /// (adj(v, (el, vl)) in Figure 9), sorted.
+  std::span<const VertexId> Neighbors(VertexId v, Direction d, EdgeLabelId el,
+                                      LabelId vl) const;
+  /// All neighbours of `v` in direction `d`; may contain a vertex multiple
+  /// times when connected by several predicates.
+  std::span<const VertexId> AllNeighborsRaw(VertexId v, Direction d) const {
+    const AdjDir& a = adj(d);
+    uint32_t b = a.el_group_offsets[v] == a.el_group_offsets[v + 1]
+                     ? 0
+                     : a.el_groups[a.el_group_offsets[v]].begin;
+    uint32_t e = a.el_group_offsets[v] == a.el_group_offsets[v + 1]
+                     ? 0
+                     : a.el_groups[a.el_group_offsets[v + 1] - 1].end;
+    return {a.el_nbrs.data() + b, a.el_nbrs.data() + e};
+  }
+
+  /// Neighbour span of an ElGroup / TypeGroup previously obtained for the
+  /// same direction.
+  std::span<const VertexId> GroupNeighbors(Direction d, const ElGroup& grp) const {
+    const AdjDir& a = adj(d);
+    return {a.el_nbrs.data() + grp.begin, a.el_nbrs.data() + grp.end};
+  }
+  std::span<const VertexId> GroupNeighbors(Direction d, const TypeGroup& grp) const {
+    const AdjDir& a = adj(d);
+    return {a.type_nbrs.data() + grp.begin, a.type_nbrs.data() + grp.end};
+  }
+
+  /// True if edge from -> to with label `el` exists.
+  bool HasEdge(VertexId from, VertexId to, EdgeLabelId el) const;
+  /// Collects all edge labels on edges from -> to.
+  void EdgeLabelsBetween(VertexId from, VertexId to, std::vector<EdgeLabelId>* out) const;
+
+  /// Number of incident edges (with multiplicity per edge label) in `d`.
+  uint32_t Degree(VertexId v, Direction d) const;
+  /// Number of distinct neighbour types (el, vl) of `v` in `d`.
+  uint32_t NumNeighborTypes(VertexId v, Direction d) const {
+    const AdjDir& a = adj(d);
+    return a.type_group_offsets[v + 1] - a.type_group_offsets[v];
+  }
+  /// Number of distinct edge labels incident to `v` in `d`.
+  uint32_t NumEdgeLabels(VertexId v, Direction d) const {
+    const AdjDir& a = adj(d);
+    return a.el_group_offsets[v + 1] - a.el_group_offsets[v];
+  }
+
+  // ---- Predicate index (§4.2). ----
+  std::span<const VertexId> SubjectsOf(EdgeLabelId el) const {
+    return {pred_subjects_.data() + pred_subj_offsets_[el],
+            pred_subjects_.data() + pred_subj_offsets_[el + 1]};
+  }
+  std::span<const VertexId> ObjectsOf(EdgeLabelId el) const {
+    return {pred_objects_.data() + pred_obj_offsets_[el],
+            pred_objects_.data() + pred_obj_offsets_[el + 1]};
+  }
+
+  /// rdfs:subClassOf triples dropped by the type-aware transformation
+  /// (Definition 3 folds them into labels), retained at term level so the
+  /// SPARQL layer can still answer schema patterns. Empty in direct mode.
+  std::span<const std::pair<TermId, TermId>> SubclassTriples() const {
+    return schema_subclass_;
+  }
+
+  // ---- Term mapping tables (Figures 4a/4b, 7a/7b/7c). ----
+  TermId VertexTerm(VertexId v) const { return vertex_terms_[v]; }
+  TermId LabelTerm(LabelId l) const { return label_terms_[l]; }
+  TermId EdgeLabelTerm(EdgeLabelId el) const { return el_terms_[el]; }
+  std::optional<VertexId> VertexOfTerm(TermId t) const;
+  std::optional<LabelId> LabelOfTerm(TermId t) const;
+  std::optional<EdgeLabelId> EdgeLabelOfTerm(TermId t) const;
+
+ private:
+  struct AdjDir {
+    std::vector<uint32_t> el_group_offsets;    // per vertex -> range in el_groups
+    std::vector<ElGroup> el_groups;
+    std::vector<VertexId> el_nbrs;
+    std::vector<uint32_t> type_group_offsets;  // per vertex -> range in type_groups
+    std::vector<TypeGroup> type_groups;
+    std::vector<VertexId> type_nbrs;
+  };
+  const AdjDir& adj(Direction d) const { return d == Direction::kOut ? out_ : in_; }
+
+  TransformMode mode_ = TransformMode::kTypeAware;
+  uint64_t num_edges_ = 0;
+
+  // Vertex label CSR (full + simple entailment).
+  std::vector<uint32_t> label_offsets_;
+  std::vector<LabelId> labels_;
+  std::vector<uint32_t> simple_label_offsets_;
+  std::vector<LabelId> simple_labels_;
+
+  // Inverse vertex-label list.
+  std::vector<uint32_t> inv_label_offsets_;
+  std::vector<VertexId> inv_label_vertices_;
+
+  AdjDir out_;
+  AdjDir in_;
+
+  std::vector<std::pair<TermId, TermId>> schema_subclass_;
+
+  // Predicate index.
+  std::vector<uint32_t> pred_subj_offsets_;
+  std::vector<VertexId> pred_subjects_;
+  std::vector<uint32_t> pred_obj_offsets_;
+  std::vector<VertexId> pred_objects_;
+
+  // Term maps.
+  std::vector<TermId> vertex_terms_;
+  std::vector<TermId> label_terms_;
+  std::vector<TermId> el_terms_;
+  std::unordered_map<TermId, VertexId> term_to_vertex_;
+  std::unordered_map<TermId, LabelId> term_to_label_;
+  std::unordered_map<TermId, EdgeLabelId> term_to_el_;
+
+  friend class GraphBuilder;
+};
+
+}  // namespace turbo::graph

@@ -1,0 +1,38 @@
+#include "graph/query_graph.hpp"
+
+namespace turbo::graph {
+
+std::vector<uint32_t> QueryGraph::ComponentIds() const {
+  std::vector<uint32_t> comp(num_vertices(), kInvalidId);
+  uint32_t next = 0;
+  std::vector<uint32_t> stack;
+  for (uint32_t s = 0; s < num_vertices(); ++s) {
+    if (comp[s] != kInvalidId) continue;
+    comp[s] = next;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      uint32_t u = stack.back();
+      stack.pop_back();
+      for (const Incidence& inc : incidence_[u]) {
+        const QueryEdge& e = edges_[inc.edge];
+        uint32_t other = e.from == u ? e.to : e.from;
+        if (comp[other] == kInvalidId) {
+          comp[other] = next;
+          stack.push_back(other);
+        }
+      }
+    }
+    ++next;
+  }
+  return comp;
+}
+
+bool QueryGraph::IsConnected() const {
+  if (num_vertices() <= 1) return true;
+  auto comp = ComponentIds();
+  for (uint32_t c : comp)
+    if (c != 0) return false;
+  return true;
+}
+
+}  // namespace turbo::graph

@@ -1,0 +1,100 @@
+// Query graph under the two-attribute vertex model (§4.1): each query vertex
+// carries a (possibly empty) vertex label set — the types required of a
+// match — and an optional ID attribute that pins it to one data vertex.
+// Query edges carry an edge label or are blank (variable predicate), in
+// which case an e-graph homomorphism additionally reports the matched edge
+// label (Definition 2's Me function).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/data_graph.hpp"
+#include "util/common.hpp"
+
+namespace turbo::graph {
+
+/// Optional per-vertex admission predicate; used to push cheap FILTERs into
+/// candidate collection (§5.1, "inexpensive filters ... applied whenever we
+/// access the corresponding vertices").
+using VertexConstraint = std::function<bool(const DataGraph&, VertexId)>;
+
+struct QueryVertex {
+  /// Required vertex labels (sorted). Empty = blank (matches any vertex).
+  std::vector<LabelId> labels;
+  /// ID attribute: if set, only this data vertex matches.
+  VertexId fixed_id = kInvalidId;
+  /// Output variable index (-1 if this vertex is not projected / anonymous).
+  int var = -1;
+  /// Variable bound to the matched vertex's type labels ((?x rdf:type ?t)
+  /// under type-aware transformation); -1 if none.
+  int type_var = -1;
+  /// Hint: this fixed vertex is a class/hub vertex (e.g. an rdf:type object
+  /// under the direct transformation). ChooseStartQueryVertex prefers
+  /// non-hub anchors, mirroring how an RDF-aware system avoids starting
+  /// candidate regions at class vertices with huge fan-in.
+  bool hub_hint = false;
+  /// Optional pushed-down filter; must be cheap and side-effect free.
+  VertexConstraint constraint;
+
+  bool has_fixed_id() const { return fixed_id != kInvalidId; }
+};
+
+struct QueryEdge {
+  uint32_t from = 0;  ///< query vertex index (edge direction: from --el--> to)
+  uint32_t to = 0;
+  /// Edge label; kInvalidId = blank (variable predicate).
+  EdgeLabelId label = kInvalidId;
+  /// Variable bound to the matched predicate (-1 if none).
+  int label_var = -1;
+
+  bool has_label() const { return label != kInvalidId; }
+};
+
+/// A small labeled query graph plus incidence lists.
+class QueryGraph {
+ public:
+  uint32_t AddVertex(QueryVertex v) {
+    vertices_.push_back(std::move(v));
+    incidence_.emplace_back();
+    return static_cast<uint32_t>(vertices_.size() - 1);
+  }
+  uint32_t AddEdge(QueryEdge e) {
+    uint32_t idx = static_cast<uint32_t>(edges_.size());
+    incidence_[e.from].push_back({idx, Direction::kOut});
+    incidence_[e.to].push_back({idx, Direction::kIn});
+    edges_.push_back(e);
+    return idx;
+  }
+
+  uint32_t num_vertices() const { return static_cast<uint32_t>(vertices_.size()); }
+  uint32_t num_edges() const { return static_cast<uint32_t>(edges_.size()); }
+  const QueryVertex& vertex(uint32_t u) const { return vertices_[u]; }
+  QueryVertex& mutable_vertex(uint32_t u) { return vertices_[u]; }
+  const QueryEdge& edge(uint32_t e) const { return edges_[e]; }
+
+  /// Incident edges of vertex `u`: (edge index, direction from u's view —
+  /// kOut if u is the edge's `from`).
+  struct Incidence {
+    uint32_t edge;
+    Direction dir;
+  };
+  const std::vector<Incidence>& incident(uint32_t u) const { return incidence_[u]; }
+
+  /// Degree (number of incident edges, both directions).
+  uint32_t degree(uint32_t u) const { return static_cast<uint32_t>(incidence_[u].size()); }
+
+  /// True if the query graph is connected (single-vertex graphs are).
+  bool IsConnected() const;
+
+  /// Connected component ids, one per vertex.
+  std::vector<uint32_t> ComponentIds() const;
+
+ private:
+  std::vector<QueryVertex> vertices_;
+  std::vector<QueryEdge> edges_;
+  std::vector<std::vector<Incidence>> incidence_;
+};
+
+}  // namespace turbo::graph

@@ -1,0 +1,54 @@
+// A Dataset bundles the dictionary with the triple list. Original triples
+// come first; the reasoner appends inferred triples behind them and records
+// the boundary, which is what lets the type-aware transformation expose both
+// L(v) (full entailment) and L_simple(v) (simple entailment regime, §4.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rdf/dictionary.hpp"
+#include "rdf/triple.hpp"
+
+namespace turbo::rdf {
+
+/// In-memory RDF dataset: dictionary + triples (original, then inferred).
+class Dataset {
+ public:
+  Dictionary& dict() { return dict_; }
+  const Dictionary& dict() const { return dict_; }
+
+  /// Appends a triple of already-interned ids.
+  void Add(TermId s, TermId p, TermId o) {
+    triples_.push_back({s, p, o});
+    if (!closed_) num_original_ = triples_.size();
+  }
+  /// Appends a triple of terms, interning as needed.
+  void Add(const Term& s, const Term& p, const Term& o) {
+    Add(dict_.GetOrAdd(s), dict_.GetOrAdd(p), dict_.GetOrAdd(o));
+  }
+  /// Convenience for all-IRI triples.
+  void AddIri(const std::string& s, const std::string& p, const std::string& o) {
+    Add(Term::Iri(s), Term::Iri(p), Term::Iri(o));
+  }
+
+  /// Marks the end of original triples; subsequent Adds are inferred triples.
+  void BeginInferred() {
+    num_original_ = triples_.size();
+    closed_ = true;
+  }
+
+  const std::vector<Triple>& triples() const { return triples_; }
+  std::vector<Triple>& mutable_triples() { return triples_; }
+  size_t size() const { return triples_.size(); }
+  size_t num_original() const { return closed_ ? num_original_ : triples_.size(); }
+  bool IsInferred(size_t index) const { return closed_ && index >= num_original_; }
+
+ private:
+  Dictionary dict_;
+  std::vector<Triple> triples_;
+  size_t num_original_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace turbo::rdf

@@ -1,0 +1,27 @@
+#include "rdf/dictionary.hpp"
+
+namespace turbo::rdf {
+
+TermId Dictionary::GetOrAdd(const Term& term) {
+  std::string key = term.ToNTriples();
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  TermId id = static_cast<TermId>(terms_.size());
+  index_.emplace(std::move(key), id);
+  terms_.push_back(term);
+  CachedNum num;
+  if (auto v = term.NumericValue()) {
+    num.value = *v;
+    num.valid = true;
+  }
+  numeric_.push_back(num);
+  return id;
+}
+
+std::optional<TermId> Dictionary::Find(const Term& term) const {
+  auto it = index_.find(term.ToNTriples());
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace turbo::rdf

@@ -1,0 +1,53 @@
+// Dictionary encoding of RDF terms: bidirectional term <-> dense TermId map.
+// All downstream structures (triple stores, graphs, engines) operate on ids;
+// strings appear only at parse time and result-serialization time, mirroring
+// how RDF-3X / TripleBit keep dictionaries out of the query hot path (the
+// paper excludes dictionary look-up time from all measurements; so do we).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.hpp"
+#include "util/common.hpp"
+
+namespace turbo::rdf {
+
+/// Bidirectional term dictionary with a numeric-value side cache used by
+/// FILTER evaluation.
+class Dictionary {
+ public:
+  /// Interns a term, returning its id (existing or new).
+  TermId GetOrAdd(const Term& term);
+  /// Convenience: interns an IRI.
+  TermId GetOrAddIri(const std::string& iri) { return GetOrAdd(Term::Iri(iri)); }
+
+  /// Looks up an existing term; nullopt if not interned.
+  std::optional<TermId> Find(const Term& term) const;
+  std::optional<TermId> FindIri(const std::string& iri) const { return Find(Term::Iri(iri)); }
+
+  /// Term for an id. Requires id < size().
+  const Term& term(TermId id) const { return terms_[id]; }
+
+  /// Cached numeric value of a literal term (nullopt for non-numeric).
+  std::optional<double> NumericValue(TermId id) const {
+    const CachedNum& c = numeric_[id];
+    if (!c.valid) return std::nullopt;
+    return c.value;
+  }
+
+  size_t size() const { return terms_.size(); }
+
+ private:
+  struct CachedNum {
+    double value = 0;
+    bool valid = false;
+  };
+  std::unordered_map<std::string, TermId> index_;
+  std::vector<Term> terms_;
+  std::vector<CachedNum> numeric_;
+};
+
+}  // namespace turbo::rdf

@@ -1,0 +1,127 @@
+#include "rdf/ntriples.hpp"
+
+#include <sstream>
+#include <string>
+
+namespace turbo::rdf {
+
+namespace {
+
+void SkipSpace(std::string_view line, size_t* pos) {
+  while (*pos < line.size() && (line[*pos] == ' ' || line[*pos] == '\t')) ++(*pos);
+}
+
+}  // namespace
+
+util::Result<Term> ParseTerm(std::string_view line, size_t* pos) {
+  SkipSpace(line, pos);
+  if (*pos >= line.size()) return util::Status::Error("unexpected end of line");
+  char c = line[*pos];
+  if (c == '<') {
+    size_t end = line.find('>', *pos + 1);
+    if (end == std::string_view::npos) return util::Status::Error("unterminated IRI");
+    std::string iri(line.substr(*pos + 1, end - *pos - 1));
+    *pos = end + 1;
+    return Term::Iri(std::move(iri));
+  }
+  if (c == '_') {
+    if (*pos + 1 >= line.size() || line[*pos + 1] != ':')
+      return util::Status::Error("malformed blank node");
+    size_t start = *pos + 2;
+    size_t end = start;
+    while (end < line.size() && line[end] != ' ' && line[end] != '\t' && line[end] != '.')
+      ++end;
+    std::string label(line.substr(start, end - start));
+    if (label.empty()) return util::Status::Error("empty blank node label");
+    *pos = end;
+    return Term::Blank(std::move(label));
+  }
+  if (c == '"') {
+    // Scan for the closing quote, honoring backslash escapes.
+    size_t i = *pos + 1;
+    std::string raw;
+    bool closed = false;
+    while (i < line.size()) {
+      if (line[i] == '\\' && i + 1 < line.size()) {
+        raw += line[i];
+        raw += line[i + 1];
+        i += 2;
+        continue;
+      }
+      if (line[i] == '"') {
+        closed = true;
+        break;
+      }
+      raw += line[i];
+      ++i;
+    }
+    if (!closed) return util::Status::Error("unterminated literal");
+    std::string lex = UnescapeNTriples(raw);
+    *pos = i + 1;
+    // Optional language tag or datatype.
+    if (*pos < line.size() && line[*pos] == '@') {
+      size_t start = *pos + 1;
+      size_t end = start;
+      while (end < line.size() && line[end] != ' ' && line[end] != '\t' && line[end] != '.')
+        ++end;
+      std::string lang(line.substr(start, end - start));
+      *pos = end;
+      return Term::LangLiteral(std::move(lex), std::move(lang));
+    }
+    if (*pos + 1 < line.size() && line[*pos] == '^' && line[*pos + 1] == '^') {
+      *pos += 2;
+      if (*pos >= line.size() || line[*pos] != '<')
+        return util::Status::Error("malformed datatype");
+      size_t end = line.find('>', *pos + 1);
+      if (end == std::string_view::npos) return util::Status::Error("unterminated datatype IRI");
+      std::string dt(line.substr(*pos + 1, end - *pos - 1));
+      *pos = end + 1;
+      return Term::TypedLiteral(std::move(lex), std::move(dt));
+    }
+    return Term::Literal(std::move(lex));
+  }
+  return util::Status::Error(std::string("unexpected character '") + c + "'");
+}
+
+util::Status ParseNTriples(std::istream& in, Dataset* dataset) {
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    size_t pos = 0;
+    SkipSpace(line, &pos);
+    if (pos >= line.size() || line[pos] == '#') continue;
+    auto subj = ParseTerm(line, &pos);
+    if (!subj.ok())
+      return util::Status::Error("line " + std::to_string(line_no) + ": " + subj.message());
+    auto pred = ParseTerm(line, &pos);
+    if (!pred.ok())
+      return util::Status::Error("line " + std::to_string(line_no) + ": " + pred.message());
+    auto obj = ParseTerm(line, &pos);
+    if (!obj.ok())
+      return util::Status::Error("line " + std::to_string(line_no) + ": " + obj.message());
+    SkipSpace(line, &pos);
+    if (pos >= line.size() || line[pos] != '.')
+      return util::Status::Error("line " + std::to_string(line_no) + ": missing terminating '.'");
+    dataset->Add(subj.value(), pred.value(), obj.value());
+  }
+  return util::Status::Ok();
+}
+
+util::Status ParseNTriplesString(std::string_view text, Dataset* dataset) {
+  std::istringstream in{std::string(text)};
+  return ParseNTriples(in, dataset);
+}
+
+void WriteNTriples(const Dataset& dataset, std::ostream& out, bool include_inferred) {
+  size_t limit = include_inferred ? dataset.size() : dataset.num_original();
+  const auto& triples = dataset.triples();
+  const auto& dict = dataset.dict();
+  for (size_t i = 0; i < limit; ++i) {
+    const Triple& t = triples[i];
+    out << dict.term(t.s).ToNTriples() << " " << dict.term(t.p).ToNTriples() << " "
+        << dict.term(t.o).ToNTriples() << " .\n";
+  }
+}
+
+}  // namespace turbo::rdf

@@ -1,0 +1,27 @@
+// N-Triples parser / writer. Line-oriented; supports IRIs, blank nodes,
+// plain / language-tagged / datatyped literals with escapes, and comments.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string_view>
+
+#include "rdf/dataset.hpp"
+#include "util/status.hpp"
+
+namespace turbo::rdf {
+
+/// Parses N-Triples text into `dataset` (appending). Returns an error with
+/// line information on malformed input.
+util::Status ParseNTriples(std::istream& in, Dataset* dataset);
+
+/// Parses a string of N-Triples.
+util::Status ParseNTriplesString(std::string_view text, Dataset* dataset);
+
+/// Parses one term starting at `pos` in `line`; advances `pos` past it.
+util::Result<Term> ParseTerm(std::string_view line, size_t* pos);
+
+/// Serializes the dataset (original triples only unless `include_inferred`).
+void WriteNTriples(const Dataset& dataset, std::ostream& out, bool include_inferred = false);
+
+}  // namespace turbo::rdf

@@ -1,0 +1,171 @@
+#include "rdf/reasoner.hpp"
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "rdf/vocabulary.hpp"
+
+namespace turbo::rdf {
+
+namespace {
+
+/// Transitive closure of a small schema-level relation (class or property
+/// hierarchy). Returns for each node the set of strict ancestors.
+std::unordered_map<TermId, std::vector<TermId>> CloseHierarchy(
+    const std::unordered_map<TermId, std::vector<TermId>>& direct) {
+  std::unordered_map<TermId, std::vector<TermId>> closed;
+  for (const auto& [node, _] : direct) {
+    // Iterative DFS from node over `direct` edges.
+    std::vector<TermId> stack = direct.at(node);
+    std::unordered_set<TermId> seen;
+    while (!stack.empty()) {
+      TermId cur = stack.back();
+      stack.pop_back();
+      if (cur == node || !seen.insert(cur).second) continue;
+      auto it = direct.find(cur);
+      if (it != direct.end())
+        for (TermId nxt : it->second) stack.push_back(nxt);
+    }
+    closed[node] = std::vector<TermId>(seen.begin(), seen.end());
+  }
+  return closed;
+}
+
+}  // namespace
+
+ReasonerStats MaterializeInference(Dataset* dataset, const ReasonerOptions& options) {
+  ReasonerStats stats;
+  stats.original_triples = dataset->size();
+
+  Dictionary& dict = dataset->dict();
+  const TermId type_p = dict.GetOrAddIri(vocab::kRdfType);
+  const TermId subclass_p = dict.GetOrAddIri(vocab::kRdfsSubClassOf);
+  const TermId subprop_p = dict.GetOrAddIri(vocab::kRdfsSubPropertyOf);
+  const TermId domain_p = dict.GetOrAddIri(vocab::kRdfsDomain);
+  const TermId range_p = dict.GetOrAddIri(vocab::kRdfsRange);
+  const TermId transitive_c = dict.GetOrAddIri(vocab::kOwlTransitiveProperty);
+  const TermId inverse_p = dict.GetOrAddIri(vocab::kOwlInverseOf);
+
+  // ---- Extract schema from original triples. ----
+  std::unordered_map<TermId, std::vector<TermId>> subclass_direct;
+  std::unordered_map<TermId, std::vector<TermId>> subprop_direct;
+  std::unordered_map<TermId, std::vector<TermId>> domains;   // p -> classes
+  std::unordered_map<TermId, std::vector<TermId>> ranges;    // p -> classes
+  std::unordered_map<TermId, std::vector<TermId>> inverses;  // p -> qs
+  std::unordered_set<TermId> transitive_props;
+
+  for (const Triple& t : dataset->triples()) {
+    if (t.p == subclass_p) subclass_direct[t.s].push_back(t.o);
+    else if (t.p == subprop_p) subprop_direct[t.s].push_back(t.o);
+    else if (t.p == domain_p) domains[t.s].push_back(t.o);
+    else if (t.p == range_p) ranges[t.s].push_back(t.o);
+    else if (t.p == type_p && t.o == transitive_c) transitive_props.insert(t.s);
+    else if (t.p == inverse_p) {
+      inverses[t.s].push_back(t.o);
+      inverses[t.o].push_back(t.s);
+    }
+  }
+
+  auto subclass_closed = options.subclass_inheritance
+                             ? CloseHierarchy(subclass_direct)
+                             : std::unordered_map<TermId, std::vector<TermId>>{};
+  auto subprop_closed = options.subproperty_inheritance
+                            ? CloseHierarchy(subprop_direct)
+                            : std::unordered_map<TermId, std::vector<TermId>>{};
+
+  // Class-definition rules indexed by premise predicate.
+  std::unordered_map<TermId, std::vector<const ClassRule*>> class_rules_by_pred;
+  for (const ClassRule& r : options.class_rules)
+    class_rules_by_pred[r.premise_predicate].push_back(&r);
+
+  // ---- Semi-naive instance-level chaining. ----
+  std::unordered_set<Triple, TripleHash> known;
+  known.reserve(dataset->size() * 2);
+  std::deque<Triple> worklist;
+  for (const Triple& t : dataset->triples()) {
+    if (known.insert(t).second) worklist.push_back(t);
+  }
+
+  dataset->BeginInferred();
+
+  // Incremental adjacency for transitive predicates (R7).
+  struct TransAdj {
+    std::unordered_map<TermId, std::vector<TermId>> succ;
+    std::unordered_map<TermId, std::vector<TermId>> pred;
+  };
+  std::unordered_map<TermId, TransAdj> trans_adj;
+
+  auto derive = [&](TermId s, TermId p, TermId o) {
+    Triple t{s, p, o};
+    if (known.insert(t).second) {
+      dataset->Add(s, p, o);
+      worklist.push_back(t);
+      ++stats.inferred_triples;
+    }
+  };
+
+  while (!worklist.empty()) {
+    Triple t = worklist.front();
+    worklist.pop_front();
+    ++stats.iterations;
+
+    if (t.p == type_p) {
+      // R3: type inheritance through the closed class hierarchy.
+      if (options.subclass_inheritance) {
+        auto it = subclass_closed.find(t.o);
+        if (it != subclass_closed.end())
+          for (TermId super : it->second) derive(t.s, type_p, super);
+      }
+      continue;
+    }
+    // Schema predicates do not fire instance rules.
+    if (t.p == subclass_p || t.p == subprop_p || t.p == domain_p || t.p == range_p ||
+        t.p == inverse_p)
+      continue;
+
+    // R4: property inheritance.
+    if (options.subproperty_inheritance) {
+      auto it = subprop_closed.find(t.p);
+      if (it != subprop_closed.end())
+        for (TermId super : it->second) derive(t.s, super, t.o);
+    }
+    // R5 / R6: domain and range typing.
+    if (options.domain_range) {
+      auto dit = domains.find(t.p);
+      if (dit != domains.end())
+        for (TermId c : dit->second) derive(t.s, type_p, c);
+      auto rit = ranges.find(t.p);
+      if (rit != ranges.end())
+        for (TermId c : rit->second) derive(t.o, type_p, c);
+    }
+    // R7: transitive property, incremental closure.
+    if (options.transitive_properties && transitive_props.count(t.p)) {
+      TransAdj& adj = trans_adj[t.p];
+      // New edge (s, o): connect all pred(s) x {o}, {s} x succ(o), pred(s) x succ(o).
+      auto succ_it = adj.succ.find(t.o);
+      if (succ_it != adj.succ.end())
+        for (TermId z : succ_it->second) derive(t.s, t.p, z);
+      auto pred_it = adj.pred.find(t.s);
+      if (pred_it != adj.pred.end())
+        for (TermId w : pred_it->second) derive(w, t.p, t.o);
+      adj.succ[t.s].push_back(t.o);
+      adj.pred[t.o].push_back(t.s);
+    }
+    // R8: inverse properties.
+    if (options.inverse_properties) {
+      auto it = inverses.find(t.p);
+      if (it != inverses.end())
+        for (TermId q : it->second) derive(t.o, q, t.s);
+    }
+    // R9: custom class-definition rules.
+    auto cit = class_rules_by_pred.find(t.p);
+    if (cit != class_rules_by_pred.end()) {
+      for (const ClassRule* r : cit->second)
+        derive(r->on_object ? t.o : t.s, type_p, r->inferred_class);
+    }
+  }
+  return stats;
+}
+
+}  // namespace rdf

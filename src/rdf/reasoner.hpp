@@ -1,0 +1,62 @@
+// Forward-chaining RDFS / OWL-lite reasoner.
+//
+// The paper loads "the original triples as well as inferred triples" for
+// LUBM and BSBM, materialized by "the state-of-the-art RDF inference engine"
+// (Section 7.1) — that engine is proprietary, so this module is the
+// substitution: a semi-naive forward chainer covering exactly the entailments
+// the benchmark queries depend on:
+//
+//   R1  subClassOf transitivity            (TBox closure)
+//   R2  subPropertyOf transitivity         (TBox closure)
+//   R3  (x type C), C subClassOf* D        => (x type D)
+//   R4  (x p y), p subPropertyOf* q        => (x q y)
+//   R5  (x p y), (p domain C)              => (x type C)
+//   R6  (x p y), (p range C)               => (y type C)
+//   R7  p transitive, (x p y), (y p z)     => (x p z)
+//   R8  (p inverseOf q): (x p y)          <=> (y q x)
+//   R9  custom class-definition rules: (x p y) => (x type C) / (y type C)
+//       (models OWL restriction classes such as LUBM's
+//        Chair == Person and headOf.Department, Student == Person and
+//        takesCourse.Course)
+//
+// Inferred triples are appended to the dataset after Dataset::BeginInferred,
+// preserving the original/inferred boundary for the simple-entailment label
+// sets of Section 4.2.
+#pragma once
+
+#include <vector>
+
+#include "rdf/dataset.hpp"
+
+namespace turbo::rdf {
+
+/// R9 rule: any triple with predicate `premise_predicate` types its subject
+/// (or object, if `on_object`) with `inferred_class`.
+struct ClassRule {
+  TermId premise_predicate = kInvalidId;
+  TermId inferred_class = kInvalidId;
+  bool on_object = false;
+};
+
+/// Reasoner configuration. All standard rule families default to on.
+struct ReasonerOptions {
+  bool subclass_inheritance = true;   ///< R1 + R3
+  bool subproperty_inheritance = true;///< R2 + R4
+  bool domain_range = true;           ///< R5 + R6
+  bool transitive_properties = true;  ///< R7
+  bool inverse_properties = true;     ///< R8
+  std::vector<ClassRule> class_rules; ///< R9
+};
+
+/// Statistics returned by MaterializeInference.
+struct ReasonerStats {
+  size_t original_triples = 0;
+  size_t inferred_triples = 0;
+  size_t iterations = 0;  ///< worklist items processed
+};
+
+/// Runs the forward chainer to fixpoint, appending inferred triples to
+/// `dataset`. Schema (TBox) is read from the dataset's original triples.
+ReasonerStats MaterializeInference(Dataset* dataset, const ReasonerOptions& options = {});
+
+}  // namespace turbo::rdf

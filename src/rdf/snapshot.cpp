@@ -1,0 +1,107 @@
+#include "rdf/snapshot.hpp"
+
+#include <cstring>
+#include <fstream>
+
+namespace turbo::rdf {
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'H', 'S', 'N', 'A', 'P', '0', '1'};
+
+void PutU32(std::ostream& out, uint32_t v) { out.write(reinterpret_cast<char*>(&v), 4); }
+void PutU64(std::ostream& out, uint64_t v) { out.write(reinterpret_cast<char*>(&v), 8); }
+void PutString(std::ostream& out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool GetU32(std::istream& in, uint32_t* v) {
+  return static_cast<bool>(in.read(reinterpret_cast<char*>(v), 4));
+}
+bool GetU64(std::istream& in, uint64_t* v) {
+  return static_cast<bool>(in.read(reinterpret_cast<char*>(v), 8));
+}
+bool GetString(std::istream& in, std::string* s) {
+  uint32_t len;
+  if (!GetU32(in, &len)) return false;
+  if (len > (1u << 28)) return false;  // corrupt-length guard
+  s->resize(len);
+  return static_cast<bool>(in.read(s->data(), len));
+}
+
+}  // namespace
+
+util::Status SaveSnapshot(const Dataset& dataset, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  const Dictionary& dict = dataset.dict();
+  PutU64(out, dict.size());
+  for (TermId id = 0; id < dict.size(); ++id) {
+    const Term& t = dict.term(id);
+    char kind = static_cast<char>(t.kind);
+    out.write(&kind, 1);
+    PutString(out, t.lexical);
+    PutString(out, t.datatype);
+    PutString(out, t.lang);
+  }
+  PutU64(out, dataset.size());
+  PutU64(out, dataset.num_original());
+  for (const Triple& t : dataset.triples()) {
+    PutU32(out, t.s);
+    PutU32(out, t.p);
+    PutU32(out, t.o);
+  }
+  if (!out) return util::Status::Error("snapshot write failed");
+  return util::Status::Ok();
+}
+
+util::Status SaveSnapshotFile(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return util::Status::Error("cannot open " + path + " for writing");
+  return SaveSnapshot(dataset, out);
+}
+
+util::Result<Dataset> LoadSnapshot(std::istream& in) {
+  char magic[8];
+  if (!in.read(magic, 8) || std::memcmp(magic, kMagic, 8) != 0)
+    return util::Status::Error("not a TurboHOM++ snapshot (bad magic)");
+  Dataset ds;
+  uint64_t num_terms;
+  if (!GetU64(in, &num_terms)) return util::Status::Error("truncated snapshot (terms)");
+  for (uint64_t i = 0; i < num_terms; ++i) {
+    char kind;
+    Term t;
+    if (!in.read(&kind, 1) || !GetString(in, &t.lexical) || !GetString(in, &t.datatype) ||
+        !GetString(in, &t.lang))
+      return util::Status::Error("truncated snapshot (term " + std::to_string(i) + ")");
+    if (kind > 2) return util::Status::Error("corrupt term kind");
+    t.kind = static_cast<TermKind>(kind);
+    TermId id = ds.dict().GetOrAdd(t);
+    if (id != i) return util::Status::Error("duplicate term in snapshot");
+  }
+  uint64_t num_triples, num_original;
+  if (!GetU64(in, &num_triples) || !GetU64(in, &num_original))
+    return util::Status::Error("truncated snapshot (counts)");
+  if (num_original > num_triples) return util::Status::Error("corrupt snapshot boundary");
+  for (uint64_t i = 0; i < num_triples; ++i) {
+    if (i == num_original) ds.BeginInferred();
+    uint32_t s, p, o;
+    if (!GetU32(in, &s) || !GetU32(in, &p) || !GetU32(in, &o))
+      return util::Status::Error("truncated snapshot (triple " + std::to_string(i) + ")");
+    if (s >= num_terms || p >= num_terms || o >= num_terms)
+      return util::Status::Error("corrupt triple id");
+    ds.Add(s, p, o);
+  }
+  if (num_original == num_triples && num_original > 0) {
+    // No inferred region; leave the dataset open (num_original tracks size).
+  }
+  return ds;
+}
+
+util::Result<Dataset> LoadSnapshotFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::Status::Error("cannot open " + path);
+  return LoadSnapshot(in);
+}
+
+}  // namespace turbo::rdf

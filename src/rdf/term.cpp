@@ -1,0 +1,75 @@
+#include "rdf/term.hpp"
+
+#include <cstdlib>
+
+namespace turbo::rdf {
+
+std::string EscapeNTriples(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string UnescapeNTriples(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      ++i;
+      switch (s[i]) {
+        case '\\': out += '\\'; break;
+        case '"': out += '"'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        default: out += s[i];
+      }
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+std::string Term::ToNTriples() const {
+  switch (kind) {
+    case TermKind::kIri:
+      return "<" + lexical + ">";
+    case TermKind::kBlank:
+      return "_:" + lexical;
+    case TermKind::kLiteral: {
+      std::string out = "\"" + EscapeNTriples(lexical) + "\"";
+      if (!lang.empty()) {
+        out += "@" + lang;
+      } else if (!datatype.empty()) {
+        out += "^^<" + datatype + ">";
+      }
+      return out;
+    }
+  }
+  return {};
+}
+
+std::optional<double> Term::NumericValue() const {
+  if (kind != TermKind::kLiteral || lexical.empty()) return std::nullopt;
+  const char* begin = lexical.c_str();
+  char* end = nullptr;
+  double v = std::strtod(begin, &end);
+  if (end == begin) return std::nullopt;
+  // Require that the whole lexical form was consumed (no "12abc").
+  while (*end == ' ') ++end;
+  if (*end != '\0') return std::nullopt;
+  return v;
+}
+
+}  // namespace turbo::rdf

@@ -1,0 +1,35 @@
+// Dictionary-encoded RDF triple.
+#pragma once
+
+#include <tuple>
+
+#include "util/common.hpp"
+
+namespace turbo::rdf {
+
+/// One (subject, predicate, object) triple over dictionary ids.
+struct Triple {
+  TermId s = kInvalidId;
+  TermId p = kInvalidId;
+  TermId o = kInvalidId;
+
+  bool operator==(const Triple& t) const { return s == t.s && p == t.p && o == t.o; }
+  bool operator<(const Triple& t) const {
+    return std::tie(s, p, o) < std::tie(t.s, t.p, t.o);
+  }
+};
+
+/// Hash for use in unordered containers (reasoner dedup sets).
+struct TripleHash {
+  size_t operator()(const Triple& t) const {
+    uint64_t h = t.s;
+    h = h * 0x9e3779b97f4a7c15ULL + t.p;
+    h = h * 0x9e3779b97f4a7c15ULL + t.o;
+    h ^= h >> 29;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 32;
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace turbo::rdf

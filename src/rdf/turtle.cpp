@@ -1,0 +1,300 @@
+#include "rdf/turtle.hpp"
+
+#include <cctype>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+
+#include "rdf/vocabulary.hpp"
+
+namespace turbo::rdf {
+
+namespace {
+
+class TurtleParser {
+ public:
+  TurtleParser(std::string text, Dataset* dataset)
+      : text_(std::move(text)), ds_(dataset) {}
+
+  util::Status Run() {
+    while (true) {
+      SkipWs();
+      if (pos_ >= text_.size()) return util::Status::Ok();
+      if (Peek() == '@' || PeekWordIs("PREFIX") || PeekWordIs("prefix") ||
+          PeekWordIs("BASE") || PeekWordIs("base")) {
+        auto st = ParseDirective();
+        if (!st.ok()) return st;
+        continue;
+      }
+      auto st = ParseTriples();
+      if (!st.ok()) return st;
+    }
+  }
+
+ private:
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  bool PeekWordIs(const char* w) const {
+    size_t len = std::strlen(w);
+    if (text_.compare(pos_, len, w) != 0) return false;
+    char after = pos_ + len < text_.size() ? text_[pos_ + len] : ' ';
+    return std::isspace(static_cast<unsigned char>(after));
+  }
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+  util::Status Err(const std::string& msg) const {
+    size_t line = 1;
+    for (size_t i = 0; i < pos_ && i < text_.size(); ++i)
+      if (text_[i] == '\n') ++line;
+    return util::Status::Error("turtle: " + msg + " (line " + std::to_string(line) + ")");
+  }
+
+  util::Status ParseDirective() {
+    bool sparql_style = false;
+    if (Peek() == '@') {
+      ++pos_;
+    } else {
+      sparql_style = true;
+    }
+    SkipWs();
+    if (PeekWordIsNoWs("prefix") || PeekWordIsNoWs("PREFIX")) {
+      pos_ += 6;
+      SkipWs();
+      size_t colon = text_.find(':', pos_);
+      if (colon == std::string::npos) return Err("malformed prefix name");
+      std::string pfx = text_.substr(pos_, colon - pos_);
+      pos_ = colon + 1;
+      SkipWs();
+      if (Peek() != '<') return Err("expected IRI in @prefix");
+      auto iri = ParseIriRef();
+      if (!iri.ok()) return iri.status();
+      prefixes_[pfx] = iri.take();
+    } else if (PeekWordIsNoWs("base") || PeekWordIsNoWs("BASE")) {
+      pos_ += 4;
+      SkipWs();
+      if (Peek() != '<') return Err("expected IRI in @base");
+      auto iri = ParseIriRef();
+      if (!iri.ok()) return iri.status();
+      base_ = iri.take();
+    } else {
+      return Err("unknown directive");
+    }
+    SkipWs();
+    if (!sparql_style) {
+      if (Peek() != '.') return Err("expected '.' after directive");
+      ++pos_;
+    } else if (Peek() == '.') {
+      ++pos_;  // tolerate a trailing dot either way
+    }
+    return util::Status::Ok();
+  }
+
+  bool PeekWordIsNoWs(const char* w) const { return text_.compare(pos_, std::strlen(w), w) == 0; }
+  /// Word followed by a non-name character (whitespace, punctuation, EOF).
+  bool PeekWordIsDelim(const char* w) const {
+    size_t len = std::strlen(w);
+    if (text_.compare(pos_, len, w) != 0) return false;
+    char after = pos_ + len < text_.size() ? text_[pos_ + len] : ' ';
+    return !(std::isalnum(static_cast<unsigned char>(after)) || after == '_' || after == ':');
+  }
+
+  util::Status ParseTriples() {
+    auto subj = ParseTerm(/*as_predicate=*/false);
+    if (!subj.ok()) return subj.status();
+    while (true) {
+      SkipWs();
+      auto pred = ParseTerm(/*as_predicate=*/true);
+      if (!pred.ok()) return pred.status();
+      while (true) {
+        SkipWs();
+        auto obj = ParseTerm(/*as_predicate=*/false);
+        if (!obj.ok()) return obj.status();
+        ds_->Add(subj.value(), pred.value(), obj.take());
+        SkipWs();
+        if (Peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      if (Peek() == ';') {
+        ++pos_;
+        SkipWs();
+        // Tolerate dangling ';' before '.'.
+        if (Peek() == '.') break;
+        if (Peek() == ';') continue;
+        continue;
+      }
+      break;
+    }
+    SkipWs();
+    if (Peek() != '.') return Err("expected '.' terminating triples");
+    ++pos_;
+    return util::Status::Ok();
+  }
+
+  util::Result<std::string> ParseIriRef() {
+    // Caller guarantees Peek() == '<'.
+    size_t end = text_.find('>', pos_ + 1);
+    if (end == std::string::npos) return Err("unterminated IRI");
+    std::string iri = text_.substr(pos_ + 1, end - pos_ - 1);
+    pos_ = end + 1;
+    // Resolve against @base for relative IRIs (simple concatenation).
+    if (!base_.empty() && iri.find(':') == std::string::npos) iri = base_ + iri;
+    return iri;
+  }
+
+  util::Result<Term> ParseTerm(bool as_predicate) {
+    SkipWs();
+    char c = Peek();
+    if (c == '\0') return Err("unexpected end of input");
+    if (c == '<') {
+      auto iri = ParseIriRef();
+      if (!iri.ok()) return iri.status();
+      return Term::Iri(iri.take());
+    }
+    if (c == '[' || c == '(')
+      return Err("anonymous blank nodes / collections are not supported");
+    if (c == '_' && pos_ + 1 < text_.size() && text_[pos_ + 1] == ':') {
+      pos_ += 2;
+      size_t start = pos_;
+      while (pos_ < text_.size() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                                     Peek() == '_' || Peek() == '-'))
+        ++pos_;
+      if (pos_ == start) return Err("empty blank node label");
+      return Term::Blank(text_.substr(start, pos_ - start));
+    }
+    if (c == '"' || c == '\'') return ParseLiteral();
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '+') {
+      size_t start = pos_;
+      if (c == '-' || c == '+') ++pos_;
+      bool dot = false;
+      while (pos_ < text_.size() && (std::isdigit(static_cast<unsigned char>(Peek())) ||
+                                     (Peek() == '.' && !dot && pos_ + 1 < text_.size() &&
+                                      std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))))) {
+        if (Peek() == '.') dot = true;
+        ++pos_;
+      }
+      return Term::TypedLiteral(text_.substr(start, pos_ - start),
+                                dot ? vocab::kXsdDouble : vocab::kXsdInteger);
+    }
+    // Bare words: 'a', booleans, prefixed names.
+    if (c == 'a' && as_predicate &&
+        (pos_ + 1 >= text_.size() ||
+         std::isspace(static_cast<unsigned char>(text_[pos_ + 1])))) {
+      ++pos_;
+      return Term::Iri(vocab::kRdfType);
+    }
+    if (PeekWordIsDelim("true") || PeekWordIsDelim("false")) {
+      bool v = Peek() == 't';
+      pos_ += v ? 4 : 5;
+      return Term::TypedLiteral(v ? "true" : "false",
+                                "http://www.w3.org/2001/XMLSchema#boolean");
+    }
+    // Prefixed name: pfx:local or :local.
+    size_t colon = pos_;
+    while (colon < text_.size() && (std::isalnum(static_cast<unsigned char>(text_[colon])) ||
+                                    text_[colon] == '_' || text_[colon] == '-'))
+      ++colon;
+    if (colon < text_.size() && text_[colon] == ':') {
+      std::string pfx = text_.substr(pos_, colon - pos_);
+      auto it = prefixes_.find(pfx);
+      if (it == prefixes_.end()) return Err("unknown prefix '" + pfx + "'");
+      size_t local_start = colon + 1;
+      size_t end = local_start;
+      while (end < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[end])) || text_[end] == '_' ||
+              text_[end] == '-' || text_[end] == '.'))
+        ++end;
+      while (end > local_start && text_[end - 1] == '.') --end;  // trailing dot = terminator
+      std::string local = text_.substr(local_start, end - local_start);
+      pos_ = end;
+      return Term::Iri(it->second + local);
+    }
+    return Err(std::string("unexpected character '") + c + "'");
+  }
+
+  util::Result<Term> ParseLiteral() {
+    char quote = Peek();
+    bool long_quote = text_.compare(pos_, 3, std::string(3, quote)) == 0;
+    size_t start = pos_ + (long_quote ? 3 : 1);
+    std::string raw;
+    size_t i = start;
+    bool closed = false;
+    while (i < text_.size()) {
+      if (text_[i] == '\\' && i + 1 < text_.size()) {
+        raw += text_[i];
+        raw += text_[i + 1];
+        i += 2;
+        continue;
+      }
+      if (long_quote) {
+        if (text_.compare(i, 3, std::string(3, quote)) == 0) {
+          // One or two quotes may precede the closing delimiter; they belong
+          // to the content ("""a"""" is the string a").
+          if (i + 3 < text_.size() && text_[i + 3] == quote) {
+            raw += text_[i++];
+            continue;
+          }
+          closed = true;
+          i += 3;
+          break;
+        }
+      } else if (text_[i] == quote) {
+        closed = true;
+        ++i;
+        break;
+      }
+      raw += text_[i++];
+    }
+    if (!closed) return Err("unterminated literal");
+    pos_ = i;
+    std::string lex = UnescapeNTriples(raw);
+    if (Peek() == '@') {
+      ++pos_;
+      size_t s = pos_;
+      while (pos_ < text_.size() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                                     Peek() == '-'))
+        ++pos_;
+      return Term::LangLiteral(std::move(lex), text_.substr(s, pos_ - s));
+    }
+    if (text_.compare(pos_, 2, "^^") == 0) {
+      pos_ += 2;
+      auto dt = ParseTerm(false);
+      if (!dt.ok()) return dt.status();
+      if (!dt.value().is_iri()) return Err("datatype must be an IRI");
+      return Term::TypedLiteral(std::move(lex), dt.take().lexical);
+    }
+    return Term::Literal(std::move(lex));
+  }
+
+  std::string text_;
+  size_t pos_ = 0;
+  Dataset* ds_;
+  std::unordered_map<std::string, std::string> prefixes_;
+  std::string base_;
+};
+
+}  // namespace
+
+util::Status ParseTurtleString(std::string_view text, Dataset* dataset) {
+  return TurtleParser(std::string(text), dataset).Run();
+}
+
+util::Status ParseTurtle(std::istream& in, Dataset* dataset) {
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseTurtleString(buf.str(), dataset);
+}
+
+}  // namespace turbo::rdf

@@ -1,0 +1,22 @@
+// Turtle (Terse RDF Triple Language) parser — the serialization most public
+// RDF dumps ship in. Supported subset: @prefix / PREFIX directives, @base,
+// prefixed names, 'a', predicate lists (';'), object lists (','), IRIs,
+// blank node labels, plain / language-tagged / typed literals, integer,
+// decimal and boolean shorthand, long quotes ("""..."""), comments.
+// Not supported (rejected with an error): anonymous blank nodes '[...]',
+// collections '(...)'.
+#pragma once
+
+#include <istream>
+#include <string_view>
+
+#include "rdf/dataset.hpp"
+#include "util/status.hpp"
+
+namespace turbo::rdf {
+
+/// Parses Turtle text into `dataset` (appending).
+util::Status ParseTurtle(std::istream& in, Dataset* dataset);
+util::Status ParseTurtleString(std::string_view text, Dataset* dataset);
+
+}  // namespace turbo::rdf

@@ -1,0 +1,22 @@
+// Well-known RDF / RDFS / OWL vocabulary IRIs used by the transformations
+// and the reasoner.
+#pragma once
+
+namespace turbo::rdf::vocab {
+
+inline constexpr const char* kRdfType = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+inline constexpr const char* kRdfsSubClassOf = "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+inline constexpr const char* kRdfsSubPropertyOf =
+    "http://www.w3.org/2000/01/rdf-schema#subPropertyOf";
+inline constexpr const char* kRdfsDomain = "http://www.w3.org/2000/01/rdf-schema#domain";
+inline constexpr const char* kRdfsRange = "http://www.w3.org/2000/01/rdf-schema#range";
+inline constexpr const char* kOwlTransitiveProperty =
+    "http://www.w3.org/2002/07/owl#TransitiveProperty";
+inline constexpr const char* kOwlInverseOf = "http://www.w3.org/2002/07/owl#inverseOf";
+inline constexpr const char* kOwlClass = "http://www.w3.org/2002/07/owl#Class";
+inline constexpr const char* kXsdInteger = "http://www.w3.org/2001/XMLSchema#integer";
+inline constexpr const char* kXsdDouble = "http://www.w3.org/2001/XMLSchema#double";
+inline constexpr const char* kXsdString = "http://www.w3.org/2001/XMLSchema#string";
+inline constexpr const char* kXsdDate = "http://www.w3.org/2001/XMLSchema#date";
+
+}  // namespace turbo::rdf::vocab

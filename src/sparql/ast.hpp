@@ -1,0 +1,117 @@
+// SPARQL abstract syntax: triple patterns, group graph patterns with
+// FILTER / OPTIONAL / UNION, and SELECT queries with solution modifiers.
+// Covers the subset exercised by the paper's benchmarks (LUBM, YAGO,
+// BTC2012 basic graph patterns; BSBM explore use case with OPTIONAL,
+// FILTER, UNION, DISTINCT, ORDER BY, LIMIT/OFFSET).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rdf/term.hpp"
+
+namespace turbo::sparql {
+
+/// A position in a triple pattern: either a constant term or a variable.
+struct PatternTerm {
+  enum class Kind : uint8_t { kTerm, kVar } kind = Kind::kTerm;
+  rdf::Term term;   ///< when kTerm
+  std::string var;  ///< variable name without '?', when kVar
+
+  static PatternTerm Var(std::string name) {
+    PatternTerm p;
+    p.kind = Kind::kVar;
+    p.var = std::move(name);
+    return p;
+  }
+  static PatternTerm Const(rdf::Term t) {
+    PatternTerm p;
+    p.term = std::move(t);
+    return p;
+  }
+  bool is_var() const { return kind == Kind::kVar; }
+};
+
+struct TriplePattern {
+  PatternTerm s, p, o;
+};
+
+/// FILTER expression tree (value semantics).
+struct FilterExpr {
+  enum class Op : uint8_t {
+    kOr, kAnd, kNot,
+    kEq, kNe, kLt, kLe, kGt, kGe,
+    kAdd, kSub, kMul, kDiv, kNeg,
+    kVar, kLiteral,
+    kRegex,        // regex(str, pattern [, flags])
+    kBound,        // bound(?v)
+    kStr, kLang, kDatatype,
+    kIsIri, kIsLiteral, kIsBlank,
+  };
+  Op op = Op::kLiteral;
+  std::vector<FilterExpr> children;
+  std::string var;    ///< kVar / kBound
+  rdf::Term literal;  ///< kLiteral
+
+  static FilterExpr MakeVar(std::string name) {
+    FilterExpr e;
+    e.op = Op::kVar;
+    e.var = std::move(name);
+    return e;
+  }
+  static FilterExpr MakeLiteral(rdf::Term t) {
+    FilterExpr e;
+    e.op = Op::kLiteral;
+    e.literal = std::move(t);
+    return e;
+  }
+  static FilterExpr MakeUnary(Op op, FilterExpr a) {
+    FilterExpr e;
+    e.op = op;
+    e.children.push_back(std::move(a));
+    return e;
+  }
+  static FilterExpr MakeBinary(Op op, FilterExpr a, FilterExpr b) {
+    FilterExpr e;
+    e.op = op;
+    e.children.push_back(std::move(a));
+    e.children.push_back(std::move(b));
+    return e;
+  }
+
+  /// Collects the variables referenced by this expression.
+  void CollectVars(std::vector<std::string>* out) const {
+    if (op == Op::kVar || op == Op::kBound) out->push_back(var);
+    for (const FilterExpr& c : children) c.CollectVars(out);
+  }
+};
+
+/// Group graph pattern: a BGP plus filters, OPTIONAL sub-groups and UNION
+/// alternatives (each union is a list of branch groups).
+struct GroupPattern {
+  std::vector<TriplePattern> triples;
+  std::vector<FilterExpr> filters;
+  std::vector<GroupPattern> optionals;
+  std::vector<std::vector<GroupPattern>> unions;
+
+  bool IsEmpty() const {
+    return triples.empty() && filters.empty() && optionals.empty() && unions.empty();
+  }
+};
+
+struct OrderKey {
+  std::string var;
+  bool ascending = true;
+};
+
+struct SelectQuery {
+  bool distinct = false;
+  std::vector<std::string> select_vars;  ///< empty => SELECT *
+  GroupPattern where;
+  std::vector<OrderKey> order_by;
+  int64_t limit = -1;   ///< -1 = none
+  int64_t offset = 0;
+};
+
+}  // namespace turbo::sparql

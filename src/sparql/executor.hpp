@@ -1,0 +1,44 @@
+// SPARQL executor: drives a BgpSolver through the group-graph-pattern
+// algebra. OPTIONAL uses left-join extension (the paper's
+// nullify-and-keep-searching + qualify-and-exclude-duplicate produces the
+// same bag: unmatched optionals leave their variables unbound, once per base
+// solution); UNION concatenates branch solutions without deduplication;
+// FILTERs are pushed to the solver when cheap and always re-checked here
+// (§5.1). DISTINCT / ORDER BY / LIMIT / OFFSET are applied last.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sparql/ast.hpp"
+#include "sparql/solver.hpp"
+#include "util/status.hpp"
+
+namespace turbo::sparql {
+
+struct ResultSet {
+  std::vector<std::string> var_names;      ///< projected variable names
+  std::vector<std::vector<TermId>> rows;   ///< kInvalidId = unbound (OPTIONAL)
+  uint64_t total_before_modifiers = 0;     ///< row count before DISTINCT/LIMIT
+
+  size_t size() const { return rows.size(); }
+};
+
+class Executor {
+ public:
+  explicit Executor(const BgpSolver* solver) : solver_(solver) {}
+
+  /// Runs the query. Returns the projected result set or an error.
+  util::Result<ResultSet> Execute(const SelectQuery& q) const;
+
+  /// Parses and runs. Convenience for examples and tests.
+  util::Result<ResultSet> Execute(const std::string& text) const;
+
+ private:
+  const BgpSolver* solver_;
+};
+
+/// Renders one row as a human-readable line (terms in N-Triples form).
+std::string FormatRow(const ResultSet& rs, size_t row, const rdf::Dictionary& dict);
+
+}  // namespace turbo::sparql

@@ -1,0 +1,210 @@
+#include "sparql/filter_eval.hpp"
+
+namespace turbo::sparql {
+
+bool FilterEvaluator::Test(const FilterExpr& e, const Row& row) const {
+  return EffectiveBool(Eval(e, row));
+}
+
+bool FilterEvaluator::EffectiveBool(const Value& v) {
+  switch (v.kind) {
+    case Value::Kind::kNull:
+      return false;
+    case Value::Kind::kBool:
+      return v.b;
+    case Value::Kind::kNum:
+      return v.num != 0;
+    case Value::Kind::kString:
+      return !v.str.empty();
+    case Value::Kind::kTerm: {
+      const rdf::Term& t = *v.term;
+      if (!t.is_literal()) return false;  // EBV of IRI/blank is an error
+      if (t.datatype == "http://www.w3.org/2001/XMLSchema#boolean")
+        return t.lexical == "true" || t.lexical == "1";
+      if (v.term_num) return *v.term_num != 0;
+      return !t.lexical.empty();
+    }
+  }
+  return false;
+}
+
+std::optional<double> FilterEvaluator::NumericOf(const Value& v) {
+  switch (v.kind) {
+    case Value::Kind::kNum:
+      return v.num;
+    case Value::Kind::kTerm:
+      return v.term_num;
+    case Value::Kind::kBool:
+      return v.b ? 1.0 : 0.0;
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<std::string> FilterEvaluator::StringOf(const Value& v) {
+  switch (v.kind) {
+    case Value::Kind::kString:
+      return v.str;
+    case Value::Kind::kTerm:
+      return v.term->lexical;
+    default:
+      return std::nullopt;
+  }
+}
+
+const std::regex& FilterEvaluator::CachedRegex(const std::string& pattern, bool icase) const {
+  std::string key = (icase ? "i|" : "s|") + pattern;
+  auto it = regex_cache_.find(key);
+  if (it == regex_cache_.end()) {
+    auto flags = std::regex::ECMAScript | std::regex::optimize;
+    if (icase) flags |= std::regex::icase;
+    it = regex_cache_.emplace(key, std::make_unique<std::regex>(pattern, flags)).first;
+  }
+  return *it->second;
+}
+
+FilterEvaluator::Value FilterEvaluator::Compare(FilterExpr::Op op, const Value& a,
+                                                const Value& b) const {
+  if (a.kind == Value::Kind::kNull || b.kind == Value::Kind::kNull) return Value::Null();
+  // Numeric comparison when both sides have numeric views.
+  auto na = NumericOf(a), nb = NumericOf(b);
+  int cmp;
+  if (na && nb) {
+    cmp = *na < *nb ? -1 : (*na > *nb ? 1 : 0);
+  } else {
+    // Term equality compares full terms; ordering compares lexical strings.
+    if ((op == FilterExpr::Op::kEq || op == FilterExpr::Op::kNe) &&
+        a.kind == Value::Kind::kTerm && b.kind == Value::Kind::kTerm) {
+      bool eq = *a.term == *b.term;
+      return Value::Bool(op == FilterExpr::Op::kEq ? eq : !eq);
+    }
+    auto sa = StringOf(a), sb = StringOf(b);
+    if (!sa || !sb) return Value::Null();
+    cmp = sa->compare(*sb);
+    cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+  }
+  switch (op) {
+    case FilterExpr::Op::kEq:
+      return Value::Bool(cmp == 0);
+    case FilterExpr::Op::kNe:
+      return Value::Bool(cmp != 0);
+    case FilterExpr::Op::kLt:
+      return Value::Bool(cmp < 0);
+    case FilterExpr::Op::kLe:
+      return Value::Bool(cmp <= 0);
+    case FilterExpr::Op::kGt:
+      return Value::Bool(cmp > 0);
+    case FilterExpr::Op::kGe:
+      return Value::Bool(cmp >= 0);
+    default:
+      return Value::Null();
+  }
+}
+
+FilterEvaluator::Value FilterEvaluator::Eval(const FilterExpr& e, const Row& row) const {
+  using Op = FilterExpr::Op;
+  switch (e.op) {
+    case Op::kVar: {
+      auto idx = vars_.Find(e.var);
+      if (!idx || static_cast<size_t>(*idx) >= row.size() || row[*idx] == kInvalidId)
+        return Value::Null();
+      Value v;
+      v.kind = Value::Kind::kTerm;
+      v.term = &dict_.term(row[*idx]);
+      v.term_num = dict_.NumericValue(row[*idx]);
+      return v;
+    }
+    case Op::kLiteral: {
+      Value v;
+      v.kind = Value::Kind::kTerm;
+      v.term = &e.literal;
+      v.term_num = e.literal.NumericValue();
+      return v;
+    }
+    case Op::kBound: {
+      auto idx = vars_.Find(e.var);
+      return Value::Bool(idx && static_cast<size_t>(*idx) < row.size() &&
+                         row[*idx] != kInvalidId);
+    }
+    case Op::kNot:
+      return Value::Bool(!Test(e.children[0], row));
+    case Op::kAnd:
+      return Value::Bool(Test(e.children[0], row) && Test(e.children[1], row));
+    case Op::kOr:
+      return Value::Bool(Test(e.children[0], row) || Test(e.children[1], row));
+    case Op::kEq:
+    case Op::kNe:
+    case Op::kLt:
+    case Op::kLe:
+    case Op::kGt:
+    case Op::kGe:
+      return Compare(e.op, Eval(e.children[0], row), Eval(e.children[1], row));
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kDiv: {
+      auto a = NumericOf(Eval(e.children[0], row));
+      auto b = NumericOf(Eval(e.children[1], row));
+      if (!a || !b) return Value::Null();
+      switch (e.op) {
+        case Op::kAdd:
+          return Value::Num(*a + *b);
+        case Op::kSub:
+          return Value::Num(*a - *b);
+        case Op::kMul:
+          return Value::Num(*a * *b);
+        default:
+          return *b == 0 ? Value::Null() : Value::Num(*a / *b);
+      }
+    }
+    case Op::kNeg: {
+      auto a = NumericOf(Eval(e.children[0], row));
+      return a ? Value::Num(-*a) : Value::Null();
+    }
+    case Op::kStr: {
+      auto s = StringOf(Eval(e.children[0], row));
+      return s ? Value::Str(*s) : Value::Null();
+    }
+    case Op::kLang: {
+      Value v = Eval(e.children[0], row);
+      if (v.kind != Value::Kind::kTerm || !v.term->is_literal()) return Value::Null();
+      return Value::Str(v.term->lang);
+    }
+    case Op::kDatatype: {
+      Value v = Eval(e.children[0], row);
+      if (v.kind != Value::Kind::kTerm || !v.term->is_literal()) return Value::Null();
+      return Value::Str(v.term->datatype);
+    }
+    case Op::kIsIri: {
+      Value v = Eval(e.children[0], row);
+      return Value::Bool(v.kind == Value::Kind::kTerm && v.term->is_iri());
+    }
+    case Op::kIsLiteral: {
+      Value v = Eval(e.children[0], row);
+      return Value::Bool(v.kind == Value::Kind::kTerm && v.term->is_literal());
+    }
+    case Op::kIsBlank: {
+      Value v = Eval(e.children[0], row);
+      return Value::Bool(v.kind == Value::Kind::kTerm && v.term->is_blank());
+    }
+    case Op::kRegex: {
+      if (e.children.size() < 2) return Value::Null();
+      auto text = StringOf(Eval(e.children[0], row));
+      auto pattern = StringOf(Eval(e.children[1], row));
+      if (!text || !pattern) return Value::Null();
+      bool icase = false;
+      if (e.children.size() >= 3) {
+        auto flags = StringOf(Eval(e.children[2], row));
+        icase = flags && flags->find('i') != std::string::npos;
+      }
+      try {
+        return Value::Bool(std::regex_search(*text, CachedRegex(*pattern, icase)));
+      } catch (const std::regex_error&) {
+        return Value::Null();
+      }
+    }
+  }
+  return Value::Null();
+}
+
+}  // namespace turbo::sparql

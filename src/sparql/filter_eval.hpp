@@ -1,0 +1,69 @@
+// FILTER expression evaluation with SPARQL-ish semantics: numeric
+// comparisons when both sides are numeric, lexical comparison for strings,
+// type errors collapse to "false" (SPARQL's error semantics for FILTER).
+#pragma once
+
+#include <memory>
+#include <regex>
+#include <string>
+#include <unordered_map>
+
+#include "rdf/dictionary.hpp"
+#include "sparql/ast.hpp"
+#include "sparql/solver.hpp"
+
+namespace turbo::sparql {
+
+/// Evaluates filter expressions against rows. Thread-compatible (the regex
+/// cache is populated lazily; use one evaluator per thread if needed).
+class FilterEvaluator {
+ public:
+  FilterEvaluator(const rdf::Dictionary& dict, const VarRegistry& vars)
+      : dict_(dict), vars_(vars) {}
+
+  /// Effective boolean value of `e` on `row`; errors evaluate to false.
+  bool Test(const FilterExpr& e, const Row& row) const;
+
+ private:
+  struct Value {
+    enum class Kind : uint8_t { kNull, kBool, kNum, kString, kTerm } kind = Kind::kNull;
+    bool b = false;
+    double num = 0;
+    std::string str;           // kString (results of str()/lang()/datatype())
+    const rdf::Term* term = nullptr;  // kTerm
+    std::optional<double> term_num;   // numeric view of kTerm if any
+
+    static Value Null() { return {}; }
+    static Value Bool(bool v) {
+      Value x;
+      x.kind = Kind::kBool;
+      x.b = v;
+      return x;
+    }
+    static Value Num(double v) {
+      Value x;
+      x.kind = Kind::kNum;
+      x.num = v;
+      return x;
+    }
+    static Value Str(std::string s) {
+      Value x;
+      x.kind = Kind::kString;
+      x.str = std::move(s);
+      return x;
+    }
+  };
+
+  Value Eval(const FilterExpr& e, const Row& row) const;
+  Value Compare(FilterExpr::Op op, const Value& a, const Value& b) const;
+  static bool EffectiveBool(const Value& v);
+  static std::optional<double> NumericOf(const Value& v);
+  static std::optional<std::string> StringOf(const Value& v);
+  const std::regex& CachedRegex(const std::string& pattern, bool icase) const;
+
+  const rdf::Dictionary& dict_;
+  const VarRegistry& vars_;
+  mutable std::unordered_map<std::string, std::unique_ptr<std::regex>> regex_cache_;
+};
+
+}  // namespace turbo::sparql

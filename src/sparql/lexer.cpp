@@ -1,0 +1,198 @@
+#include "sparql/lexer.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "rdf/term.hpp"
+
+namespace turbo::sparql {
+
+namespace {
+
+const char* kKeywords[] = {"PREFIX",   "SELECT", "DISTINCT", "WHERE",  "FILTER",
+                           "OPTIONAL", "UNION",  "ORDER",    "BY",     "ASC",
+                           "DESC",     "LIMIT",  "OFFSET",   "REGEX",  "BOUND",
+                           "STR",      "LANG",   "DATATYPE", "ISIRI",  "ISLITERAL",
+                           "ISBLANK",  "TRUE",   "FALSE"};
+
+bool IsKeyword(const std::string& upper) {
+  return std::find_if(std::begin(kKeywords), std::end(kKeywords),
+                      [&](const char* k) { return upper == k; }) != std::end(kKeywords);
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' || c == '.';
+}
+
+}  // namespace
+
+util::Result<std::vector<Token>> Lex(std::string_view in) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = in.size();
+  auto error = [&](const std::string& msg) {
+    return util::Status::Error(msg + " at offset " + std::to_string(i));
+  };
+
+  while (i < n) {
+    char c = in[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {  // comment to end of line
+      while (i < n && in[i] != '\n') ++i;
+      continue;
+    }
+    Token t;
+    t.pos = i;
+    if (c == '?' || c == '$') {
+      size_t j = i + 1;
+      while (j < n && IsNameChar(in[j]) && in[j] != '.') ++j;
+      t.kind = TokenKind::kVar;
+      t.text = std::string(in.substr(i + 1, j - i - 1));
+      if (t.text.empty()) return error("empty variable name");
+      i = j;
+    } else if (c == '<') {
+      // IRI if a '>' appears before whitespace; otherwise comparison op.
+      size_t j = i + 1;
+      bool iri = false;
+      while (j < n && !std::isspace(static_cast<unsigned char>(in[j]))) {
+        if (in[j] == '>') {
+          iri = true;
+          break;
+        }
+        ++j;
+      }
+      if (iri) {
+        t.kind = TokenKind::kIri;
+        t.text = std::string(in.substr(i + 1, j - i - 1));
+        i = j + 1;
+      } else {
+        t.kind = TokenKind::kPunct;
+        if (i + 1 < n && in[i + 1] == '=') {
+          t.text = "<=";
+          i += 2;
+        } else {
+          t.text = "<";
+          ++i;
+        }
+      }
+    } else if (c == '"' || c == '\'') {
+      char quote = c;
+      size_t j = i + 1;
+      std::string raw;
+      bool closed = false;
+      while (j < n) {
+        if (in[j] == '\\' && j + 1 < n) {
+          raw += in[j];
+          raw += in[j + 1];
+          j += 2;
+          continue;
+        }
+        if (in[j] == quote) {
+          closed = true;
+          break;
+        }
+        raw += in[j];
+        ++j;
+      }
+      if (!closed) return error("unterminated string literal");
+      t.kind = TokenKind::kString;
+      t.text = rdf::UnescapeNTriples(raw);
+      i = j + 1;
+      if (i < n && in[i] == '@') {
+        size_t k = i + 1;
+        while (k < n && (std::isalnum(static_cast<unsigned char>(in[k])) || in[k] == '-')) ++k;
+        t.lang = std::string(in.substr(i + 1, k - i - 1));
+        i = k;
+      } else if (i + 1 < n && in[i] == '^' && in[i + 1] == '^') {
+        i += 2;
+        if (i >= n || in[i] != '<') return error("expected datatype IRI");
+        size_t k = in.find('>', i + 1);
+        if (k == std::string_view::npos) return error("unterminated datatype IRI");
+        t.datatype = std::string(in.substr(i + 1, k - i - 1));
+        i = k + 1;
+      }
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && i + 1 < n && std::isdigit(static_cast<unsigned char>(in[i + 1])) &&
+                (out.empty() || out.back().kind == TokenKind::kPunct))) {
+      size_t j = i + 1;
+      bool dot = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(in[j])) ||
+                       (in[j] == '.' && !dot && j + 1 < n &&
+                        std::isdigit(static_cast<unsigned char>(in[j + 1]))))) {
+        if (in[j] == '.') dot = true;
+        ++j;
+      }
+      t.kind = TokenKind::kNumber;
+      t.text = std::string(in.substr(i, j - i));
+      i = j;
+    } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && IsNameChar(in[j])) ++j;
+      // Trailing dots belong to punctuation, not the name.
+      while (j > i && in[j - 1] == '.') --j;
+      std::string word(in.substr(i, j - i));
+      // Prefixed name? (word ':' local)
+      if (j < n && in[j] == ':') {
+        size_t k = j + 1;
+        while (k < n && IsNameChar(in[k])) ++k;
+        while (k > j + 1 && in[k - 1] == '.') --k;
+        t.kind = TokenKind::kPname;
+        t.text = std::string(in.substr(i, k - i));
+        i = k;
+      } else {
+        std::string upper = word;
+        std::transform(upper.begin(), upper.end(), upper.begin(), ::toupper);
+        if (word == "a") {
+          t.kind = TokenKind::kA;
+          t.text = "a";
+        } else if (IsKeyword(upper)) {
+          t.kind = TokenKind::kKeyword;
+          t.text = upper;
+        } else {
+          return error("unexpected bare word '" + word + "'");
+        }
+        i = j;
+      }
+    } else if (c == ':') {
+      // Default-prefix pname ":local".
+      size_t k = i + 1;
+      while (k < n && IsNameChar(in[k])) ++k;
+      while (k > i + 1 && in[k - 1] == '.') --k;
+      t.kind = TokenKind::kPname;
+      t.text = std::string(in.substr(i, k - i));
+      i = k;
+    } else {
+      t.kind = TokenKind::kPunct;
+      auto two = [&](char a, char b) { return c == a && i + 1 < n && in[i + 1] == b; };
+      if (two('!', '=')) {
+        t.text = "!=";
+        i += 2;
+      } else if (two('>', '=')) {
+        t.text = ">=";
+        i += 2;
+      } else if (two('&', '&')) {
+        t.text = "&&";
+        i += 2;
+      } else if (two('|', '|')) {
+        t.text = "||";
+        i += 2;
+      } else if (std::string("{}().;,*=><!+-/").find(c) != std::string::npos) {
+        t.text = std::string(1, c);
+        ++i;
+      } else {
+        return error(std::string("unexpected character '") + c + "'");
+      }
+    }
+    out.push_back(std::move(t));
+  }
+  Token eof;
+  eof.kind = TokenKind::kEof;
+  eof.pos = n;
+  out.push_back(eof);
+  return out;
+}
+
+}  // namespace turbo::sparql

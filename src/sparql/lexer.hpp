@@ -1,0 +1,35 @@
+// Hand-written lexer for the SPARQL subset.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace turbo::sparql {
+
+enum class TokenKind : uint8_t {
+  kEof,
+  kKeyword,   // SELECT, WHERE, FILTER, ... (uppercased in `text`)
+  kVar,       // ?x or $x (text = name without sigil)
+  kIri,       // <...> (text = iri)
+  kPname,     // prefix:local (text as written)
+  kString,    // "..." (text = unescaped; lang/datatype in extra)
+  kNumber,    // integer/decimal literal (text = lexical form)
+  kA,         // the keyword 'a' (rdf:type)
+  kPunct,     // { } ( ) . ; , * = != < <= > >= && || ! + - /
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;
+  std::string lang;      // for kString
+  std::string datatype;  // for kString (IRI)
+  size_t pos = 0;        // byte offset, for error messages
+};
+
+/// Tokenizes `input`. Returns an error for unterminated strings/IRIs.
+util::Result<std::vector<Token>> Lex(std::string_view input);
+
+}  // namespace turbo::sparql

@@ -1,0 +1,412 @@
+#include "sparql/parser.hpp"
+
+#include <cstdlib>
+#include <unordered_map>
+
+#include "rdf/vocabulary.hpp"
+#include "sparql/lexer.hpp"
+
+namespace turbo::sparql {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  util::Result<SelectQuery> Parse() {
+    SelectQuery q;
+    // Built-in prefixes.
+    prefixes_["rdf"] = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+    prefixes_["rdfs"] = "http://www.w3.org/2000/01/rdf-schema#";
+    prefixes_["owl"] = "http://www.w3.org/2002/07/owl#";
+    prefixes_["xsd"] = "http://www.w3.org/2001/XMLSchema#";
+
+    while (IsKeyword("PREFIX")) {
+      Advance();
+      if (Cur().kind != TokenKind::kPname)
+        return Err("expected prefix name after PREFIX");
+      std::string pname = Cur().text;  // "pfx:" or "pfx:garbage"
+      size_t colon = pname.find(':');
+      std::string pfx = pname.substr(0, colon);
+      Advance();
+      if (Cur().kind != TokenKind::kIri) return Err("expected IRI in PREFIX");
+      prefixes_[pfx] = Cur().text;
+      Advance();
+    }
+
+    if (!IsKeyword("SELECT")) return Err("expected SELECT");
+    Advance();
+    if (IsKeyword("DISTINCT")) {
+      q.distinct = true;
+      Advance();
+    }
+    if (IsPunct("*")) {
+      Advance();
+    } else {
+      while (Cur().kind == TokenKind::kVar) {
+        q.select_vars.push_back(Cur().text);
+        Advance();
+        if (IsPunct(",")) Advance();
+      }
+      if (q.select_vars.empty()) return Err("expected projection variables or *");
+    }
+    if (IsKeyword("WHERE")) Advance();
+    auto group = ParseGroup();
+    if (!group.ok()) return group.status();
+    q.where = group.take();
+
+    // Solution modifiers.
+    if (IsKeyword("ORDER")) {
+      Advance();
+      if (!IsKeyword("BY")) return Err("expected BY after ORDER");
+      Advance();
+      while (true) {
+        OrderKey key;
+        if (IsKeyword("ASC") || IsKeyword("DESC")) {
+          key.ascending = Cur().text == "ASC";
+          Advance();
+          if (!IsPunct("(")) return Err("expected ( after ASC/DESC");
+          Advance();
+          if (Cur().kind != TokenKind::kVar) return Err("expected variable in ORDER BY");
+          key.var = Cur().text;
+          Advance();
+          if (!IsPunct(")")) return Err("expected ) in ORDER BY");
+          Advance();
+        } else if (Cur().kind == TokenKind::kVar) {
+          key.var = Cur().text;
+          Advance();
+        } else {
+          break;
+        }
+        q.order_by.push_back(key);
+      }
+      if (q.order_by.empty()) return Err("empty ORDER BY");
+    }
+    // LIMIT and OFFSET may appear in either order.
+    while (IsKeyword("LIMIT") || IsKeyword("OFFSET")) {
+      bool is_limit = Cur().text == "LIMIT";
+      Advance();
+      if (Cur().kind != TokenKind::kNumber)
+        return Err(std::string("expected number after ") + (is_limit ? "LIMIT" : "OFFSET"));
+      (is_limit ? q.limit : q.offset) = std::strtoll(Cur().text.c_str(), nullptr, 10);
+      Advance();
+    }
+    if (Cur().kind != TokenKind::kEof) return Err("trailing input");
+    return q;
+  }
+
+ private:
+  const Token& Cur() const { return toks_[pos_]; }
+  void Advance() { ++pos_; }
+  bool IsKeyword(const char* k) const {
+    return Cur().kind == TokenKind::kKeyword && Cur().text == k;
+  }
+  bool IsPunct(const char* p) const {
+    return Cur().kind == TokenKind::kPunct && Cur().text == p;
+  }
+  util::Status Err(const std::string& msg) const {
+    return util::Status::Error(msg + " (near offset " + std::to_string(Cur().pos) + ")");
+  }
+
+  util::Result<GroupPattern> ParseGroup() {
+    if (!IsPunct("{")) return Err("expected {");
+    Advance();
+    GroupPattern g;
+    while (!IsPunct("}")) {
+      if (Cur().kind == TokenKind::kEof) return Err("unterminated group");
+      if (IsKeyword("FILTER")) {
+        Advance();
+        auto e = ParseBracketedExpr();
+        if (!e.ok()) return e.status();
+        g.filters.push_back(e.take());
+      } else if (IsKeyword("OPTIONAL")) {
+        Advance();
+        auto sub = ParseGroup();
+        if (!sub.ok()) return sub.status();
+        g.optionals.push_back(sub.take());
+      } else if (IsPunct("{")) {
+        // Sub-group; possibly a UNION chain.
+        auto first = ParseGroup();
+        if (!first.ok()) return first.status();
+        std::vector<GroupPattern> branches;
+        branches.push_back(first.take());
+        while (IsKeyword("UNION")) {
+          Advance();
+          auto next = ParseGroup();
+          if (!next.ok()) return next.status();
+          branches.push_back(next.take());
+        }
+        if (branches.size() == 1) {
+          // Plain nested group: merge into the parent (join semantics).
+          GroupPattern& sub = branches[0];
+          for (auto& t : sub.triples) g.triples.push_back(std::move(t));
+          for (auto& f : sub.filters) g.filters.push_back(std::move(f));
+          for (auto& o : sub.optionals) g.optionals.push_back(std::move(o));
+          for (auto& u : sub.unions) g.unions.push_back(std::move(u));
+        } else {
+          g.unions.push_back(std::move(branches));
+        }
+      } else {
+        auto st = ParseTriplesBlock(&g);
+        if (!st.ok()) return st;
+      }
+      if (IsPunct(".")) Advance();
+    }
+    Advance();  // consume '}'
+    return g;
+  }
+
+  util::Status ParseTriplesBlock(GroupPattern* g) {
+    auto subj = ParsePatternTerm();
+    if (!subj.ok()) return subj.status();
+    while (true) {
+      auto pred = ParseVerb();
+      if (!pred.ok()) return pred.status();
+      while (true) {
+        auto obj = ParsePatternTerm();
+        if (!obj.ok()) return obj.status();
+        g->triples.push_back({subj.value(), pred.value(), obj.take()});
+        if (IsPunct(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      if (IsPunct(";")) {
+        Advance();
+        // Allow trailing ';' before '.' or '}'.
+        if (IsPunct(".") || IsPunct("}")) break;
+        continue;
+      }
+      break;
+    }
+    return util::Status::Ok();
+  }
+
+  util::Result<PatternTerm> ParseVerb() {
+    if (Cur().kind == TokenKind::kA) {
+      Advance();
+      return PatternTerm::Const(rdf::Term::Iri(rdf::vocab::kRdfType));
+    }
+    return ParsePatternTerm();
+  }
+
+  util::Result<PatternTerm> ParsePatternTerm() {
+    const Token& t = Cur();
+    switch (t.kind) {
+      case TokenKind::kVar: {
+        Advance();
+        return PatternTerm::Var(t.text);
+      }
+      case TokenKind::kIri: {
+        Advance();
+        return PatternTerm::Const(rdf::Term::Iri(t.text));
+      }
+      case TokenKind::kPname: {
+        auto iri = ExpandPname(t.text);
+        if (!iri.ok()) return iri.status();
+        Advance();
+        return PatternTerm::Const(rdf::Term::Iri(iri.take()));
+      }
+      case TokenKind::kString: {
+        rdf::Term lit = !t.lang.empty()       ? rdf::Term::LangLiteral(t.text, t.lang)
+                        : !t.datatype.empty() ? rdf::Term::TypedLiteral(t.text, t.datatype)
+                                              : rdf::Term::Literal(t.text);
+        Advance();
+        return PatternTerm::Const(std::move(lit));
+      }
+      case TokenKind::kNumber: {
+        bool decimal = t.text.find('.') != std::string::npos;
+        rdf::Term lit = rdf::Term::TypedLiteral(
+            t.text, decimal ? rdf::vocab::kXsdDouble : rdf::vocab::kXsdInteger);
+        Advance();
+        return PatternTerm::Const(std::move(lit));
+      }
+      default:
+        return Err("expected term or variable");
+    }
+  }
+
+  util::Result<std::string> ExpandPname(const std::string& pname) {
+    size_t colon = pname.find(':');
+    std::string pfx = pname.substr(0, colon);
+    auto it = prefixes_.find(pfx);
+    if (it == prefixes_.end()) return Err("unknown prefix '" + pfx + "'");
+    return it->second + pname.substr(colon + 1);
+  }
+
+  // ---- Expressions ----
+
+  util::Result<FilterExpr> ParseBracketedExpr() {
+    if (!IsPunct("(")) return Err("expected ( after FILTER");
+    Advance();
+    auto e = ParseOr();
+    if (!e.ok()) return e;
+    if (!IsPunct(")")) return Err("expected ) closing FILTER");
+    Advance();
+    return e;
+  }
+
+  util::Result<FilterExpr> ParseOr() {
+    auto lhs = ParseAnd();
+    if (!lhs.ok()) return lhs;
+    FilterExpr e = lhs.take();
+    while (IsPunct("||")) {
+      Advance();
+      auto rhs = ParseAnd();
+      if (!rhs.ok()) return rhs;
+      e = FilterExpr::MakeBinary(FilterExpr::Op::kOr, std::move(e), rhs.take());
+    }
+    return e;
+  }
+
+  util::Result<FilterExpr> ParseAnd() {
+    auto lhs = ParseRelational();
+    if (!lhs.ok()) return lhs;
+    FilterExpr e = lhs.take();
+    while (IsPunct("&&")) {
+      Advance();
+      auto rhs = ParseRelational();
+      if (!rhs.ok()) return rhs;
+      e = FilterExpr::MakeBinary(FilterExpr::Op::kAnd, std::move(e), rhs.take());
+    }
+    return e;
+  }
+
+  util::Result<FilterExpr> ParseRelational() {
+    auto lhs = ParseAdditive();
+    if (!lhs.ok()) return lhs;
+    FilterExpr e = lhs.take();
+    struct {
+      const char* tok;
+      FilterExpr::Op op;
+    } ops[] = {{"=", FilterExpr::Op::kEq},  {"!=", FilterExpr::Op::kNe},
+               {"<=", FilterExpr::Op::kLe}, {">=", FilterExpr::Op::kGe},
+               {"<", FilterExpr::Op::kLt},  {">", FilterExpr::Op::kGt}};
+    for (const auto& o : ops) {
+      if (IsPunct(o.tok)) {
+        Advance();
+        auto rhs = ParseAdditive();
+        if (!rhs.ok()) return rhs;
+        return FilterExpr::MakeBinary(o.op, std::move(e), rhs.take());
+      }
+    }
+    return e;
+  }
+
+  util::Result<FilterExpr> ParseAdditive() {
+    auto lhs = ParseMultiplicative();
+    if (!lhs.ok()) return lhs;
+    FilterExpr e = lhs.take();
+    while (IsPunct("+") || IsPunct("-")) {
+      FilterExpr::Op op = IsPunct("+") ? FilterExpr::Op::kAdd : FilterExpr::Op::kSub;
+      Advance();
+      auto rhs = ParseMultiplicative();
+      if (!rhs.ok()) return rhs;
+      e = FilterExpr::MakeBinary(op, std::move(e), rhs.take());
+    }
+    return e;
+  }
+
+  util::Result<FilterExpr> ParseMultiplicative() {
+    auto lhs = ParseUnary();
+    if (!lhs.ok()) return lhs;
+    FilterExpr e = lhs.take();
+    while (IsPunct("*") || IsPunct("/")) {
+      FilterExpr::Op op = IsPunct("*") ? FilterExpr::Op::kMul : FilterExpr::Op::kDiv;
+      Advance();
+      auto rhs = ParseUnary();
+      if (!rhs.ok()) return rhs;
+      e = FilterExpr::MakeBinary(op, std::move(e), rhs.take());
+    }
+    return e;
+  }
+
+  util::Result<FilterExpr> ParseUnary() {
+    if (IsPunct("!")) {
+      Advance();
+      auto e = ParseUnary();
+      if (!e.ok()) return e;
+      return FilterExpr::MakeUnary(FilterExpr::Op::kNot, e.take());
+    }
+    if (IsPunct("-")) {
+      Advance();
+      auto e = ParseUnary();
+      if (!e.ok()) return e;
+      return FilterExpr::MakeUnary(FilterExpr::Op::kNeg, e.take());
+    }
+    return ParsePrimary();
+  }
+
+  util::Result<FilterExpr> ParsePrimary() {
+    const Token& t = Cur();
+    if (IsPunct("(")) {
+      Advance();
+      auto e = ParseOr();
+      if (!e.ok()) return e;
+      if (!IsPunct(")")) return Err("expected )");
+      Advance();
+      return e;
+    }
+    if (t.kind == TokenKind::kVar) {
+      Advance();
+      return FilterExpr::MakeVar(t.text);
+    }
+    if (t.kind == TokenKind::kKeyword) {
+      static const std::unordered_map<std::string, FilterExpr::Op> kFns = {
+          {"REGEX", FilterExpr::Op::kRegex},        {"BOUND", FilterExpr::Op::kBound},
+          {"STR", FilterExpr::Op::kStr},            {"LANG", FilterExpr::Op::kLang},
+          {"DATATYPE", FilterExpr::Op::kDatatype},  {"ISIRI", FilterExpr::Op::kIsIri},
+          {"ISLITERAL", FilterExpr::Op::kIsLiteral},{"ISBLANK", FilterExpr::Op::kIsBlank}};
+      if (t.text == "TRUE" || t.text == "FALSE") {
+        bool val = t.text == "TRUE";
+        Advance();
+        return FilterExpr::MakeLiteral(rdf::Term::TypedLiteral(
+            val ? "true" : "false", "http://www.w3.org/2001/XMLSchema#boolean"));
+      }
+      auto fn = kFns.find(t.text);
+      if (fn == kFns.end()) return Err("unexpected keyword " + t.text + " in expression");
+      Advance();
+      if (!IsPunct("(")) return Err("expected ( after " + t.text);
+      Advance();
+      FilterExpr e;
+      e.op = fn->second;
+      if (e.op == FilterExpr::Op::kBound) {
+        if (Cur().kind != TokenKind::kVar) return Err("bound() takes a variable");
+        e.var = Cur().text;
+        Advance();
+      } else {
+        while (!IsPunct(")")) {
+          auto arg = ParseOr();
+          if (!arg.ok()) return arg;
+          e.children.push_back(arg.take());
+          if (IsPunct(",")) Advance();
+          else break;
+        }
+      }
+      if (!IsPunct(")")) return Err("expected ) closing " + t.text);
+      Advance();
+      return e;
+    }
+    // Constant terms.
+    auto pt = ParsePatternTerm();
+    if (!pt.ok()) return pt.status();
+    if (pt.value().is_var()) return FilterExpr::MakeVar(pt.value().var);
+    return FilterExpr::MakeLiteral(pt.take().term);
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+  std::unordered_map<std::string, std::string> prefixes_;
+};
+
+}  // namespace
+
+util::Result<SelectQuery> ParseQuery(std::string_view text) {
+  auto toks = Lex(text);
+  if (!toks.ok()) return toks.status();
+  return Parser(toks.take()).Parse();
+}
+
+}  // namespace turbo::sparql

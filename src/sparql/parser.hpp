@@ -1,0 +1,14 @@
+// Recursive-descent parser for the SPARQL subset described in ast.hpp.
+#pragma once
+
+#include <string_view>
+
+#include "sparql/ast.hpp"
+#include "util/status.hpp"
+
+namespace turbo::sparql {
+
+/// Parses a SELECT query. Returns a descriptive error on malformed input.
+util::Result<SelectQuery> ParseQuery(std::string_view text);
+
+}  // namespace turbo::sparql

@@ -1,0 +1,68 @@
+// BgpSolver: the narrow interface between the SPARQL executor and a basic
+// graph pattern evaluator. Three implementations exist:
+//   * TurboBgpSolver      — the paper's engine (TurboHOM / TurboHOM++),
+//   * SortMergeBgpSolver  — RDF-3X-style baseline (six sorted permutations),
+//   * IndexJoinBgpSolver  — index-nested-loop baseline (System-X stand-in).
+// Sharing the interface lets the executor provide OPTIONAL / FILTER / UNION
+// uniformly and lets tests cross-check the engines row-for-row.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/dictionary.hpp"
+#include "sparql/ast.hpp"
+#include "util/common.hpp"
+#include "util/status.hpp"
+
+namespace turbo::sparql {
+
+/// A (partial) solution row: variable index -> bound term (kInvalidId =
+/// unbound).
+using Row = std::vector<TermId>;
+
+/// Stable mapping from variable names to row indices for one query.
+class VarRegistry {
+ public:
+  int GetOrAdd(const std::string& name) {
+    auto [it, added] = index_.try_emplace(name, static_cast<int>(names_.size()));
+    if (added) names_.push_back(name);
+    return it->second;
+  }
+  std::optional<int> Find(const std::string& name) const {
+    auto it = index_.find(name);
+    if (it == index_.end()) return std::nullopt;
+    return it->second;
+  }
+  const std::string& name(int i) const { return names_[i]; }
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, int> index_;
+  std::vector<std::string> names_;
+};
+
+class BgpSolver {
+ public:
+  virtual ~BgpSolver() = default;
+
+  /// Evaluates `bgp` under the pre-bound row `bound` (vars already bound act
+  /// as constants — this is how the executor implements OPTIONAL extension).
+  /// Emits one completed row per solution. `pushable` are filters whose
+  /// variables all occur in `bgp`; a solver MAY use them to prune early
+  /// (§5.1: "inexpensive filters are applied whenever we access the
+  /// corresponding vertices") — the executor re-checks every filter, so
+  /// ignoring them is always safe.
+  virtual util::Status Evaluate(const std::vector<TriplePattern>& bgp,
+                                const VarRegistry& vars, const Row& bound,
+                                const std::vector<const FilterExpr*>& pushable,
+                                const std::function<void(const Row&)>& emit) const = 0;
+
+  /// The dictionary used to resolve constants in patterns and filters.
+  virtual const rdf::Dictionary& dict() const = 0;
+};
+
+}  // namespace turbo::sparql

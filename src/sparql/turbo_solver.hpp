@@ -1,0 +1,48 @@
+// TurboBgpSolver: compiles a SPARQL basic graph pattern into a QueryGraph
+// (the query-side direct / type-aware transformation of §3.2 / §4.1) and
+// evaluates it with the TurboHOM++ engine.
+//
+// Under the type-aware transformation, (?x rdf:type C) patterns fold into
+// vertex labels — the paper's key query-shrinking step; (?x rdf:type ?t)
+// binds ?t by enumerating the matched vertex's label set; variable
+// predicates become blank query edges whose bindings are recovered from the
+// adjacency lists (Definition 2's Me).
+#pragma once
+
+#include "engine/engine.hpp"
+#include "graph/data_graph.hpp"
+#include "sparql/solver.hpp"
+
+namespace turbo::sparql {
+
+class TurboBgpSolver : public BgpSolver {
+ public:
+  TurboBgpSolver(const graph::DataGraph& g, const rdf::Dictionary& dict,
+                 engine::MatchOptions options = {})
+      : g_(g), dict_(dict), options_(options) {}
+
+  util::Status Evaluate(const std::vector<TriplePattern>& bgp, const VarRegistry& vars,
+                        const Row& bound, const std::vector<const FilterExpr*>& pushable,
+                        const std::function<void(const Row&)>& emit) const override;
+
+  const rdf::Dictionary& dict() const override { return dict_; }
+  const graph::DataGraph& data_graph() const { return g_; }
+  engine::MatchOptions& mutable_options() { return options_; }
+  const engine::MatchOptions& options() const { return options_; }
+
+  /// Cumulative engine statistics across Evaluate calls.
+  const engine::MatchStats& last_stats() const { return last_stats_; }
+  void ResetStats() { last_stats_ = {}; }
+
+ private:
+  util::Status EvaluateOne(const std::vector<TriplePattern>& bgp, const VarRegistry& vars,
+                           const Row& bound, const std::vector<const FilterExpr*>& pushable,
+                           const std::function<void(const Row&)>& emit) const;
+
+  const graph::DataGraph& g_;
+  const rdf::Dictionary& dict_;
+  engine::MatchOptions options_;
+  mutable engine::MatchStats last_stats_;
+};
+
+}  // namespace turbo::sparql

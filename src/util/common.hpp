@@ -1,0 +1,21 @@
+// Common identifier types shared across the TurboHOM++ code base.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace turbo {
+
+/// Identifier of a data-graph vertex (dense, 0-based).
+using VertexId = uint32_t;
+/// Identifier of a vertex label (an RDF type after type-aware transformation).
+using LabelId = uint32_t;
+/// Identifier of an edge label (an RDF predicate).
+using EdgeLabelId = uint32_t;
+/// Identifier of a dictionary-encoded RDF term.
+using TermId = uint32_t;
+
+/// Sentinel for "no id" / "blank" in all id domains.
+inline constexpr uint32_t kInvalidId = std::numeric_limits<uint32_t>::max();
+
+}  // namespace turbo

@@ -1,0 +1,39 @@
+// Deterministic, seedable pseudo-random generator for the workload
+// generators. splitmix64 core: tiny state, excellent distribution, and the
+// stream is stable across platforms (unlike std::mt19937 + distributions).
+#pragma once
+
+#include <cstdint>
+
+namespace turbo::util {
+
+/// Deterministic RNG. Same seed => same stream on every platform.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  uint64_t Range(uint64_t lo, uint64_t hi) { return lo + Next() % (hi - lo + 1); }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t Below(uint64_t n) { return Next() % n; }
+
+  /// Uniform double in [0, 1).
+  double Uniform() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli trial with probability p.
+  bool Chance(double p) { return Uniform() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace turbo::util

@@ -1,0 +1,110 @@
+// Sorted-set kernels used throughout the matcher: membership, two-way and
+// k-way intersection, union. These implement the "+INT" optimization of the
+// paper (Section 4.3): a bulk IsJoinable test is one k-way intersection whose
+// strategy adapts between linear merging and galloping binary search, so the
+// cost is min(O(|CR| + sum |adj_i|), O(|CR| * sum log |adj_i|)).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace turbo::util {
+
+/// Binary-search membership test on a sorted ascending array.
+inline bool SortedContains(std::span<const uint32_t> sorted, uint32_t x) {
+  return std::binary_search(sorted.begin(), sorted.end(), x);
+}
+
+/// Galloping (exponential) lower bound: index of first element >= x,
+/// starting the probe at `hint`. O(log d) where d is the distance.
+inline size_t GallopLowerBound(std::span<const uint32_t> a, size_t hint, uint32_t x) {
+  size_t n = a.size();
+  if (hint >= n || a[hint] >= x) {
+    // Still gallop backwards-free: hint is a lower start; a[hint] >= x means hint itself.
+    return hint <= n ? hint : n;
+  }
+  size_t step = 1;
+  size_t lo = hint;
+  size_t hi = hint + step;
+  while (hi < n && a[hi] < x) {
+    lo = hi;
+    step <<= 1;
+    hi = hint + step;
+  }
+  if (hi > n) hi = n;
+  return std::lower_bound(a.begin() + lo + 1, a.begin() + hi, x) - a.begin();
+}
+
+/// Intersects two sorted ascending arrays into `out` (cleared first).
+/// Adaptive: linear merge when sizes are comparable, galloping probes from
+/// the smaller into the larger when they are not.
+inline void IntersectInto(std::span<const uint32_t> a, std::span<const uint32_t> b,
+                          std::vector<uint32_t>* out) {
+  out->clear();
+  if (a.empty() || b.empty()) return;
+  if (a.size() > b.size()) std::swap(a, b);
+  // `a` is the smaller side now.
+  if (b.size() / (a.size() + 1) >= 16) {
+    // Gallop each element of a into b.
+    size_t pos = 0;
+    for (uint32_t x : a) {
+      pos = GallopLowerBound(b, pos, x);
+      if (pos == b.size()) break;
+      if (b[pos] == x) out->push_back(x);
+    }
+    return;
+  }
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    uint32_t va = a[i], vb = b[j];
+    if (va < vb) {
+      ++i;
+    } else if (vb < va) {
+      ++j;
+    } else {
+      out->push_back(va);
+      ++i;
+      ++j;
+    }
+  }
+}
+
+/// K-way intersection of sorted ascending arrays; result in `out`.
+/// Intersects smallest-first to keep intermediates minimal.
+inline void IntersectKWay(std::vector<std::span<const uint32_t>> lists,
+                          std::vector<uint32_t>* out) {
+  out->clear();
+  if (lists.empty()) return;
+  std::sort(lists.begin(), lists.end(),
+            [](const auto& x, const auto& y) { return x.size() < y.size(); });
+  std::vector<uint32_t> tmp(lists[0].begin(), lists[0].end());
+  std::vector<uint32_t> next;
+  for (size_t k = 1; k < lists.size() && !tmp.empty(); ++k) {
+    IntersectInto(tmp, lists[k], &next);
+    tmp.swap(next);
+  }
+  out->swap(tmp);
+}
+
+/// Union of sorted ascending arrays, deduplicated, into `out`.
+inline void UnionInto(const std::vector<std::span<const uint32_t>>& lists,
+                      std::vector<uint32_t>* out) {
+  out->clear();
+  size_t total = 0;
+  for (const auto& l : lists) total += l.size();
+  out->reserve(total);
+  for (const auto& l : lists) out->insert(out->end(), l.begin(), l.end());
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+/// In-place: keeps only elements of `v` (sorted) also present in `other`.
+inline void IntersectInPlace(std::vector<uint32_t>* v, std::span<const uint32_t> other) {
+  std::vector<uint32_t> out;
+  IntersectInto(*v, other, &out);
+  v->swap(out);
+}
+
+}  // namespace turbo::util

@@ -1,0 +1,53 @@
+// Minimal Status / Result error-propagation types (library code avoids
+// exceptions per the database-C++ style used throughout this project).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace turbo::util {
+
+/// Outcome of an operation that can fail with a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs an error status carrying a human-readable message.
+  static Status Error(std::string message) { return Status(std::move(message)); }
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return !error_.has_value(); }
+  /// Message of an error status; empty string for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return error_ ? *error_ : kEmpty;
+  }
+
+ private:
+  explicit Status(std::string message) : error_(std::move(message)) {}
+  std::optional<std::string> error_;
+};
+
+/// Value-or-error. `ok()` must be checked before `value()`.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}          // NOLINT implicit
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT implicit
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  const std::string& message() const { return status_.message(); }
+
+  T& value() { return *value_; }
+  const T& value() const { return *value_; }
+  T take() { return std::move(*value_); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace turbo::util

@@ -1,0 +1,209 @@
+#include "workload/bsbm.hpp"
+
+#include "rdf/vocabulary.hpp"
+#include "util/rng.hpp"
+
+namespace turbo::workload {
+
+namespace {
+
+constexpr const char* kRdfs = "http://www.w3.org/2000/01/rdf-schema#";
+
+std::string V(const std::string& local) { return kBsbmPrefix + local; }
+std::string I(const std::string& local) { return kBsbmInst + local; }
+
+class Generator {
+ public:
+  explicit Generator(const BsbmConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {}
+
+  rdf::Dataset Run() {
+    // Product type hierarchy: a 3-level tree rooted at Product.
+    ds_.AddIri(I("ProductType0"), rdf::vocab::kRdfsSubClassOf, V("Product"));
+    for (uint32_t t = 1; t < cfg_.num_product_types; ++t) {
+      uint32_t parent = t <= 8 ? 0 : 1 + rng_.Below(8);
+      ds_.AddIri(I("ProductType" + std::to_string(t)), rdf::vocab::kRdfsSubClassOf,
+                 I("ProductType" + std::to_string(parent)));
+    }
+
+    for (uint32_t p = 0; p < cfg_.num_producers; ++p) {
+      std::string producer = I("Producer" + std::to_string(p));
+      AddType(producer, V("Producer"));
+      AddLabel(producer, "Producer" + std::to_string(p));
+    }
+
+    for (uint32_t p = 0; p < cfg_.num_products; ++p) {
+      std::string product = I("Product" + std::to_string(p));
+      AddType(product, I("ProductType" + std::to_string(rng_.Below(cfg_.num_product_types))));
+      AddLabel(product, "product " + Word() + " " + Word());
+      AddIri(product, V("producer"),
+             I("Producer" + std::to_string(rng_.Below(cfg_.num_producers))));
+      uint32_t feats = static_cast<uint32_t>(rng_.Range(3, 8));
+      for (uint32_t f = 0; f < feats; ++f)
+        AddIri(product, V("productFeature"),
+               I("ProductFeature" + std::to_string(rng_.Below(cfg_.num_features))));
+      AddNum(product, V("productPropertyNumeric1"), rng_.Range(1, 2000));
+      AddNum(product, V("productPropertyNumeric2"), rng_.Range(1, 2000));
+      AddNum(product, V("productPropertyNumeric3"), rng_.Range(1, 2000));
+      AddLit(product, V("productPropertyTextual1"), Word() + " " + Word() + " " + Word());
+    }
+
+    // Offers: ~10 per product on average.
+    uint64_t offers = static_cast<uint64_t>(cfg_.num_products) * 10;
+    for (uint64_t o = 0; o < offers; ++o) {
+      std::string offer = I("Offer" + std::to_string(o));
+      AddType(offer, V("Offer"));
+      AddIri(offer, V("product"), I("Product" + std::to_string(rng_.Below(cfg_.num_products))));
+      AddIri(offer, V("vendor"), I("Vendor" + std::to_string(rng_.Below(cfg_.num_vendors))));
+      AddNum(offer, V("price"), rng_.Range(5, 10000));
+      AddNum(offer, V("deliveryDays"), rng_.Range(1, 14));
+      AddNum(offer, V("validTo"), rng_.Range(20240101, 20261231));
+    }
+    for (uint32_t v = 0; v < cfg_.num_vendors; ++v) {
+      std::string vendor = I("Vendor" + std::to_string(v));
+      AddType(vendor, V("Vendor"));
+      AddLabel(vendor, "Vendor" + std::to_string(v));
+      AddIri(vendor, V("country"), I("Country" + std::to_string(rng_.Below(20))));
+    }
+
+    // Reviews: ~5 per product on average.
+    const char* langs[] = {"en", "de", "fr", "es", "ja"};
+    uint64_t reviews = static_cast<uint64_t>(cfg_.num_products) * 5;
+    for (uint64_t r = 0; r < reviews; ++r) {
+      std::string review = I("Review" + std::to_string(r));
+      AddType(review, V("Review"));
+      AddIri(review, V("reviewFor"),
+             I("Product" + std::to_string(rng_.Below(cfg_.num_products))));
+      AddIri(review, V("reviewer"),
+             I("Reviewer" + std::to_string(rng_.Below(cfg_.num_reviewers))));
+      ds_.Add(rdf::Term::Iri(review), rdf::Term::Iri(V("reviewTitle")),
+              rdf::Term::LangLiteral("review " + Word(), langs[rng_.Below(5)]));
+      AddNum(review, V("rating1"), rng_.Range(1, 10));
+      if (rng_.Chance(0.7)) AddNum(review, V("rating2"), rng_.Range(1, 10));
+      AddLit(review, V("reviewDate"), "2025-" + std::to_string(1 + rng_.Below(12)));
+    }
+    for (uint32_t r = 0; r < cfg_.num_reviewers; ++r) {
+      std::string reviewer = I("Reviewer" + std::to_string(r));
+      AddType(reviewer, V("Person"));
+      AddLit(reviewer, V("name"), "Reviewer" + std::to_string(r));
+      AddIri(reviewer, V("country"), I("Country" + std::to_string(rng_.Below(20))));
+    }
+    return std::move(ds_);
+  }
+
+ private:
+  void AddIri(const std::string& s, const std::string& p, const std::string& o) {
+    ds_.AddIri(s, p, o);
+  }
+  void AddType(const std::string& s, const std::string& cls) {
+    ds_.AddIri(s, rdf::vocab::kRdfType, cls);
+  }
+  void AddLabel(const std::string& s, const std::string& text) {
+    ds_.Add(rdf::Term::Iri(s), rdf::Term::Iri(std::string(kRdfs) + "label"),
+            rdf::Term::Literal(text));
+  }
+  void AddLit(const std::string& s, const std::string& p, const std::string& lit) {
+    ds_.Add(rdf::Term::Iri(s), rdf::Term::Iri(p), rdf::Term::Literal(lit));
+  }
+  void AddNum(const std::string& s, const std::string& p, uint64_t v) {
+    ds_.Add(rdf::Term::Iri(s), rdf::Term::Iri(p),
+            rdf::Term::TypedLiteral(std::to_string(v), rdf::vocab::kXsdInteger));
+  }
+  std::string Word() {
+    static const char* kWords[] = {"quick",  "brown", "lazy",   "bright", "cold",
+                                   "silver", "amber", "copper", "violet", "golden"};
+    return kWords[rng_.Below(10)];
+  }
+
+  BsbmConfig cfg_;
+  util::Rng rng_;
+  rdf::Dataset ds_;
+};
+
+}  // namespace
+
+rdf::Dataset GenerateBsbm(const BsbmConfig& config) { return Generator(config).Run(); }
+
+rdf::Dataset GenerateBsbmClosed(const BsbmConfig& config) {
+  rdf::Dataset ds = GenerateBsbm(config);
+  rdf::MaterializeInference(&ds);
+  return ds;
+}
+
+std::vector<std::string> BsbmQueries() {
+  const std::string pfx = std::string("PREFIX bsbm: <") + kBsbmPrefix + "> PREFIX inst: <" +
+                          kBsbmInst + "> PREFIX rdfs: <" + kRdfs + "> ";
+  std::vector<std::string> q(12);
+  // Q1: products of a type with a feature above a numeric threshold.
+  q[0] = pfx +
+         "SELECT DISTINCT ?product ?label WHERE { ?product rdfs:label ?label . "
+         "?product a inst:ProductType1 . ?product bsbm:productFeature ?feature . "
+         "?product bsbm:productPropertyNumeric1 ?v . FILTER(?v > 1000) } "
+         "ORDER BY ?label LIMIT 10";
+  // Q2: attribute star around a fixed product.
+  q[1] = pfx +
+         "SELECT ?label ?producer ?num1 ?text WHERE { "
+         "inst:Product1 rdfs:label ?label . inst:Product1 bsbm:producer ?producer . "
+         "inst:Product1 bsbm:productPropertyNumeric1 ?num1 . "
+         "inst:Product1 bsbm:productPropertyTextual1 ?text . }";
+  // Q3: products with feature A but not feature B (OPTIONAL + !bound).
+  q[2] = pfx +
+         "SELECT ?product ?label WHERE { ?product rdfs:label ?label . "
+         "?product a inst:ProductType1 . ?product bsbm:productFeature inst:ProductFeature1 . "
+         "?product bsbm:productPropertyNumeric1 ?p1 . FILTER(?p1 > 100) "
+         "OPTIONAL { ?product bsbm:productFeature inst:ProductFeature2 . "
+         "?product rdfs:label ?testVar } FILTER(!bound(?testVar)) }";
+  // Q4: UNION of two feature alternatives.
+  q[3] = pfx +
+         "SELECT ?product ?label WHERE { "
+         "{ ?product rdfs:label ?label . ?product a inst:ProductType1 . "
+         "?product bsbm:productFeature inst:ProductFeature1 . } UNION "
+         "{ ?product rdfs:label ?label . ?product a inst:ProductType1 . "
+         "?product bsbm:productFeature inst:ProductFeature2 . } }";
+  // Q5: products with similar numeric properties (expensive join FILTERs —
+  // the query the paper calls out in Table 6).
+  q[4] = pfx +
+         "SELECT DISTINCT ?product ?label WHERE { ?product rdfs:label ?label . "
+         "?product bsbm:productPropertyNumeric1 ?p1 . "
+         "inst:Product1 bsbm:productPropertyNumeric1 ?origP1 . "
+         "?product bsbm:productPropertyNumeric2 ?p2 . "
+         "inst:Product1 bsbm:productPropertyNumeric2 ?origP2 . "
+         "FILTER(inst:Product1 != ?product) "
+         "FILTER(?p1 < (?origP1 + 120) && ?p1 > (?origP1 - 120)) "
+         "FILTER(?p2 < (?origP2 + 170) && ?p2 > (?origP2 - 170)) } "
+         "ORDER BY ?label LIMIT 5";
+  // Q6: regex search on labels (the other expensive Table 6 query).
+  q[5] = pfx +
+         "SELECT ?product ?label WHERE { ?product rdfs:label ?label . "
+         "?product a bsbm:Product . FILTER(regex(?label, \"silver.*amber\")) }";
+  // Q7: product with offers and reviews, OPTIONAL-rich.
+  q[6] = pfx +
+         "SELECT ?product ?offer ?price ?review WHERE { "
+         "?product rdfs:label ?label . ?product a inst:ProductType2 . "
+         "OPTIONAL { ?offer bsbm:product ?product . ?offer bsbm:price ?price . } "
+         "OPTIONAL { ?review bsbm:reviewFor ?product . } } LIMIT 200";
+  // Q8: reviews for a fixed product in English.
+  q[7] = pfx +
+         "SELECT ?review ?title ?r1 WHERE { ?review bsbm:reviewFor inst:Product1 . "
+         "?review bsbm:reviewTitle ?title . ?review bsbm:rating1 ?r1 . "
+         "FILTER(lang(?title) = \"en\") }";
+  // Q9: reviewers of reviews for a fixed product.
+  q[8] = pfx +
+         "SELECT ?reviewer ?name WHERE { ?review bsbm:reviewFor inst:Product1 . "
+         "?review bsbm:reviewer ?reviewer . ?reviewer bsbm:name ?name . }";
+  // Q10: cheap quickly-deliverable offers for a fixed product.
+  q[9] = pfx +
+         "SELECT ?offer ?price WHERE { ?offer bsbm:product inst:Product1 . "
+         "?offer bsbm:price ?price . ?offer bsbm:deliveryDays ?d . FILTER(?d <= 3) } "
+         "ORDER BY ?price LIMIT 10";
+  // Q11: all properties of a fixed offer (variable predicate).
+  q[10] = pfx + "SELECT ?property ?hasValue WHERE { inst:Offer7 ?property ?hasValue . }";
+  // Q12: export view of a fixed offer (star across offer/product/vendor).
+  q[11] = pfx +
+          "SELECT ?productLabel ?vendorName ?price WHERE { "
+          "inst:Offer7 bsbm:product ?product . ?product rdfs:label ?productLabel . "
+          "inst:Offer7 bsbm:vendor ?vendor . ?vendor rdfs:label ?vendorName . "
+          "inst:Offer7 bsbm:price ?price . }";
+  return q;
+}
+
+}  // namespace turbo::workload

@@ -1,0 +1,130 @@
+#include "workload/btc.hpp"
+
+#include "rdf/vocabulary.hpp"
+#include "util/rng.hpp"
+
+namespace turbo::workload {
+
+namespace {
+
+constexpr const char* kFoaf = "http://xmlns.com/foaf/0.1/";
+constexpr const char* kDc = "http://purl.org/dc/elements/1.1/";
+constexpr const char* kDbo = "http://dbpedia.org/ontology/";
+constexpr const char* kGn = "http://www.geonames.org/ontology#";
+constexpr const char* kEx = "http://btc.example.org/";
+
+class Generator {
+ public:
+  explicit Generator(const BtcConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {}
+
+  rdf::Dataset Run() {
+    // Places form a parent-feature tree: countries <- regions <- towns.
+    uint32_t countries = std::max<uint32_t>(10, cfg_.num_places / 100);
+    uint32_t regions = std::max<uint32_t>(countries * 4, cfg_.num_places / 10);
+    for (uint32_t i = 0; i < cfg_.num_places; ++i) {
+      std::string place = std::string(kEx) + "place" + std::to_string(i);
+      AddIri(place, std::string(kRdf) + "type", std::string(kGn) + "Feature");
+      AddLit(place, std::string(kGn) + "name", "Place" + std::to_string(i));
+      if (i >= countries && i < countries + regions) {
+        AddIri(place, std::string(kGn) + "parentFeature",
+               std::string(kEx) + "place" + std::to_string(rng_.Below(countries)));
+      } else if (i >= countries + regions) {
+        AddIri(place, std::string(kGn) + "parentFeature",
+               std::string(kEx) + "place" +
+                   std::to_string(countries + rng_.Below(regions)));
+      }
+    }
+
+    // FOAF persons with irregular attribute coverage and a hubby knows-graph.
+    for (uint32_t i = 0; i < cfg_.num_persons; ++i) {
+      std::string person = std::string(kEx) + "person" + std::to_string(i);
+      if (rng_.Chance(0.9))
+        AddIri(person, std::string(kRdf) + "type", std::string(kFoaf) + "Person");
+      AddLit(person, std::string(kFoaf) + "name", "Name" + std::to_string(rng_.Below(8000)));
+      if (rng_.Chance(0.5))
+        AddLit(person, std::string(kFoaf) + "mbox",
+               "mailto:p" + std::to_string(i) + "@example.org");
+      if (rng_.Chance(0.4))
+        AddIri(person, std::string(kDbo) + "birthPlace",
+               std::string(kEx) + "place" + std::to_string(rng_.Below(cfg_.num_places)));
+      // knows: mixture of uniform links and links to low-id hubs.
+      uint32_t degree = static_cast<uint32_t>(rng_.Range(0, 6));
+      for (uint32_t k = 0; k < degree && i > 0; ++k) {
+        uint32_t target = rng_.Chance(0.3) ? rng_.Below(std::min<uint32_t>(i, 50))
+                                           : rng_.Below(i);
+        AddIri(person, std::string(kFoaf) + "knows",
+               std::string(kEx) + "person" + std::to_string(target));
+      }
+    }
+
+    // Documents with Dublin Core metadata.
+    for (uint32_t i = 0; i < cfg_.num_documents; ++i) {
+      std::string doc = std::string(kEx) + "doc" + std::to_string(i);
+      AddLit(doc, std::string(kDc) + "title", "Title" + std::to_string(rng_.Below(10000)));
+      AddIri(doc, std::string(kDc) + "creator",
+             std::string(kEx) + "person" + std::to_string(rng_.Below(cfg_.num_persons)));
+      if (rng_.Chance(0.3))
+        AddLit(doc, std::string(kDc) + "date",
+               "20" + std::to_string(10 + rng_.Below(10)) + "-01-01");
+      if (rng_.Chance(0.2))
+        AddIri(doc, std::string(kDc) + "subject",
+               std::string(kEx) + "topic" + std::to_string(rng_.Below(200)));
+    }
+    return std::move(ds_);
+  }
+
+ private:
+  static constexpr const char* kRdf = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+  void AddIri(const std::string& s, const std::string& p, const std::string& o) {
+    ds_.AddIri(s, p, o);
+  }
+  void AddLit(const std::string& s, const std::string& p, const std::string& lit) {
+    ds_.Add(rdf::Term::Iri(s), rdf::Term::Iri(p), rdf::Term::Literal(lit));
+  }
+
+  BtcConfig cfg_;
+  util::Rng rng_;
+  rdf::Dataset ds_;
+};
+
+}  // namespace
+
+rdf::Dataset GenerateBtc(const BtcConfig& config) { return Generator(config).Run(); }
+
+std::vector<std::string> BtcQueries() {
+  const std::string pfx = std::string("PREFIX foaf: <") + kFoaf + "> PREFIX dc: <" + kDc +
+                          "> PREFIX dbo: <" + kDbo + "> PREFIX gn: <" + kGn +
+                          "> PREFIX ex: <" + kEx + "> ";
+  std::vector<std::string> q(8);
+  // Q1: star around a fixed person (ID-anchored, like most BTC queries).
+  q[0] = pfx + "SELECT ?a ?n WHERE { ex:person10 foaf:knows ?a . ?a foaf:name ?n . }";
+  // Q2: documents by authors with a fixed name literal.
+  q[1] = pfx +
+         "SELECT ?d ?p WHERE { ?d dc:creator ?p . ?p foaf:name \"Name123\" . }";
+  // Q3: typed persons with contactable friends.
+  q[2] = pfx +
+         "SELECT ?p ?q ?m WHERE { ?p a foaf:Person . ?p foaf:knows ?q . "
+         "?q foaf:mbox ?m . }";
+  // Q4: fixed-document star with author name.
+  q[3] = pfx +
+         "SELECT ?t ?c ?n WHERE { ex:doc5 dc:title ?t . ex:doc5 dc:creator ?c . "
+         "?c foaf:name ?n . }";
+  // Q5: geographic containment chain ending at a fixed country name.
+  q[4] = pfx +
+         "SELECT ?x ?y WHERE { ?x gn:parentFeature ?y . ?y gn:parentFeature ?z . "
+         "?z gn:name \"Place7\" . }";
+  // Q6: birth places resolved through the place hierarchy.
+  q[5] = pfx +
+         "SELECT ?x ?c ?n WHERE { ?x dbo:birthPlace ?place . "
+         "?place gn:parentFeature ?c . ?x foaf:name ?n . }";
+  // Q7: two-hop fan-in to a fixed person.
+  q[6] = pfx +
+         "SELECT ?a ?b WHERE { ?a foaf:knows ?b . ?b foaf:knows ex:person0 . }";
+  // Q8: documents whose authors have a located birth place.
+  q[7] = pfx +
+         "SELECT ?d ?p ?n WHERE { ?d dc:creator ?p . ?p dbo:birthPlace ?pl . "
+         "?pl gn:name ?n . }";
+  return q;
+}
+
+}  // namespace turbo::workload

@@ -1,0 +1,31 @@
+// BTC2012-like workload: a seeded synthetic stand-in for the Billion Triples
+// Challenge 2012 crawl — multi-vocabulary (FOAF / Dublin Core / DBpedia-ish
+// / GeoNames-ish), hub-heavy, schema-noisy data, plus eight benchmark
+// queries modeled on the TripleBit BTC query set (simple, mostly tree-shaped
+// patterns, several anchored at a fixed IRI — the §7.2 observation).
+//
+// Substitution note (DESIGN.md): the crawl itself (1.4 G triples, offline
+// here) violates RDF tooling so routinely that the paper loads it without
+// inference; we likewise generate assertions only and run no reasoner.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rdf/dataset.hpp"
+
+namespace turbo::workload {
+
+struct BtcConfig {
+  uint64_t seed = 42;
+  uint32_t num_persons = 40000;
+  uint32_t num_documents = 30000;
+  uint32_t num_places = 2000;
+};
+
+rdf::Dataset GenerateBtc(const BtcConfig& config);
+
+/// The eight benchmark queries (Q1..Q8 = index 0..7).
+std::vector<std::string> BtcQueries();
+
+}  // namespace turbo::workload

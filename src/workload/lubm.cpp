@@ -1,0 +1,300 @@
+#include "workload/lubm.hpp"
+
+#include "rdf/vocabulary.hpp"
+#include "util/rng.hpp"
+
+namespace turbo::workload {
+
+namespace {
+
+std::string Ub(const std::string& local) { return kUbPrefix + local; }
+
+std::string UnivUri(uint32_t u) { return "http://www.University" + std::to_string(u) + ".edu"; }
+
+std::string DeptUri(uint32_t u, uint32_t d) {
+  return "http://www.Department" + std::to_string(d) + ".University" + std::to_string(u) +
+         ".edu";
+}
+
+/// Emits the Univ-Bench TBox subset our queries depend on.
+void EmitOntology(rdf::Dataset* ds) {
+  auto sub = [&](const char* c, const char* super) {
+    ds->AddIri(Ub(c), rdf::vocab::kRdfsSubClassOf, Ub(super));
+  };
+  sub("FullProfessor", "Professor");
+  sub("AssociateProfessor", "Professor");
+  sub("AssistantProfessor", "Professor");
+  sub("Chair", "Professor");
+  sub("Professor", "Faculty");
+  sub("Lecturer", "Faculty");
+  sub("Faculty", "Employee");
+  sub("Employee", "Person");
+  sub("UndergraduateStudent", "Student");
+  sub("Student", "Person");
+  sub("GraduateStudent", "Person");
+  sub("TeachingAssistant", "Person");
+  sub("GraduateCourse", "Course");
+  sub("University", "Organization");
+  sub("Department", "Organization");
+  sub("ResearchGroup", "Organization");
+
+  auto subp = [&](const char* p, const char* super) {
+    ds->AddIri(Ub(p), rdf::vocab::kRdfsSubPropertyOf, Ub(super));
+  };
+  subp("undergraduateDegreeFrom", "degreeFrom");
+  subp("mastersDegreeFrom", "degreeFrom");
+  subp("doctoralDegreeFrom", "degreeFrom");
+  subp("worksFor", "memberOf");
+  subp("headOf", "worksFor");
+
+  ds->AddIri(Ub("degreeFrom"), rdf::vocab::kOwlInverseOf, Ub("hasAlumnus"));
+  ds->AddIri(Ub("subOrganizationOf"), rdf::vocab::kRdfType,
+             rdf::vocab::kOwlTransitiveProperty);
+}
+
+class Generator {
+ public:
+  explicit Generator(const LubmConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {}
+
+  rdf::Dataset Run() {
+    EmitOntology(&ds_);
+    // Degree universities are drawn from a pool of max(1000, N) — the UBA
+    // behaviour that pins the Q2 / Q13 scaling shapes (see header).
+    degree_pool_ = cfg_.degree_pool != 0
+                       ? cfg_.degree_pool
+                       : std::max<uint32_t>(1000, cfg_.num_universities);
+    for (uint32_t u = 0; u < cfg_.num_universities; ++u) GenerateUniversity(u);
+    return std::move(ds_);
+  }
+
+ private:
+  void Add(const std::string& s, const std::string& p, const std::string& o) {
+    ds_.AddIri(s, p, o);
+  }
+  void AddType(const std::string& s, const char* cls) {
+    ds_.AddIri(s, rdf::vocab::kRdfType, Ub(cls));
+  }
+  void AddLit(const std::string& s, const char* prop, const std::string& lit) {
+    ds_.Add(rdf::Term::Iri(s), rdf::Term::Iri(Ub(prop)), rdf::Term::Literal(lit));
+  }
+
+  std::string RandomDegreeUniv() { return UnivUri(rng_.Below(degree_pool_)); }
+
+  void EmitPersonAttributes(const std::string& uri, const std::string& name,
+                            const std::string& dept_tail) {
+    AddLit(uri, "name", name);
+    AddLit(uri, "emailAddress", name + "@" + dept_tail);
+    AddLit(uri, "telephone",
+           "xxx-xxx-" + std::to_string(1000 + rng_.Below(9000)));
+  }
+
+  void GenerateUniversity(uint32_t u) {
+    std::string univ = UnivUri(u);
+    AddType(univ, "University");
+    uint32_t depts = static_cast<uint32_t>(rng_.Range(15, 25));
+    for (uint32_t d = 0; d < depts; ++d) GenerateDepartment(u, d);
+  }
+
+  void GenerateDepartment(uint32_t u, uint32_t d) {
+    std::string univ = UnivUri(u);
+    std::string dept = DeptUri(u, d);
+    std::string dept_tail =
+        "Department" + std::to_string(d) + ".University" + std::to_string(u) + ".edu";
+    AddType(dept, "Department");
+    Add(dept, Ub("subOrganizationOf"), univ);
+
+    struct Rank {
+      const char* cls;
+      uint32_t lo, hi;
+      uint32_t pubs_lo, pubs_hi;
+    };
+    const Rank ranks[] = {{"FullProfessor", 7, 10, 15, 20},
+                          {"AssociateProfessor", 10, 14, 10, 18},
+                          {"AssistantProfessor", 8, 11, 5, 10},
+                          {"Lecturer", 5, 7, 0, 5}};
+
+    std::vector<std::string> professors;  // advisors (non-lecturer faculty)
+    std::vector<std::string> ugrad_courses;
+    std::vector<std::string> grad_courses;
+    uint32_t course_seq = 0, gcourse_seq = 0, faculty_total = 0;
+
+    for (const Rank& r : ranks) {
+      uint32_t n = static_cast<uint32_t>(rng_.Range(r.lo, r.hi));
+      for (uint32_t i = 0; i < n; ++i) {
+        std::string name = std::string(r.cls) + std::to_string(i);
+        std::string prof = dept + "/" + name;
+        ++faculty_total;
+        AddType(prof, r.cls);
+        Add(prof, Ub("worksFor"), dept);
+        Add(prof, Ub("undergraduateDegreeFrom"), RandomDegreeUniv());
+        Add(prof, Ub("mastersDegreeFrom"), RandomDegreeUniv());
+        Add(prof, Ub("doctoralDegreeFrom"), RandomDegreeUniv());
+        EmitPersonAttributes(prof, name, dept_tail);
+        AddLit(prof, "researchInterest", "Research" + std::to_string(rng_.Below(30)));
+        if (std::string(r.cls) != "Lecturer") professors.push_back(prof);
+        // Head of department: FullProfessor0.
+        if (std::string(r.cls) == "FullProfessor" && i == 0) Add(prof, Ub("headOf"), dept);
+        // Courses: unique per teacher (UBA behaviour).
+        uint32_t nu = static_cast<uint32_t>(rng_.Range(1, 2));
+        for (uint32_t c = 0; c < nu; ++c) {
+          std::string course = dept + "/Course" + std::to_string(course_seq++);
+          AddType(course, "Course");
+          Add(prof, Ub("teacherOf"), course);
+          ugrad_courses.push_back(course);
+        }
+        uint32_t ng = static_cast<uint32_t>(rng_.Range(1, 2));
+        for (uint32_t c = 0; c < ng; ++c) {
+          std::string course = dept + "/GraduateCourse" + std::to_string(gcourse_seq++);
+          AddType(course, "GraduateCourse");
+          Add(prof, Ub("teacherOf"), course);
+          grad_courses.push_back(course);
+        }
+        // Publications.
+        uint32_t pubs = static_cast<uint32_t>(rng_.Range(r.pubs_lo, r.pubs_hi));
+        for (uint32_t m = 0; m < pubs; ++m) {
+          std::string pub = prof + "/Publication" + std::to_string(m);
+          AddType(pub, "Publication");
+          Add(pub, Ub("publicationAuthor"), prof);
+        }
+      }
+    }
+
+    // Undergraduate students: 8-14 per faculty member.
+    uint32_t ugrads = faculty_total * static_cast<uint32_t>(rng_.Range(8, 14));
+    for (uint32_t i = 0; i < ugrads; ++i) {
+      std::string name = "UndergraduateStudent" + std::to_string(i);
+      std::string stu = dept + "/" + name;
+      AddType(stu, "UndergraduateStudent");
+      Add(stu, Ub("memberOf"), dept);
+      EmitPersonAttributes(stu, name, dept_tail);
+      // First enrollment is round-robin so every course has takers (as in
+      // UBA, where LUBM Q1's anchor course always has students); extras are
+      // uniform.
+      uint32_t take = static_cast<uint32_t>(rng_.Range(2, 4));
+      Add(stu, Ub("takesCourse"), ugrad_courses[i % ugrad_courses.size()]);
+      for (uint32_t c = 1; c < take; ++c)
+        Add(stu, Ub("takesCourse"), ugrad_courses[rng_.Below(ugrad_courses.size())]);
+      if (rng_.Chance(0.2))
+        Add(stu, Ub("advisor"), professors[rng_.Below(professors.size())]);
+    }
+
+    // Graduate students: 3-4 per faculty member.
+    uint32_t grads = faculty_total * static_cast<uint32_t>(rng_.Range(3, 4));
+    for (uint32_t i = 0; i < grads; ++i) {
+      std::string name = "GraduateStudent" + std::to_string(i);
+      std::string stu = dept + "/" + name;
+      AddType(stu, "GraduateStudent");
+      Add(stu, Ub("memberOf"), dept);
+      Add(stu, Ub("undergraduateDegreeFrom"), RandomDegreeUniv());
+      EmitPersonAttributes(stu, name, dept_tail);
+      uint32_t take = static_cast<uint32_t>(rng_.Range(1, 3));
+      Add(stu, Ub("takesCourse"), grad_courses[i % grad_courses.size()]);
+      for (uint32_t c = 1; c < take; ++c)
+        Add(stu, Ub("takesCourse"), grad_courses[rng_.Below(grad_courses.size())]);
+      Add(stu, Ub("advisor"), professors[rng_.Below(professors.size())]);
+      if (rng_.Chance(0.2))
+        Add(stu, Ub("teachingAssistantOf"),
+            ugrad_courses[rng_.Below(ugrad_courses.size())]);
+    }
+
+    // Research groups: 10-20 per department.
+    uint32_t groups = static_cast<uint32_t>(rng_.Range(10, 20));
+    for (uint32_t i = 0; i < groups; ++i) {
+      std::string grp = dept + "/ResearchGroup" + std::to_string(i);
+      AddType(grp, "ResearchGroup");
+      Add(grp, Ub("subOrganizationOf"), dept);
+    }
+  }
+
+  LubmConfig cfg_;
+  util::Rng rng_;
+  rdf::Dataset ds_;
+  uint32_t degree_pool_ = 1000;
+};
+
+}  // namespace
+
+rdf::Dataset GenerateLubm(const LubmConfig& config) { return Generator(config).Run(); }
+
+rdf::ReasonerOptions LubmReasonerOptions(rdf::Dictionary* dict) {
+  rdf::ReasonerOptions opt;
+  // Chair == Person and headOf.Department (owl restriction -> R9 rule).
+  opt.class_rules.push_back(
+      {dict->GetOrAddIri(Ub("headOf")), dict->GetOrAddIri(Ub("Chair")), false});
+  // Student == Person and takesCourse.Course.
+  opt.class_rules.push_back(
+      {dict->GetOrAddIri(Ub("takesCourse")), dict->GetOrAddIri(Ub("Student")), false});
+  // TeachingAssistant == Person and teachingAssistantOf.Course.
+  opt.class_rules.push_back({dict->GetOrAddIri(Ub("teachingAssistantOf")),
+                             dict->GetOrAddIri(Ub("TeachingAssistant")), false});
+  return opt;
+}
+
+rdf::Dataset GenerateLubmClosed(const LubmConfig& config, rdf::ReasonerStats* stats) {
+  rdf::Dataset ds = GenerateLubm(config);
+  rdf::ReasonerStats s = rdf::MaterializeInference(&ds, LubmReasonerOptions(&ds.dict()));
+  if (stats) *stats = s;
+  return ds;
+}
+
+std::vector<std::string> LubmQueries() {
+  const std::string prologue = "PREFIX ub: <" + std::string(kUbPrefix) + "> ";
+  const std::string dept0 = "<http://www.Department0.University0.edu>";
+  const std::string univ0 = "<http://www.University0.edu>";
+  std::vector<std::string> q(14);
+  // Q1: graduate students taking a specific graduate course.
+  q[0] = prologue +
+         "SELECT ?x WHERE { ?x a ub:GraduateStudent . "
+         "?x ub:takesCourse <http://www.Department0.University0.edu/GraduateCourse0> . }";
+  // Q2: the triangle of Figure 5a / Figure 8.
+  q[1] = prologue +
+         "SELECT ?x ?y ?z WHERE { ?x a ub:GraduateStudent . ?y a ub:University . "
+         "?z a ub:Department . ?x ub:memberOf ?z . ?z ub:subOrganizationOf ?y . "
+         "?x ub:undergraduateDegreeFrom ?y . }";
+  // Q3: publications of a known assistant professor.
+  q[2] = prologue +
+         "SELECT ?x WHERE { ?x a ub:Publication . ?x ub:publicationAuthor "
+         "<http://www.Department0.University0.edu/AssistantProfessor0> . }";
+  // Q4: professors working for a known department (requires Professor
+  // subclass inference).
+  q[3] = prologue +
+         "SELECT ?x ?y1 ?y2 ?y3 WHERE { ?x a ub:Professor . ?x ub:worksFor " + dept0 +
+         " . ?x ub:name ?y1 . ?x ub:emailAddress ?y2 . ?x ub:telephone ?y3 . }";
+  // Q5: members of a department (worksFor subPropertyOf memberOf inference).
+  q[4] = prologue + "SELECT ?x WHERE { ?x a ub:Person . ?x ub:memberOf " + dept0 + " . }";
+  // Q6: all students (Student == takesCourse restriction inference).
+  q[5] = prologue + "SELECT ?x WHERE { ?x a ub:Student . }";
+  // Q7: students taking courses of a known professor.
+  q[6] = prologue +
+         "SELECT ?x ?y WHERE { ?x a ub:Student . ?y a ub:Course . ?x ub:takesCourse ?y . "
+         "<http://www.Department0.University0.edu/AssociateProfessor0> ub:teacherOf ?y . }";
+  // Q8: students in departments of a known university, with email.
+  q[7] = prologue +
+         "SELECT ?x ?y ?z WHERE { ?x a ub:Student . ?y a ub:Department . "
+         "?x ub:memberOf ?y . ?y ub:subOrganizationOf " + univ0 +
+         " . ?x ub:emailAddress ?z . }";
+  // Q9: the student/faculty/course triangle.
+  q[8] = prologue +
+         "SELECT ?x ?y ?z WHERE { ?x a ub:Student . ?y a ub:Faculty . ?z a ub:Course . "
+         "?x ub:advisor ?y . ?y ub:teacherOf ?z . ?x ub:takesCourse ?z . }";
+  // Q10: students taking a known graduate course.
+  q[9] = prologue +
+         "SELECT ?x WHERE { ?x a ub:Student . ?x ub:takesCourse "
+         "<http://www.Department0.University0.edu/GraduateCourse0> . }";
+  // Q11: research groups of a university (transitive subOrganizationOf).
+  q[10] = prologue +
+          "SELECT ?x WHERE { ?x a ub:ResearchGroup . ?x ub:subOrganizationOf " + univ0 +
+          " . }";
+  // Q12: chairs of departments of a university (Chair restriction).
+  q[11] = prologue +
+          "SELECT ?x ?y WHERE { ?x a ub:Chair . ?y a ub:Department . ?x ub:worksFor ?y . "
+          "?y ub:subOrganizationOf " + univ0 + " . }";
+  // Q13: alumni of a university (inverseOf + subPropertyOf inference).
+  q[12] = prologue +
+          "SELECT ?x WHERE { ?x a ub:Person . " + univ0 + " ub:hasAlumnus ?x . }";
+  // Q14: all undergraduate students (point-shaped after type folding).
+  q[13] = prologue + "SELECT ?x WHERE { ?x a ub:UndergraduateStudent . }";
+  return q;
+}
+
+}  // namespace turbo::workload

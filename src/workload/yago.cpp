@@ -1,0 +1,154 @@
+#include "workload/yago.hpp"
+
+#include "rdf/vocabulary.hpp"
+#include "util/rng.hpp"
+
+namespace turbo::workload {
+
+namespace {
+
+std::string Y(const std::string& local) { return kYagoPrefix + local; }
+
+class Generator {
+ public:
+  explicit Generator(const YagoConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {}
+
+  rdf::Dataset Run() {
+    // Countries and cities.
+    for (uint32_t c = 0; c < cfg_.num_countries; ++c) {
+      std::string country = Y("Country" + std::to_string(c));
+      AddType(country, "Country");
+      AddLit(country, "hasName", "Country" + std::to_string(c));
+    }
+    for (uint32_t c = 0; c < cfg_.num_cities; ++c) {
+      std::string city = Y("City" + std::to_string(c));
+      AddType(city, "City");
+      Add(city, "locatedIn", Y("Country" + std::to_string(rng_.Below(cfg_.num_countries))));
+      AddLit(city, "hasName", "City" + std::to_string(c));
+    }
+    for (uint32_t u = 0; u < cfg_.num_universities; ++u) {
+      std::string uni = Y("University" + std::to_string(u));
+      AddType(uni, "University");
+      Add(uni, "locatedIn", Y("City" + std::to_string(rng_.Below(cfg_.num_cities))));
+    }
+    // Movies get their directors/actors later.
+    for (uint32_t m = 0; m < cfg_.num_movies; ++m) {
+      std::string movie = Y("Movie" + std::to_string(m));
+      AddType(movie, "Movie");
+      AddLit(movie, "hasTitle", "Movie" + std::to_string(m));
+    }
+
+    // People: a profession mix with irregular attribute coverage, echoing
+    // YAGO's heterogeneity.
+    const char* professions[] = {"Scientist", "Writer", "Actor", "Politician", "Person"};
+    const double prof_weights[] = {0.15, 0.1, 0.12, 0.08, 0.55};
+    for (uint32_t p = 0; p < cfg_.num_persons; ++p) {
+      std::string person = Y("Person" + std::to_string(p));
+      double roll = rng_.Uniform();
+      size_t prof = 0;
+      double acc = 0;
+      for (size_t i = 0; i < 5; ++i) {
+        acc += prof_weights[i];
+        if (roll < acc) {
+          prof = i;
+          break;
+        }
+      }
+      AddType(person, professions[prof]);
+      AddType(person, "Person");
+      AddLit(person, "hasFamilyName", "Family" + std::to_string(rng_.Below(2000)));
+      AddLit(person, "hasGivenName", "Given" + std::to_string(rng_.Below(500)));
+      if (rng_.Chance(0.7))
+        Add(person, "bornIn", Y("City" + std::to_string(rng_.Below(cfg_.num_cities))));
+      if (rng_.Chance(0.4))
+        Add(person, "livesIn", Y("City" + std::to_string(rng_.Below(cfg_.num_cities))));
+      if (rng_.Chance(0.25))
+        Add(person, "graduatedFrom",
+            Y("University" + std::to_string(rng_.Below(cfg_.num_universities))));
+      if (rng_.Chance(0.05))
+        AddLit(person, "wonPrize", "Prize" + std::to_string(rng_.Below(60)));
+      // Marriage: link to a previous person so both ends exist.
+      if (p > 0 && rng_.Chance(0.3))
+        Add(person, "isMarriedTo", Y("Person" + std::to_string(rng_.Below(p))));
+      switch (prof) {
+        case 0: {  // Scientist: academic advisor (earlier scientist-ish person)
+          if (p > 0 && rng_.Chance(0.6))
+            Add(person, "hasAcademicAdvisor", Y("Person" + std::to_string(rng_.Below(p))));
+          break;
+        }
+        case 2: {  // Actor
+          uint32_t roles = static_cast<uint32_t>(rng_.Range(1, 6));
+          for (uint32_t r = 0; r < roles; ++r)
+            Add(person, "actedIn", Y("Movie" + std::to_string(rng_.Below(cfg_.num_movies))));
+          if (rng_.Chance(0.1)) {
+            // Some actors direct, sometimes their own movie (query Q7).
+            std::string movie = Y("Movie" + std::to_string(rng_.Below(cfg_.num_movies)));
+            Add(person, "directed", movie);
+            if (rng_.Chance(0.5)) Add(person, "actedIn", movie);
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    return std::move(ds_);
+  }
+
+ private:
+  void Add(const std::string& s, const std::string& p, const std::string& o) {
+    ds_.AddIri(s, Y(p), o);
+  }
+  void AddType(const std::string& s, const char* cls) {
+    ds_.AddIri(s, rdf::vocab::kRdfType, Y(cls));
+  }
+  void AddLit(const std::string& s, const char* prop, const std::string& lit) {
+    ds_.Add(rdf::Term::Iri(s), rdf::Term::Iri(Y(prop)), rdf::Term::Literal(lit));
+  }
+
+  YagoConfig cfg_;
+  util::Rng rng_;
+  rdf::Dataset ds_;
+};
+
+}  // namespace
+
+rdf::Dataset GenerateYago(const YagoConfig& config) { return Generator(config).Run(); }
+
+std::vector<std::string> YagoQueries() {
+  const std::string pfx = "PREFIX y: <" + std::string(kYagoPrefix) + "> ";
+  std::vector<std::string> q(8);
+  // Q1: scientists born where their advisor was born (A1-style).
+  q[0] = pfx +
+         "SELECT ?a ?b ?c WHERE { ?a a y:Scientist . ?a y:hasAcademicAdvisor ?b . "
+         "?a y:bornIn ?c . ?b y:bornIn ?c . }";
+  // Q2: married couples born in the same city (A2-style).
+  q[1] = pfx +
+         "SELECT ?x ?y ?c WHERE { ?x y:isMarriedTo ?y . ?x y:bornIn ?c . "
+         "?y y:bornIn ?c . }";
+  // Q3: actors living in a fixed country who acted in a movie (A3-style).
+  q[2] = pfx +
+         "SELECT ?a ?m WHERE { ?a a y:Actor . ?a y:livesIn ?city . "
+         "?city y:locatedIn y:Country0 . ?a y:actedIn ?m . }";
+  // Q4: writers married to someone living in the same city (B1-style).
+  q[3] = pfx +
+         "SELECT ?x ?y ?c WHERE { ?x a y:Writer . ?x y:isMarriedTo ?y . "
+         "?x y:livesIn ?c . ?y y:livesIn ?c . }";
+  // Q5: prize-winning scientists with birth country (B2-style).
+  q[4] = pfx +
+         "SELECT ?x ?p ?country WHERE { ?x a y:Scientist . ?x y:wonPrize ?p . "
+         "?x y:bornIn ?city . ?city y:locatedIn ?country . }";
+  // Q6: politicians married to actors (B3-style).
+  q[5] = pfx +
+         "SELECT ?x ?y WHERE { ?x a y:Politician . ?x y:isMarriedTo ?y . "
+         "?y a y:Actor . }";
+  // Q7: directors acting in their own movie (C1-style).
+  q[6] = pfx + "SELECT ?x ?m WHERE { ?x y:directed ?m . ?x y:actedIn ?m . }";
+  // Q8: scientists who graduated in their birth city (C2-style).
+  q[7] = pfx +
+         "SELECT ?x ?u ?c WHERE { ?x a y:Scientist . ?x y:graduatedFrom ?u . "
+         "?x y:bornIn ?c . ?u y:locatedIn ?c . }";
+  return q;
+}
+
+}  // namespace turbo::workload

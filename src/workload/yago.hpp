@@ -1,0 +1,38 @@
+// YAGO-like workload: a seeded synthetic knowledge graph with the schema mix
+// of YAGO (people/city/country/movie/university entities, biographic and
+// film predicates, irregular attribute coverage) plus eight benchmark
+// queries modeled on the RDF-3X / TripleBit YAGO query sets (the paper uses
+// those sets since YAGO has no official queries, §7.1).
+//
+// Substitution note (DESIGN.md): the real YAGO dump is not available
+// offline; the generator preserves what the paper's conclusions rely on —
+// heterogeneous (but not extremely irregular) structure, few type-labeled
+// query vertices, and small-to-medium query selectivities.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rdf/dataset.hpp"
+
+namespace turbo::workload {
+
+inline constexpr const char* kYagoPrefix = "http://yago-knowledge.org/resource/";
+
+struct YagoConfig {
+  uint64_t seed = 42;
+  uint32_t num_persons = 50000;
+  uint32_t num_cities = 800;
+  uint32_t num_countries = 40;
+  uint32_t num_movies = 8000;
+  uint32_t num_universities = 400;
+};
+
+/// Generates the dataset (no inference needed: YAGO queries in the paper use
+/// explicitly asserted facts).
+rdf::Dataset GenerateYago(const YagoConfig& config);
+
+/// The eight benchmark queries (Q1..Q8 = index 0..7).
+std::vector<std::string> YagoQueries();
+
+}  // namespace turbo::workload

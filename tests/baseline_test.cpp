@@ -1,0 +1,188 @@
+// Unit tests for the baseline substrate: the six-permutation triple index
+// and the two baseline BGP solvers (every binding-pattern combination, join
+// ordering, repeated variables, pre-bound rows).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baseline/solvers.hpp"
+#include "baseline/triple_index.hpp"
+#include "sparql/parser.hpp"
+#include "test_util.hpp"
+
+namespace turbo::baseline {
+namespace {
+
+class TripleIndexTest : public ::testing::Test {
+ protected:
+  TripleIndexTest() {
+    ds_ = testing::MakeDataset({
+        {"a", "p", "b"},
+        {"a", "p", "c"},
+        {"a", "q", "b"},
+        {"b", "p", "c"},
+        {"c", "q", "a"},
+        {"c", "q", "a"},  // duplicate: must be deduplicated
+    });
+    index_ = std::make_unique<TripleIndex>(ds_);
+  }
+  TermId T(const std::string& name) {
+    auto t = ds_.dict().FindIri(testing::TestIri(name));
+    return t ? *t : kInvalidId;
+  }
+  rdf::Dataset ds_;
+  std::unique_ptr<TripleIndex> index_;
+};
+
+TEST_F(TripleIndexTest, Deduplicates) { EXPECT_EQ(index_->size(), 5u); }
+
+TEST_F(TripleIndexTest, FullScan) {
+  EXPECT_EQ(index_->Lookup(kInvalidId, kInvalidId, kInvalidId).size(), 5u);
+}
+
+TEST_F(TripleIndexTest, AllBindingPatterns) {
+  // (s) (p) (o) (sp) (so) (po) (spo)
+  EXPECT_EQ(index_->Lookup(T("a"), kInvalidId, kInvalidId).size(), 3u);
+  EXPECT_EQ(index_->Lookup(kInvalidId, T("p"), kInvalidId).size(), 3u);
+  EXPECT_EQ(index_->Lookup(kInvalidId, kInvalidId, T("b")).size(), 2u);
+  EXPECT_EQ(index_->Lookup(T("a"), T("p"), kInvalidId).size(), 2u);
+  EXPECT_EQ(index_->Lookup(T("a"), kInvalidId, T("b")).size(), 2u);
+  EXPECT_EQ(index_->Lookup(kInvalidId, T("q"), T("a")).size(), 1u);
+  EXPECT_EQ(index_->Lookup(T("a"), T("p"), T("b")).size(), 1u);
+  EXPECT_EQ(index_->Lookup(T("a"), T("q"), T("c")).size(), 0u);
+}
+
+TEST_F(TripleIndexTest, RangesAreExact) {
+  // Every returned triple must actually match the binding.
+  auto span = index_->Lookup(T("a"), kInvalidId, T("b"));
+  for (const rdf::Triple& t : span) {
+    EXPECT_EQ(t.s, T("a"));
+    EXPECT_EQ(t.o, T("b"));
+  }
+}
+
+TEST_F(TripleIndexTest, MissingTermsYieldEmpty) {
+  EXPECT_TRUE(index_->Lookup(12345, kInvalidId, kInvalidId).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Solver-level tests (shared across both baselines via a parameterized
+// fixture).
+// ---------------------------------------------------------------------------
+
+enum class Kind { kSortMerge, kIndexJoin };
+
+class BaselineSolverTest : public ::testing::TestWithParam<Kind> {
+ protected:
+  BaselineSolverTest() {
+    ds_ = testing::MakeDataset({
+        {"alice", "knows", "bob"},
+        {"bob", "knows", "carol"},
+        {"carol", "knows", "alice"},
+        {"alice", "worksFor", "acme"},
+        {"bob", "worksFor", "acme"},
+        {"narc", "knows", "narc"},  // self loop
+    });
+    index_ = std::make_unique<TripleIndex>(ds_);
+    if (GetParam() == Kind::kSortMerge)
+      solver_ = std::make_unique<SortMergeBgpSolver>(*index_, ds_.dict());
+    else
+      solver_ = std::make_unique<IndexJoinBgpSolver>(*index_, ds_.dict());
+  }
+
+  /// Evaluates a BGP given as SPARQL text; returns distinct + total counts.
+  std::pair<size_t, size_t> Eval(const std::string& where, sparql::Row bound = {}) {
+    auto q = sparql::ParseQuery("SELECT * WHERE { " + where + " }");
+    EXPECT_TRUE(q.ok()) << q.message();
+    sparql::VarRegistry vars;
+    for (const auto& tp : q.value().where.triples)
+      for (const auto* pt : {&tp.s, &tp.p, &tp.o})
+        if (pt->is_var()) vars.GetOrAdd(pt->var);
+    bound.resize(vars.size(), kInvalidId);
+    std::set<sparql::Row> distinct;
+    size_t total = 0;
+    auto st = solver_->Evaluate(q.value().where.triples, vars, bound, {},
+                                [&](const sparql::Row& r) {
+                                  distinct.insert(r);
+                                  ++total;
+                                });
+    EXPECT_TRUE(st.ok()) << st.message();
+    return {distinct.size(), total};
+  }
+
+  TermId T(const std::string& name) { return *ds_.dict().FindIri(testing::TestIri(name)); }
+
+  rdf::Dataset ds_;
+  std::unique_ptr<TripleIndex> index_;
+  std::unique_ptr<sparql::BgpSolver> solver_;
+};
+
+TEST_P(BaselineSolverTest, SinglePattern) {
+  EXPECT_EQ(Eval("?x <http://t/knows> ?y .").second, 4u);
+}
+
+TEST_P(BaselineSolverTest, ChainJoin) {
+  EXPECT_EQ(Eval("?x <http://t/knows> ?y . ?y <http://t/knows> ?z .").second, 4u);
+}
+
+TEST_P(BaselineSolverTest, TriangleJoin) {
+  EXPECT_EQ(
+      Eval("?x <http://t/knows> ?y . ?y <http://t/knows> ?z . ?z <http://t/knows> ?x .")
+          .second,
+      4u);  // 3 rotations + the self-loop triple (narc,narc,narc)
+}
+
+TEST_P(BaselineSolverTest, RepeatedVariableWithinPattern) {
+  EXPECT_EQ(Eval("?x <http://t/knows> ?x .").second, 1u);  // narc only
+}
+
+TEST_P(BaselineSolverTest, ConstantAnchors) {
+  EXPECT_EQ(Eval("<http://t/alice> <http://t/knows> ?y .").second, 1u);
+  EXPECT_EQ(Eval("?x <http://t/worksFor> <http://t/acme> .").second, 2u);
+  EXPECT_EQ(Eval("<http://t/alice> <http://t/knows> <http://t/bob> .").second, 1u);
+}
+
+TEST_P(BaselineSolverTest, UnknownConstantYieldsNoRows) {
+  EXPECT_EQ(Eval("<http://t/ghost> <http://t/knows> ?y .").second, 0u);
+}
+
+TEST_P(BaselineSolverTest, VariablePredicate) {
+  EXPECT_EQ(Eval("<http://t/alice> ?p ?y .").second, 2u);  // knows + worksFor
+}
+
+TEST_P(BaselineSolverTest, CartesianWhenDisconnected) {
+  EXPECT_EQ(Eval("?x <http://t/worksFor> <http://t/acme> . "
+                 "?a <http://t/knows> <http://t/carol> .")
+                .second,
+            2u);  // 2 workers x 1 knower
+}
+
+TEST_P(BaselineSolverTest, PreBoundRowActsAsConstant) {
+  // Bind ?x = alice before evaluation (the executor's OPTIONAL mechanism).
+  auto q = sparql::ParseQuery("SELECT * WHERE { ?x <http://t/knows> ?y . }");
+  ASSERT_TRUE(q.ok());
+  sparql::VarRegistry vars;
+  int vx = vars.GetOrAdd("x");
+  vars.GetOrAdd("y");
+  sparql::Row bound(vars.size(), kInvalidId);
+  bound[vx] = T("alice");
+  size_t count = 0;
+  auto st = solver_->Evaluate(q.value().where.triples, vars, bound, {},
+                              [&](const sparql::Row& r) {
+                                EXPECT_EQ(r[vx], T("alice"));
+                                ++count;
+                              });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(count, 1u);
+}
+
+TEST_P(BaselineSolverTest, EmptyBgpEmitsBoundRow) {
+  auto [distinct, total] = Eval("");
+  EXPECT_EQ(total, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, BaselineSolverTest,
+                         ::testing::Values(Kind::kSortMerge, Kind::kIndexJoin));
+
+}  // namespace
+}  // namespace turbo::baseline

@@ -1,0 +1,96 @@
+// Binary snapshot round-trip and corruption tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "rdf/reasoner.hpp"
+#include "rdf/snapshot.hpp"
+#include "test_util.hpp"
+#include "workload/lubm.hpp"
+
+namespace turbo::rdf {
+namespace {
+
+Dataset SampleDataset() {
+  Dataset ds = testing::MakeDataset({
+      {"GradStudent", "subclass", "Student"},
+      {"alice", "type", "GradStudent"},
+      {"alice", "knows", "bob"},
+  });
+  ds.Add(Term::Iri("http://t/alice"), Term::Iri("http://t/name"),
+         Term::LangLiteral("Alice \"A\"\n", "en"));
+  ds.Add(Term::Blank("b0"), Term::Iri("http://t/age"),
+         Term::TypedLiteral("30", vocab::kXsdInteger));
+  MaterializeInference(&ds);
+  return ds;
+}
+
+TEST(Snapshot, RoundTripPreservesEverything) {
+  Dataset ds = SampleDataset();
+  std::stringstream buf;
+  ASSERT_TRUE(SaveSnapshot(ds, buf).ok());
+  auto loaded = LoadSnapshot(buf);
+  ASSERT_TRUE(loaded.ok()) << loaded.message();
+  const Dataset& back = loaded.value();
+  ASSERT_EQ(back.size(), ds.size());
+  EXPECT_EQ(back.num_original(), ds.num_original());
+  EXPECT_EQ(back.dict().size(), ds.dict().size());
+  for (size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(back.dict().term(back.triples()[i].s), ds.dict().term(ds.triples()[i].s));
+    EXPECT_EQ(back.dict().term(back.triples()[i].p), ds.dict().term(ds.triples()[i].p));
+    EXPECT_EQ(back.dict().term(back.triples()[i].o), ds.dict().term(ds.triples()[i].o));
+    EXPECT_EQ(back.IsInferred(i), ds.IsInferred(i));
+  }
+}
+
+TEST(Snapshot, PreservesNumericCache) {
+  Dataset ds = SampleDataset();
+  std::stringstream buf;
+  ASSERT_TRUE(SaveSnapshot(ds, buf).ok());
+  auto loaded = LoadSnapshot(buf);
+  ASSERT_TRUE(loaded.ok());
+  auto age = loaded.value().dict().Find(Term::TypedLiteral("30", vocab::kXsdInteger));
+  ASSERT_TRUE(age.has_value());
+  EXPECT_EQ(loaded.value().dict().NumericValue(*age), 30.0);
+}
+
+TEST(Snapshot, RejectsBadMagic) {
+  std::stringstream buf;
+  buf << "NOTASNAPxxxxxxxxxxxx";
+  EXPECT_FALSE(LoadSnapshot(buf).ok());
+}
+
+TEST(Snapshot, RejectsTruncation) {
+  Dataset ds = SampleDataset();
+  std::stringstream buf;
+  ASSERT_TRUE(SaveSnapshot(ds, buf).ok());
+  std::string bytes = buf.str();
+  for (size_t cut : {bytes.size() / 4, bytes.size() / 2, bytes.size() - 3}) {
+    std::stringstream cut_buf(bytes.substr(0, cut));
+    EXPECT_FALSE(LoadSnapshot(cut_buf).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(Snapshot, EmptyDatasetRoundTrips) {
+  Dataset ds;
+  std::stringstream buf;
+  ASSERT_TRUE(SaveSnapshot(ds, buf).ok());
+  auto loaded = LoadSnapshot(buf);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 0u);
+}
+
+TEST(Snapshot, LubmRoundTripMatchesQueryResults) {
+  workload::LubmConfig cfg;
+  cfg.num_universities = 1;
+  Dataset ds = workload::GenerateLubmClosed(cfg);
+  std::stringstream buf;
+  ASSERT_TRUE(SaveSnapshot(ds, buf).ok());
+  auto loaded = LoadSnapshot(buf);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), ds.size());
+  ASSERT_EQ(loaded.value().num_original(), ds.num_original());
+}
+
+}  // namespace
+}  // namespace turbo::rdf

@@ -1,0 +1,96 @@
+// Shared helpers for building small labeled test graphs from triple lists.
+#pragma once
+
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/data_graph.hpp"
+#include "graph/query_graph.hpp"
+#include "rdf/dataset.hpp"
+#include "rdf/vocabulary.hpp"
+
+namespace turbo::testing {
+
+/// A triple spec: predicate "type" stands for rdf:type, "subclass" for
+/// rdfs:subClassOf; everything becomes IRI terms under http://t/.
+struct Spec {
+  std::string s, p, o;
+};
+
+inline std::string TestIri(const std::string& name) { return "http://t/" + name; }
+
+/// Builds a Dataset from specs (all-original triples).
+inline rdf::Dataset MakeDataset(std::initializer_list<Spec> specs) {
+  rdf::Dataset ds;
+  for (const Spec& sp : specs) {
+    std::string p = sp.p == "type"       ? std::string(rdf::vocab::kRdfType)
+                    : sp.p == "subclass" ? std::string(rdf::vocab::kRdfsSubClassOf)
+                                         : TestIri(sp.p);
+    ds.AddIri(TestIri(sp.s), p, TestIri(sp.o));
+  }
+  return ds;
+}
+
+/// Dataset + DataGraph bundle with name-based lookups.
+class TestGraph {
+ public:
+  TestGraph(std::initializer_list<Spec> specs,
+            graph::TransformMode mode = graph::TransformMode::kTypeAware)
+      : ds_(MakeDataset(specs)), g_(graph::DataGraph::Build(ds_, mode)) {}
+  explicit TestGraph(rdf::Dataset ds,
+                     graph::TransformMode mode = graph::TransformMode::kTypeAware)
+      : ds_(std::move(ds)), g_(graph::DataGraph::Build(ds_, mode)) {}
+
+  const graph::DataGraph& g() const { return g_; }
+  const rdf::Dataset& dataset() const { return ds_; }
+
+  VertexId vertex(const std::string& name) const {
+    auto t = ds_.dict().FindIri(TestIri(name));
+    if (!t) return kInvalidId;
+    auto v = g_.VertexOfTerm(*t);
+    return v ? *v : kInvalidId;
+  }
+  LabelId label(const std::string& name) const {
+    auto t = ds_.dict().FindIri(TestIri(name));
+    if (!t) return kInvalidId;
+    auto l = g_.LabelOfTerm(*t);
+    return l ? *l : kInvalidId;
+  }
+  EdgeLabelId el(const std::string& name) const {
+    auto t = ds_.dict().FindIri(TestIri(name));
+    if (!t) return kInvalidId;
+    auto e = g_.EdgeLabelOfTerm(*t);
+    return e ? *e : kInvalidId;
+  }
+  std::string vertex_name(VertexId v) const {
+    const std::string& iri = ds_.dict().term(g_.VertexTerm(v)).lexical;
+    return iri.substr(std::string("http://t/").size());
+  }
+
+ private:
+  rdf::Dataset ds_;
+  graph::DataGraph g_;
+};
+
+/// Query-graph building shorthand.
+inline uint32_t AddQV(graph::QueryGraph* q, std::vector<LabelId> labels,
+                      VertexId fixed = kInvalidId) {
+  graph::QueryVertex v;
+  v.labels = std::move(labels);
+  std::sort(v.labels.begin(), v.labels.end());
+  v.fixed_id = fixed;
+  return q->AddVertex(v);
+}
+
+inline void AddQE(graph::QueryGraph* q, uint32_t from, uint32_t to,
+                  EdgeLabelId el = kInvalidId) {
+  graph::QueryEdge e;
+  e.from = from;
+  e.to = to;
+  e.label = el;
+  q->AddEdge(e);
+}
+
+}  // namespace turbo::testing

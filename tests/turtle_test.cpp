@@ -1,0 +1,132 @@
+// Turtle parser tests: directives, shorthand syntax, literals, errors.
+#include <gtest/gtest.h>
+
+#include "rdf/turtle.hpp"
+#include "rdf/vocabulary.hpp"
+
+namespace turbo::rdf {
+namespace {
+
+Dataset Parse(const std::string& text) {
+  Dataset ds;
+  auto st = ParseTurtleString(text, &ds);
+  EXPECT_TRUE(st.ok()) << st.message();
+  return ds;
+}
+
+bool Has(const Dataset& ds, const Term& s, const Term& p, const Term& o) {
+  auto si = ds.dict().Find(s), pi = ds.dict().Find(p), oi = ds.dict().Find(o);
+  if (!si || !pi || !oi) return false;
+  for (const Triple& t : ds.triples())
+    if (t.s == *si && t.p == *pi && t.o == *oi) return true;
+  return false;
+}
+
+TEST(Turtle, BasicTriple) {
+  Dataset ds = Parse("<http://e/s> <http://e/p> <http://e/o> .");
+  EXPECT_EQ(ds.size(), 1u);
+  EXPECT_TRUE(Has(ds, Term::Iri("http://e/s"), Term::Iri("http://e/p"),
+                  Term::Iri("http://e/o")));
+}
+
+TEST(Turtle, PrefixDirectives) {
+  Dataset ds = Parse(
+      "@prefix ex: <http://e/> .\n"
+      "PREFIX foo: <http://f/>\n"
+      "ex:s foo:p ex:o .");
+  EXPECT_TRUE(Has(ds, Term::Iri("http://e/s"), Term::Iri("http://f/p"),
+                  Term::Iri("http://e/o")));
+}
+
+TEST(Turtle, BaseDirective) {
+  Dataset ds = Parse("@base <http://b/> . <s> <http://e/p> <o> .");
+  EXPECT_TRUE(Has(ds, Term::Iri("http://b/s"), Term::Iri("http://e/p"),
+                  Term::Iri("http://b/o")));
+}
+
+TEST(Turtle, PredicateAndObjectLists) {
+  Dataset ds = Parse(
+      "@prefix ex: <http://e/> .\n"
+      "ex:s ex:p ex:a , ex:b ;\n"
+      "     ex:q ex:c ;\n"
+      "     a ex:T .");
+  EXPECT_EQ(ds.size(), 4u);
+  EXPECT_TRUE(Has(ds, Term::Iri("http://e/s"), Term::Iri("http://e/p"),
+                  Term::Iri("http://e/b")));
+  EXPECT_TRUE(Has(ds, Term::Iri("http://e/s"), Term::Iri(vocab::kRdfType),
+                  Term::Iri("http://e/T")));
+}
+
+TEST(Turtle, Literals) {
+  Dataset ds = Parse(
+      "@prefix ex: <http://e/> .\n"
+      "ex:s ex:str \"hi\" ; ex:lang \"hallo\"@de ; "
+      "ex:typed \"5\"^^<http://www.w3.org/2001/XMLSchema#byte> ; "
+      "ex:int 42 ; ex:dec 3.5 ; ex:neg -7 ; ex:flag true .");
+  EXPECT_TRUE(Has(ds, Term::Iri("http://e/s"), Term::Iri("http://e/lang"),
+                  Term::LangLiteral("hallo", "de")));
+  EXPECT_TRUE(Has(ds, Term::Iri("http://e/s"), Term::Iri("http://e/int"),
+                  Term::TypedLiteral("42", vocab::kXsdInteger)));
+  EXPECT_TRUE(Has(ds, Term::Iri("http://e/s"), Term::Iri("http://e/dec"),
+                  Term::TypedLiteral("3.5", vocab::kXsdDouble)));
+  EXPECT_TRUE(Has(ds, Term::Iri("http://e/s"), Term::Iri("http://e/neg"),
+                  Term::TypedLiteral("-7", vocab::kXsdInteger)));
+  EXPECT_TRUE(Has(ds, Term::Iri("http://e/s"), Term::Iri("http://e/flag"),
+                  Term::TypedLiteral("true", "http://www.w3.org/2001/XMLSchema#boolean")));
+}
+
+TEST(Turtle, LongQuotesAndEscapes) {
+  Dataset ds = Parse(
+      "<http://e/s> <http://e/p> \"\"\"line1\nline2 \"quoted\"\"\"\" .");
+  auto lit = ds.dict().Find(Term::Literal("line1\nline2 \"quoted\""));
+  EXPECT_TRUE(lit.has_value());
+}
+
+TEST(Turtle, BlankNodes) {
+  Dataset ds = Parse("_:a <http://e/p> _:b .");
+  EXPECT_TRUE(Has(ds, Term::Blank("a"), Term::Iri("http://e/p"), Term::Blank("b")));
+}
+
+TEST(Turtle, CommentsAndWhitespace) {
+  Dataset ds = Parse(
+      "# leading comment\n"
+      "<http://e/s> <http://e/p> <http://e/o> . # trailing\n");
+  EXPECT_EQ(ds.size(), 1u);
+}
+
+TEST(Turtle, TrailingSemicolonTolerated) {
+  Dataset ds = Parse("@prefix ex: <http://e/> . ex:s ex:p ex:o ; .");
+  EXPECT_EQ(ds.size(), 1u);
+}
+
+TEST(Turtle, Errors) {
+  Dataset ds;
+  EXPECT_FALSE(ParseTurtleString("<http://e/s> <http://e/p> <http://e/o>", &ds).ok());
+  EXPECT_FALSE(ParseTurtleString("ex:s ex:p ex:o .", &ds).ok());  // unknown prefix
+  EXPECT_FALSE(ParseTurtleString("<http://e/s> <http://e/p> [ ] .", &ds).ok());
+  EXPECT_FALSE(ParseTurtleString("@prefix ex <http://e/> .", &ds).ok());
+  EXPECT_FALSE(ParseTurtleString("<http://e/s> <http://e/p> \"open .", &ds).ok());
+}
+
+TEST(Turtle, ErrorsCarryLineNumbers) {
+  Dataset ds;
+  auto st = ParseTurtleString("<http://e/s> <http://e/p> <http://e/o> .\n\nbad!", &ds);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("line 3"), std::string::npos);
+}
+
+TEST(Turtle, RoundTripAgainstNTriplesSemantics) {
+  // The same graph expressed in Turtle and N-Triples must produce identical
+  // triple sets.
+  Dataset turtle = Parse(
+      "@prefix ex: <http://e/> .\n"
+      "ex:s a ex:T ; ex:p ex:o , \"lit\"@en .");
+  EXPECT_EQ(turtle.size(), 3u);
+  EXPECT_TRUE(Has(turtle, Term::Iri("http://e/s"), Term::Iri(vocab::kRdfType),
+                  Term::Iri("http://e/T")));
+  EXPECT_TRUE(Has(turtle, Term::Iri("http://e/s"), Term::Iri("http://e/p"),
+                  Term::LangLiteral("lit", "en")));
+}
+
+}  // namespace
+}  // namespace turbo::rdf
