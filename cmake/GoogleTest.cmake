@@ -1,0 +1,45 @@
+# Locate GoogleTest: prefer an installed package, then the Debian-style
+# source tree under /usr/src/googletest, and only then FetchContent (needs
+# network). All three paths yield the GTest::gtest / GTest::gtest_main
+# targets the test CMakeLists link against.
+include_guard(GLOBAL)
+
+find_package(GTest QUIET)
+if(GTest_FOUND AND NOT TARGET GTest::gtest_main AND TARGET GTest::Main)
+  # Module-mode FindGTest before CMake 3.20 only defines GTest::GTest /
+  # GTest::Main; bridge them to the modern names.
+  add_library(GTest::gtest INTERFACE IMPORTED)
+  set_target_properties(GTest::gtest PROPERTIES INTERFACE_LINK_LIBRARIES GTest::GTest)
+  add_library(GTest::gtest_main INTERFACE IMPORTED)
+  set_target_properties(GTest::gtest_main PROPERTIES INTERFACE_LINK_LIBRARIES GTest::Main)
+endif()
+if(GTest_FOUND AND TARGET GTest::gtest_main)
+  message(STATUS "GoogleTest: using installed package")
+  return()
+endif()
+
+foreach(gtest_src_dir /usr/src/googletest /usr/src/gtest)
+  if(EXISTS "${gtest_src_dir}/CMakeLists.txt")
+    message(STATUS "GoogleTest: building from ${gtest_src_dir}")
+    set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+    set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+    add_subdirectory("${gtest_src_dir}" "${CMAKE_BINARY_DIR}/_gtest" EXCLUDE_FROM_ALL)
+    foreach(tgt gtest gtest_main)
+      if(TARGET ${tgt} AND NOT TARGET GTest::${tgt})
+        add_library(GTest::${tgt} ALIAS ${tgt})
+      endif()
+    endforeach()
+    return()
+  endif()
+endforeach()
+
+message(STATUS "GoogleTest: fetching v1.14.0 (requires network)")
+include(FetchContent)
+FetchContent_Declare(
+  googletest
+  URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+  URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7
+)
+set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+FetchContent_MakeAvailable(googletest)

@@ -82,7 +82,7 @@ uint64_t HashKey(const Row& row, const std::vector<int>& key_vars) {
 
 util::Status SortMergeBgpSolver::Evaluate(
     const std::vector<TriplePattern>& bgp, const VarRegistry& vars, const Row& bound,
-    const std::vector<const sparql::FilterExpr*>& pushable,
+    const std::vector<const sparql::FilterExpr*>& /*pushable: executor re-checks*/,
     const std::function<void(const Row&)>& emit) const {
   std::vector<ResolvedPattern> patterns;
   if (!Resolve(bgp, vars, bound, dict_, &patterns)) return util::Status::Ok();
@@ -205,7 +205,7 @@ util::Status SortMergeBgpSolver::Evaluate(
 
 util::Status IndexJoinBgpSolver::Evaluate(
     const std::vector<TriplePattern>& bgp, const VarRegistry& vars, const Row& bound,
-    const std::vector<const sparql::FilterExpr*>& pushable,
+    const std::vector<const sparql::FilterExpr*>& /*pushable: executor re-checks*/,
     const std::function<void(const Row&)>& emit) const {
   std::vector<ResolvedPattern> patterns;
   if (!Resolve(bgp, vars, bound, dict_, &patterns)) return util::Status::Ok();

@@ -1,6 +1,7 @@
 // Dictionary-encoded RDF triple.
 #pragma once
 
+#include <cstddef>
 #include <tuple>
 
 #include "util/common.hpp"

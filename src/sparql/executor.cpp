@@ -28,7 +28,8 @@ void CollectGroupVars(const GroupPattern& g, VarRegistry* vars) {
 
 /// True if every variable of `f` occurs in a triple pattern of `g` (then the
 /// filter can be handed to the solver as a pruning hint).
-bool FilterCoveredByBgp(const FilterExpr& f, const GroupPattern& g, const VarRegistry& vars) {
+bool FilterCoveredByBgp(const FilterExpr& f, const GroupPattern& g,
+                        const VarRegistry& /*vars*/) {
   std::vector<std::string> fv;
   f.CollectVars(&fv);
   for (const std::string& v : fv) {

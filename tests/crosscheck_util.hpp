@@ -1,0 +1,307 @@
+// Reusable differential-verification layer for engine work.
+//
+// Provides seeded random RDF datasets, random connected basic graph
+// patterns (optionally sampled from the data so at least one solution is
+// guaranteed), solver-agnostic evaluation into canonicalized row sets, the
+// injectivity filter that turns homomorphism rows into the isomorphism
+// solution set, and the enumeration of all 16 combinations of the paper's
+// Section 4.3 optimization toggles.
+//
+// tests/solver_crosscheck_test.cpp is the primary consumer; any PR touching
+// the engine hot path can include this header and crosscheck its variant
+// against the baselines on the same seeded cases.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/options.hpp"
+#include "rdf/dataset.hpp"
+#include "rdf/reasoner.hpp"
+#include "rdf/triple.hpp"
+#include "rdf/vocabulary.hpp"
+#include "sparql/ast.hpp"
+#include "sparql/solver.hpp"
+#include "util/rng.hpp"
+
+namespace turbo::testing::crosscheck {
+
+using engine::MatchOptions;
+using engine::MatchSemantics;
+using sparql::PatternTerm;
+using sparql::Row;
+using sparql::TriplePattern;
+using sparql::VarRegistry;
+
+inline std::string EntityIri(uint64_t i) { return "http://x/e" + std::to_string(i); }
+inline std::string ClassIri(uint64_t i) { return "http://x/C" + std::to_string(i); }
+inline std::string PredIri(uint64_t i) { return "http://x/p" + std::to_string(i); }
+
+struct RandomCase {
+  rdf::Dataset ds;
+  std::vector<TriplePattern> bgp;
+  VarRegistry vars;
+  /// Row indices of the vertex-position variables (?v*), used for the
+  /// isomorphism injectivity filter.
+  std::vector<int> vertex_var_indices;
+  /// True if every subject/object slot of the BGP is a variable (no constant
+  /// entities); the isomorphism crosscheck only runs on such cases, where
+  /// query vertices and vertex variables coincide exactly.
+  bool all_slots_are_vars = true;
+  bool expect_nonempty = false;  ///< query was sampled from the data
+};
+
+/// Random dataset: a handful of entities, predicates, and classes, an
+/// optional rdfs:subClassOf chain, random type assertions, and random edges.
+inline rdf::Dataset MakeRandomDataset(util::Rng& rng) {
+  rdf::Dataset ds;
+  const uint64_t n_entities = 6 + rng.Below(9);   // 6..14
+  const uint64_t n_preds = 2 + rng.Below(3);      // 2..4
+  const uint64_t n_classes = 2 + rng.Below(3);    // 2..4
+  for (uint64_t c = 1; c < n_classes; ++c)
+    if (rng.Chance(0.5))
+      ds.AddIri(ClassIri(c), std::string(rdf::vocab::kRdfsSubClassOf), ClassIri(c - 1));
+  for (uint64_t v = 0; v < n_entities; ++v) {
+    const uint64_t n_types = rng.Below(3);  // 0..2 type assertions
+    for (uint64_t t = 0; t < n_types; ++t)
+      ds.AddIri(EntityIri(v), std::string(rdf::vocab::kRdfType),
+                ClassIri(rng.Below(n_classes)));
+  }
+  const uint64_t n_edges = n_entities + rng.Below(2 * n_entities);
+  for (uint64_t e = 0; e < n_edges; ++e)
+    ds.AddIri(EntityIri(rng.Below(n_entities)), PredIri(rng.Below(n_preds)),
+              EntityIri(rng.Below(n_entities)));
+  // Half the datasets get the inference closure materialized, matching the
+  // paper's setup where every engine loads inference-closed data.
+  if (rng.Chance(0.5)) rdf::MaterializeInference(&ds);
+  return ds;
+}
+
+/// Non-schema triples (ordinary predicates only) of `ds`, for sampling
+/// data-derived queries.
+inline std::vector<rdf::Triple> EdgeTriples(const rdf::Dataset& ds) {
+  std::vector<rdf::Triple> out;
+  auto type_p = ds.dict().FindIri(std::string(rdf::vocab::kRdfType));
+  auto sub_p = ds.dict().FindIri(std::string(rdf::vocab::kRdfsSubClassOf));
+  for (const rdf::Triple& t : ds.triples()) {
+    if (type_p && t.p == *type_p) continue;
+    if (sub_p && t.p == *sub_p) continue;
+    out.push_back(t);
+  }
+  return out;
+}
+
+inline PatternTerm ConstIri(const rdf::Dataset& ds, TermId t) {
+  return PatternTerm::Const(ds.dict().term(t));
+}
+
+/// Builds a random connected BGP. With probability ~0.6 the pattern is
+/// sampled from the data (guaranteeing at least one solution); otherwise the
+/// shape and constants are fully random. Slots (subject/object positions)
+/// are usually variables ?v<i>, occasionally pinned to a constant entity;
+/// predicates are usually constants, occasionally variables ?p<i>; vertex
+/// variables occasionally gain a (?v rdf:type C) pattern.
+inline RandomCase MakeRandomCase(uint64_t seed) {
+  util::Rng rng(seed);
+  RandomCase c{MakeRandomDataset(rng), {}, {}, {}, true, false};
+  const rdf::Dataset& ds = c.ds;
+  std::vector<rdf::Triple> edges = EdgeTriples(ds);
+  auto type_term = ds.dict().FindIri(std::string(rdf::vocab::kRdfType));
+
+  const bool from_data = !edges.empty() && rng.Chance(0.6);
+  c.expect_nonempty = from_data;
+  const uint64_t n_slots = 2 + rng.Below(3);  // 2..4 vertex slots
+
+  // slot -> (variable row index or -1) and (sample entity term for
+  // data-derived pinning / type lookup).
+  std::vector<int> slot_var(n_slots, -1);
+  std::vector<TermId> slot_entity(n_slots, kInvalidId);
+  std::vector<PatternTerm> slot_pt(n_slots);
+
+  if (from_data) {
+    // Random walk over data triples: each new slot is attached to an
+    // already-placed slot via an actual triple, so mapping slot i ->
+    // slot_entity[i] is always a solution.
+    rdf::Triple t0 = edges[rng.Below(edges.size())];
+    slot_entity[0] = t0.s;
+    slot_entity[1] = t0.o;
+    c.bgp.push_back({PatternTerm{}, ConstIri(ds, t0.p), PatternTerm{}});
+    std::vector<std::pair<uint32_t, uint32_t>> pattern_slots{{0, 1}};
+    for (uint64_t i = 2; i < n_slots; ++i) {
+      // Find a triple touching a placed entity.
+      std::vector<std::pair<rdf::Triple, bool>> touching;  // (triple, placed-is-subject)
+      for (const rdf::Triple& t : edges)
+        for (uint64_t j = 0; j < i; ++j) {
+          if (t.s == slot_entity[j]) touching.push_back({t, true});
+          if (t.o == slot_entity[j]) touching.push_back({t, false});
+        }
+      if (touching.empty()) break;
+      auto [t, placed_is_subj] = touching[rng.Below(touching.size())];
+      slot_entity[i] = placed_is_subj ? t.o : t.s;
+      uint32_t placed_slot = 0;
+      TermId placed_entity = placed_is_subj ? t.s : t.o;
+      // Any slot holding that entity works; pick the first.
+      for (uint64_t j = 0; j < i; ++j)
+        if (slot_entity[j] == placed_entity) { placed_slot = static_cast<uint32_t>(j); break; }
+      c.bgp.push_back({PatternTerm{}, ConstIri(ds, t.p), PatternTerm{}});
+      pattern_slots.push_back(placed_is_subj
+                                  ? std::make_pair(placed_slot, static_cast<uint32_t>(i))
+                                  : std::make_pair(static_cast<uint32_t>(i), placed_slot));
+    }
+    // Materialize slot pattern terms: mostly vars, sometimes the constant.
+    for (uint64_t i = 0; i < n_slots && slot_entity[i] != kInvalidId; ++i) {
+      if (i > 0 && rng.Chance(0.15)) {
+        slot_pt[i] = ConstIri(ds, slot_entity[i]);
+        c.all_slots_are_vars = false;
+      } else {
+        slot_var[i] = c.vars.GetOrAdd("v" + std::to_string(i));
+        slot_pt[i] = PatternTerm::Var("v" + std::to_string(i));
+      }
+    }
+    for (size_t e = 0; e < c.bgp.size(); ++e) {
+      c.bgp[e].s = slot_pt[pattern_slots[e].first];
+      c.bgp[e].o = slot_pt[pattern_slots[e].second];
+    }
+    // Occasionally demote a predicate to a variable (keeps all solutions).
+    for (size_t e = 0; e < c.bgp.size(); ++e)
+      if (rng.Chance(0.1)) {
+        std::string pv = "p" + std::to_string(e);
+        c.vars.GetOrAdd(pv);
+        c.bgp[e].p = PatternTerm::Var(pv);
+      }
+    // Occasionally constrain a var slot by one of its entity's actual types.
+    if (type_term)
+      for (uint64_t i = 0; i < n_slots; ++i) {
+        if (slot_var[i] < 0 || slot_entity[i] == kInvalidId || !rng.Chance(0.25)) continue;
+        std::vector<TermId> types;
+        for (const rdf::Triple& t : ds.triples())
+          if (t.p == *type_term && t.s == slot_entity[i]) types.push_back(t.o);
+        if (types.empty()) continue;
+        c.bgp.push_back({slot_pt[i], ConstIri(ds, *type_term),
+                         ConstIri(ds, types[rng.Below(types.size())])});
+      }
+  } else {
+    // Fully random connected shape: spanning tree + possible extra edge.
+    // Collect the constant pools actually present in the dictionary.
+    std::vector<TermId> preds, classes, entities;
+    for (const rdf::Triple& t : edges) {
+      preds.push_back(t.p);
+      entities.push_back(t.s);
+      entities.push_back(t.o);
+    }
+    std::sort(preds.begin(), preds.end());
+    preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+    std::sort(entities.begin(), entities.end());
+    entities.erase(std::unique(entities.begin(), entities.end()), entities.end());
+    if (type_term)
+      for (const rdf::Triple& t : ds.triples())
+        if (t.p == *type_term) classes.push_back(t.o);
+    std::sort(classes.begin(), classes.end());
+    classes.erase(std::unique(classes.begin(), classes.end()), classes.end());
+    if (preds.empty()) {
+      // Degenerate dataset with no ordinary edges: single-pattern query.
+      slot_var[0] = c.vars.GetOrAdd("v0");
+      slot_pt[0] = PatternTerm::Var("v0");
+      if (type_term && !classes.empty()) {
+        c.bgp.push_back({slot_pt[0], ConstIri(ds, *type_term),
+                         ConstIri(ds, classes[rng.Below(classes.size())])});
+      }
+      return c;
+    }
+    for (uint64_t i = 0; i < n_slots; ++i) {
+      if (i > 0 && !entities.empty() && rng.Chance(0.15)) {
+        slot_pt[i] = ConstIri(ds, entities[rng.Below(entities.size())]);
+        c.all_slots_are_vars = false;
+      } else {
+        slot_var[i] = c.vars.GetOrAdd("v" + std::to_string(i));
+        slot_pt[i] = PatternTerm::Var("v" + std::to_string(i));
+      }
+    }
+    auto rand_pred = [&]() -> PatternTerm {
+      return ConstIri(ds, preds[rng.Below(preds.size())]);
+    };
+    for (uint64_t i = 1; i < n_slots; ++i) {
+      uint64_t anchor = rng.Below(i);
+      if (rng.Chance(0.5))
+        c.bgp.push_back({slot_pt[anchor], rand_pred(), slot_pt[i]});
+      else
+        c.bgp.push_back({slot_pt[i], rand_pred(), slot_pt[anchor]});
+    }
+    if (n_slots >= 3 && rng.Chance(0.5)) {
+      uint64_t a = rng.Below(n_slots), b = rng.Below(n_slots);
+      if (a != b) c.bgp.push_back({slot_pt[a], rand_pred(), slot_pt[b]});
+    }
+    for (size_t e = 0; e < c.bgp.size(); ++e)
+      if (rng.Chance(0.1)) {
+        std::string pv = "p" + std::to_string(e);
+        c.vars.GetOrAdd(pv);
+        c.bgp[e].p = PatternTerm::Var(pv);
+      }
+    if (type_term && !classes.empty())
+      for (uint64_t i = 0; i < n_slots; ++i)
+        if (slot_var[i] >= 0 && rng.Chance(0.25))
+          c.bgp.push_back({slot_pt[i], ConstIri(ds, *type_term),
+                           ConstIri(ds, classes[rng.Below(classes.size())])});
+  }
+
+  for (uint64_t i = 0; i < n_slots; ++i)
+    if (slot_var[i] >= 0) c.vertex_var_indices.push_back(slot_var[i]);
+  return c;
+}
+
+inline std::vector<Row> Evaluate(const sparql::BgpSolver& solver, const RandomCase& c) {
+  std::vector<Row> rows;
+  Row bound(c.vars.size(), kInvalidId);
+  util::Status st = solver.Evaluate(c.bgp, c.vars, bound, {},
+                                    [&](const Row& r) { rows.push_back(r); });
+  EXPECT_TRUE(st.ok()) << st.message();
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+/// Homomorphism rows whose vertex-variable bindings are pairwise distinct —
+/// the isomorphism solution set when query vertices == vertex variables.
+inline std::vector<Row> InjectiveOnly(const std::vector<Row>& rows,
+                               const std::vector<int>& vertex_vars) {
+  std::vector<Row> out;
+  for (const Row& r : rows) {
+    std::set<TermId> seen;
+    bool inj = true;
+    for (int i : vertex_vars)
+      if (!seen.insert(r[i]).second) { inj = false; break; }
+    if (inj) out.push_back(r);
+  }
+  return out;
+}
+
+inline std::string DescribeCase(const RandomCase& c, uint64_t seed) {
+  std::string s = "seed=" + std::to_string(seed) + " bgp:";
+  auto pt = [](const PatternTerm& p) {
+    return p.is_var() ? "?" + p.var : p.term.lexical;
+  };
+  for (const TriplePattern& t : c.bgp)
+    s += " {" + pt(t.s) + " " + pt(t.p) + " " + pt(t.o) + "}";
+  return s;
+}
+
+/// All 16 combinations of the §4.3 toggles.
+inline std::vector<MatchOptions> AllToggleCombos(MatchSemantics sem) {
+  std::vector<MatchOptions> out;
+  for (int mask = 0; mask < 16; ++mask) {
+    MatchOptions o;
+    o.semantics = sem;
+    o.use_intersection = mask & 1;
+    o.use_nlf = mask & 2;
+    o.use_degree_filter = mask & 4;
+    o.reuse_matching_order = mask & 8;
+    out.push_back(o);
+  }
+  return out;
+}
+
+}  // namespace turbo::testing::crosscheck

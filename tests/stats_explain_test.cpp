@@ -1,0 +1,181 @@
+// Coverage for two previously-untested engine surfaces:
+//  * MatchStats::MergeFrom — the parallel join path (§5.2) sums per-thread
+//    counters through it, so wrong merging silently corrupts every stat the
+//    paper's profiling claims rest on;
+//  * Matcher::ExplainPlan — the diagnostic plan printer must name the chosen
+//    start query vertex and list the non-tree edges IsJoinable verifies.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "engine/engine.hpp"
+#include "engine/options.hpp"
+#include "tests/test_util.hpp"
+
+namespace turbo {
+namespace {
+
+using engine::MatchStats;
+
+MatchStats FilledStats(uint64_t base) {
+  MatchStats s;
+  s.num_solutions = base + 1;
+  s.num_start_candidates = base + 2;
+  s.num_regions = base + 3;
+  s.cr_candidate_vertices = base + 4;
+  s.isjoinable_checks = base + 5;
+  s.intersection_ops = base + 6;
+  s.explore_ms = static_cast<double>(base) + 0.5;
+  s.search_ms = static_cast<double>(base) + 0.25;
+  s.order_ms = static_cast<double>(base) + 0.125;
+  return s;
+}
+
+TEST(MatchStatsTest, MergeFromSumsEveryCounter) {
+  MatchStats a = FilledStats(10);
+  MatchStats b = FilledStats(100);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.num_solutions, 11u + 101u);
+  EXPECT_EQ(a.num_start_candidates, 12u + 102u);
+  EXPECT_EQ(a.num_regions, 13u + 103u);
+  EXPECT_EQ(a.cr_candidate_vertices, 14u + 104u);
+  EXPECT_EQ(a.isjoinable_checks, 15u + 105u);
+  EXPECT_EQ(a.intersection_ops, 16u + 106u);
+  EXPECT_DOUBLE_EQ(a.explore_ms, 10.5 + 100.5);
+  EXPECT_DOUBLE_EQ(a.search_ms, 10.25 + 100.25);
+  EXPECT_DOUBLE_EQ(a.order_ms, 10.125 + 100.125);
+}
+
+TEST(MatchStatsTest, MergeFromAdoptsMatchingOrderOnlyWhenEmpty) {
+  MatchStats a, b;
+  b.matching_order = {2, 0, 1};
+  a.MergeFrom(b);
+  EXPECT_EQ(a.matching_order, (std::vector<uint32_t>{2, 0, 1}));
+
+  MatchStats c;
+  c.matching_order = {1, 2};
+  c.MergeFrom(b);  // non-empty: keeps its own order
+  EXPECT_EQ(c.matching_order, (std::vector<uint32_t>{1, 2}));
+}
+
+TEST(MatchStatsTest, MergeFromIsAssociativeOverCounters) {
+  MatchStats ab = FilledStats(1);
+  ab.MergeFrom(FilledStats(7));
+  ab.MergeFrom(FilledStats(31));
+
+  MatchStats bc = FilledStats(7);
+  bc.MergeFrom(FilledStats(31));
+  MatchStats a_bc = FilledStats(1);
+  a_bc.MergeFrom(bc);
+
+  EXPECT_EQ(ab.num_solutions, a_bc.num_solutions);
+  EXPECT_EQ(ab.isjoinable_checks, a_bc.isjoinable_checks);
+  EXPECT_DOUBLE_EQ(ab.explore_ms, a_bc.explore_ms);
+}
+
+class ExplainPlanTest : public ::testing::Test {
+ protected:
+  // A triangle of `knows` edges among three Person vertices plus one
+  // outlier: any spanning tree of the triangle query leaves exactly one
+  // non-tree edge for IsJoinable.
+  ExplainPlanTest()
+      : tg_({{"a", "type", "Person"},
+             {"b", "type", "Person"},
+             {"c", "type", "Person"},
+             {"a", "knows", "b"},
+             {"b", "knows", "c"},
+             {"c", "knows", "a"},
+             {"a", "likes", "d"}}) {}
+
+  turbo::testing::TestGraph tg_;
+};
+
+TEST_F(ExplainPlanTest, NamesChosenStartVertexAndNonTreeEdges) {
+  graph::QueryGraph q;
+  LabelId person = tg_.label("Person");
+  ASSERT_NE(person, kInvalidId);
+  EdgeLabelId knows = tg_.el("knows");
+  ASSERT_NE(knows, kInvalidId);
+  uint32_t u0 = turbo::testing::AddQV(&q, {person});
+  uint32_t u1 = turbo::testing::AddQV(&q, {person});
+  uint32_t u2 = turbo::testing::AddQV(&q, {person});
+  turbo::testing::AddQE(&q, u0, u1, knows);
+  turbo::testing::AddQE(&q, u1, u2, knows);
+  turbo::testing::AddQE(&q, u2, u0, knows);
+
+  engine::Matcher matcher(tg_.g());
+  std::string plan = matcher.ExplainPlan(q);
+
+  // The plan names the start vertex ExplainPlan chose; it must be the same
+  // vertex the executed query reports in MatchStats.
+  engine::MatchStats stats;
+  matcher.Count(q, &stats);
+  EXPECT_NE(plan.find("start: u" + std::to_string(stats.start_query_vertex)),
+            std::string::npos)
+      << plan;
+
+  // A 3-cycle query has exactly one non-tree edge; the plan lists it under
+  // the IsJoinable section with both endpoints.
+  EXPECT_NE(plan.find("non-tree edges (IsJoinable):"), std::string::npos) << plan;
+  size_t section = plan.find("non-tree edges");
+  EXPECT_NE(plan.find("u", section), std::string::npos) << plan;
+  EXPECT_NE(plan.find(" -> u", section), std::string::npos) << plan;
+
+  // Query-tree section present with a root and BFS parents.
+  EXPECT_NE(plan.find("query tree (BFS):"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("(root)"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("<- parent u"), std::string::npos) << plan;
+}
+
+TEST_F(ExplainPlanTest, TreeQueryHasNoNonTreeSection) {
+  graph::QueryGraph q;
+  EdgeLabelId knows = tg_.el("knows");
+  uint32_t u0 = turbo::testing::AddQV(&q, {});
+  uint32_t u1 = turbo::testing::AddQV(&q, {});
+  turbo::testing::AddQE(&q, u0, u1, knows);
+
+  engine::Matcher matcher(tg_.g());
+  std::string plan = matcher.ExplainPlan(q);
+  EXPECT_EQ(plan.find("non-tree edges"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("start: u"), std::string::npos) << plan;
+}
+
+TEST_F(ExplainPlanTest, SingleVertexQueryIsPointShaped) {
+  graph::QueryGraph q;
+  LabelId person = tg_.label("Person");
+  turbo::testing::AddQV(&q, {person});
+  engine::Matcher matcher(tg_.g());
+  std::string plan = matcher.ExplainPlan(q);
+  EXPECT_NE(plan.find("point-shaped"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("start: u0"), std::string::npos) << plan;
+}
+
+// End-to-end: a 4-thread parallel run merges per-thread stats through
+// MergeFrom; totals must equal the sequential run's.
+TEST_F(ExplainPlanTest, ParallelStatsMergeMatchesSequential) {
+  graph::QueryGraph q;
+  LabelId person = tg_.label("Person");
+  EdgeLabelId knows = tg_.el("knows");
+  uint32_t u0 = turbo::testing::AddQV(&q, {person});
+  uint32_t u1 = turbo::testing::AddQV(&q, {person});
+  turbo::testing::AddQE(&q, u0, u1, knows);
+
+  engine::MatchOptions seq_opts;
+  seq_opts.num_threads = 1;
+  engine::MatchStats seq_stats;
+  uint64_t seq_count = engine::Matcher(tg_.g(), seq_opts).Count(q, &seq_stats);
+
+  engine::MatchOptions par_opts;
+  par_opts.num_threads = 4;
+  par_opts.chunk_size = 1;
+  engine::MatchStats par_stats;
+  uint64_t par_count = engine::Matcher(tg_.g(), par_opts).Count(q, &par_stats);
+
+  EXPECT_EQ(seq_count, par_count);
+  EXPECT_EQ(seq_stats.num_solutions, par_stats.num_solutions);
+  EXPECT_EQ(seq_stats.num_start_candidates, par_stats.num_start_candidates);
+  EXPECT_EQ(seq_stats.num_regions, par_stats.num_regions);
+}
+
+}  // namespace
+}  // namespace turbo

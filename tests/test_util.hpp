@@ -1,6 +1,7 @@
 // Shared helpers for building small labeled test graphs from triple lists.
 #pragma once
 
+#include <algorithm>
 #include <initializer_list>
 #include <optional>
 #include <string>
