@@ -1,0 +1,66 @@
+// Heap-allocation counting for bench drivers: including this header in a
+// benchmark's main TU replaces the global operator new/delete with counting
+// wrappers, so TimeQuery can report an "allocs" metric next to "ms" — the
+// direct evidence for the RegionArena reuse win. Include it in at most one
+// TU per binary, and never in the library or tests.
+//
+// Disabled under ASan (the sanitizer owns the allocator) — AllocCount()
+// then always returns 0 and drivers simply omit the metric.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define TURBO_BENCH_COUNT_ALLOCS 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define TURBO_BENCH_COUNT_ALLOCS 0
+#endif
+#endif
+#ifndef TURBO_BENCH_COUNT_ALLOCS
+#define TURBO_BENCH_COUNT_ALLOCS 1
+#endif
+
+namespace turbo::bench {
+
+inline std::atomic<uint64_t> g_alloc_count{0};
+
+/// Number of operator-new calls since process start (0 when counting is
+/// compiled out).
+inline uint64_t AllocCount() { return g_alloc_count.load(std::memory_order_relaxed); }
+
+inline constexpr bool kAllocCountingEnabled = TURBO_BENCH_COUNT_ALLOCS != 0;
+
+}  // namespace turbo::bench
+
+#if TURBO_BENCH_COUNT_ALLOCS
+
+namespace turbo::bench::alloc_detail {
+inline void* CountedAlloc(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace turbo::bench::alloc_detail
+
+void* operator new(std::size_t n) { return turbo::bench::alloc_detail::CountedAlloc(n); }
+void* operator new[](std::size_t n) { return turbo::bench::alloc_detail::CountedAlloc(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  turbo::bench::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  turbo::bench::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+#endif  // TURBO_BENCH_COUNT_ALLOCS

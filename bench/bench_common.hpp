@@ -4,10 +4,16 @@
 //
 // Every harness accepts environment overrides so the suite can be scaled up
 // toward the paper's sizes on bigger machines:
-//   LUBM_SCALES  comma list of university counts (default harness-specific)
-//   BENCH_REPS   measurement repetitions (default 5)
+//   LUBM_SCALES                comma list of university counts
+//   BENCH_REPS                 measurement repetitions (default 5)
+//   TURBO_REUSE_REGION_MEMORY  0 disables RegionArena pooling (the "before"
+//                              configuration for bench/results/ baselines)
+//   BENCH_JSON                 path for the machine-tagged JSON report —
+//                              currently emitted by bench_table3_lubm (see
+//                              bench_json.hpp / bench/compare_results.py)
 #pragma once
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -45,12 +51,36 @@ inline int RepsFromEnv() {
   return env ? std::max(1, atoi(env)) : 5;
 }
 
+/// Engine options honouring the bench environment toggles.
+inline engine::MatchOptions TurboOptionsFromEnv() {
+  engine::MatchOptions opts;
+  if (const char* reuse = std::getenv("TURBO_REUSE_REGION_MEMORY")) {
+    std::string v(reuse);
+    for (char& c : v) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (v == "0" || v == "false" || v == "off" || v == "no") {
+      opts.reuse_region_memory = false;
+    } else if (!(v == "1" || v == "true" || v == "on" || v == "yes" || v.empty())) {
+      std::fprintf(stderr,
+                   "TURBO_REUSE_REGION_MEMORY=%s not recognized; use 0/1 "
+                   "(keeping the default: on)\n",
+                   reuse);
+    }
+  }
+  return opts;
+}
+
+/// Optional heap-allocation probe. A driver that includes alloc_counter.hpp
+/// sets this to AllocCount so TimeQuery can report an "allocs" metric; when
+/// unset the metric is omitted.
+inline uint64_t (*g_alloc_probe)() = nullptr;
+
 /// Paper methodology: execute `reps` times, drop best and worst, average the
 /// rest. Long-running queries (>2 s) are measured once to keep the suite
 /// usable. Returns (milliseconds, result rows of the last run).
 struct Timed {
   double ms = 0;
   size_t rows = 0;
+  uint64_t allocs = 0;  ///< heap allocations in the last (warm) repetition
 };
 
 inline Timed TimeQuery(const sparql::BgpSolver& solver, const std::string& query,
@@ -59,6 +89,7 @@ inline Timed TimeQuery(const sparql::BgpSolver& solver, const std::string& query
   std::vector<double> times;
   for (int i = 0; i < reps; ++i) {
     sparql::Executor ex(&solver);
+    uint64_t alloc_before = g_alloc_probe ? g_alloc_probe() : 0;
     util::WallTimer t;
     auto r = ex.Execute(query);
     double ms = t.ElapsedMillis();
@@ -66,6 +97,7 @@ inline Timed TimeQuery(const sparql::BgpSolver& solver, const std::string& query
       std::fprintf(stderr, "query error: %s\n", r.message().c_str());
       return result;
     }
+    if (g_alloc_probe) result.allocs = g_alloc_probe() - alloc_before;
     result.rows = r.value().rows.size();
     times.push_back(ms);
     if (ms > 2000 && i == 0) break;  // long query: single measurement
@@ -84,9 +116,11 @@ inline Timed TimeQuery(const sparql::BgpSolver& solver, const std::string& query
 }
 
 /// All four engines over one dataset (the paper's §7 line-up with the
-/// DESIGN.md substitutions).
+/// DESIGN.md substitutions). The default options honour the bench env
+/// toggles, so TURBO_REUSE_REGION_MEMORY=0 selects the legacy allocation
+/// path in every table driver.
 struct EngineSet {
-  EngineSet(const rdf::Dataset& ds, engine::MatchOptions turbo_opts = {})
+  EngineSet(const rdf::Dataset& ds, engine::MatchOptions turbo_opts = TurboOptionsFromEnv())
       : aware(graph::DataGraph::Build(ds, graph::TransformMode::kTypeAware)),
         direct(graph::DataGraph::Build(ds, graph::TransformMode::kDirect)),
         index(ds),

@@ -1,0 +1,387 @@
+// Machine-tagged JSON emission for the bench harnesses, so every perf PR
+// can ship a measured before/after delta instead of a claim.
+//
+// A driver fills a BenchReport (one BenchResult per table cell, with named
+// numeric metrics) and calls MaybeWriteJson(): when the BENCH_JSON
+// environment variable names a path, the report — stamped with a machine
+// tag (host, CPU, cores, compiler, build flavour) and the driver's config —
+// is serialized there. bench/compare_results.py diffs two such files;
+// bench/results/ holds the checked-in baselines. FromJson() is a strict
+// parser for exactly this schema so the round-trip is testable under CTest
+// (tests/bench_json_test.cpp) and the compare script's input format can't
+// silently drift.
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/utsname.h>
+#include <unistd.h>
+#endif
+
+namespace turbo::bench {
+
+/// One measured entry, e.g. {"LUBM8/Q2/TurboHOM++", {{"ms",1.2},{"rows",42}}}.
+struct BenchResult {
+  std::string name;
+  std::map<std::string, double> metrics;
+
+  bool operator==(const BenchResult& o) const = default;
+};
+
+struct BenchReport {
+  std::string bench;                           ///< driver name
+  std::map<std::string, std::string> machine;  ///< MachineTag()
+  std::map<std::string, std::string> config;   ///< driver knobs (scales, toggles)
+  std::vector<BenchResult> results;
+
+  bool operator==(const BenchReport& o) const = default;
+
+  std::string ToJson() const;
+  /// Strict parse of ToJson()'s schema. Returns false and sets `err` on any
+  /// deviation (unknown key, wrong type, trailing garbage).
+  static bool FromJson(const std::string& text, BenchReport* out, std::string* err);
+};
+
+/// Host / CPU / compiler fingerprint embedded in every report, so baselines
+/// from different machines are never silently compared as equals.
+inline std::map<std::string, std::string> MachineTag() {
+  std::map<std::string, std::string> tag;
+#if defined(__unix__) || defined(__APPLE__)
+  char host[256] = {0};
+  if (gethostname(host, sizeof(host) - 1) == 0 && host[0]) tag["host"] = host;
+  struct utsname un;
+  if (uname(&un) == 0) {
+    tag["os"] = std::string(un.sysname) + " " + un.release;
+    tag["arch"] = un.machine;
+  }
+#endif
+  if (!tag.count("host")) tag["host"] = "unknown";
+  tag["cores"] = std::to_string(std::thread::hardware_concurrency());
+  {
+    std::ifstream cpuinfo("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(cpuinfo, line)) {
+      auto pos = line.find("model name");
+      if (pos == std::string::npos) continue;
+      pos = line.find(':');
+      if (pos == std::string::npos) break;
+      pos = line.find_first_not_of(" \t", pos + 1);
+      if (pos != std::string::npos) tag["cpu"] = line.substr(pos);
+      break;
+    }
+  }
+#if defined(__clang__)
+  tag["compiler"] = std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  tag["compiler"] = std::string("gcc ") + __VERSION__;
+#else
+  tag["compiler"] = "unknown";
+#endif
+#if defined(NDEBUG)
+  tag["build"] = "opt";
+#else
+  tag["build"] = "debug";
+#endif
+  return tag;
+}
+
+namespace json_detail {
+
+inline void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+inline void AppendNumber(std::string* out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+}
+
+inline void AppendStringMap(std::string* out, const std::map<std::string, std::string>& m,
+                            const char* indent) {
+  *out += "{";
+  bool first = true;
+  for (const auto& [k, v] : m) {
+    *out += first ? "\n" : ",\n";
+    first = false;
+    *out += indent;
+    AppendEscaped(out, k);
+    *out += ": ";
+    AppendEscaped(out, v);
+  }
+  *out += first ? "}" : "\n  }";
+}
+
+/// Tiny strict JSON reader for the BenchReport schema.
+class Reader {
+ public:
+  explicit Reader(const std::string& text) : s_(text) {}
+
+  bool Fail(const std::string& why) {
+    err_ = why + " at offset " + std::to_string(pos_);
+    return false;
+  }
+  const std::string& err() const { return err_; }
+
+  void SkipWs() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ >= s_.size() || s_[pos_] != c) return Fail(std::string("expected '") + c + "'");
+    ++pos_;
+    return true;
+  }
+  bool Peek(char c) {
+    SkipWs();
+    return pos_ < s_.size() && s_[pos_] == c;
+  }
+  bool AtEnd() {
+    SkipWs();
+    return pos_ >= s_.size();
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) return Fail("dangling escape");
+      char e = s_[pos_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return Fail("short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= h - '0';
+            else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
+            else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
+            else return Fail("bad \\u escape");
+          }
+          if (code > 0x7f) return Fail("non-ASCII \\u escape unsupported");
+          out->push_back(static_cast<char>(code));
+          break;
+        }
+        default: return Fail("unknown escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(double* out) {
+    SkipWs();
+    size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '-' || s_[pos_] == '+'))
+      ++pos_;
+    if (pos_ == start) return Fail("expected number");
+    char* end = nullptr;
+    std::string tok = s_.substr(start, pos_ - start);
+    *out = std::strtod(tok.c_str(), &end);
+    if (!end || *end != '\0') return Fail("malformed number");
+    return true;
+  }
+
+  bool ParseStringMap(std::map<std::string, std::string>* out) {
+    if (!Consume('{')) return false;
+    out->clear();
+    if (Peek('}')) return Consume('}');
+    while (true) {
+      std::string k, v;
+      if (!ParseString(&k) || !Consume(':') || !ParseString(&v)) return false;
+      (*out)[k] = v;
+      if (Peek(',')) {
+        Consume(',');
+        continue;
+      }
+      return Consume('}');
+    }
+  }
+
+  bool ParseMetricMap(std::map<std::string, double>* out) {
+    if (!Consume('{')) return false;
+    out->clear();
+    if (Peek('}')) return Consume('}');
+    while (true) {
+      std::string k;
+      double v;
+      if (!ParseString(&k) || !Consume(':') || !ParseNumber(&v)) return false;
+      (*out)[k] = v;
+      if (Peek(',')) {
+        Consume(',');
+        continue;
+      }
+      return Consume('}');
+    }
+  }
+
+ private:
+  const std::string& s_;
+  size_t pos_ = 0;
+  std::string err_;
+};
+
+}  // namespace json_detail
+
+inline std::string BenchReport::ToJson() const {
+  std::string out = "{\n  \"bench\": ";
+  json_detail::AppendEscaped(&out, bench);
+  out += ",\n  \"machine\": ";
+  json_detail::AppendStringMap(&out, machine, "    ");
+  out += ",\n  \"config\": ";
+  json_detail::AppendStringMap(&out, config, "    ");
+  out += ",\n  \"results\": [";
+  for (size_t i = 0; i < results.size(); ++i) {
+    out += i ? ",\n    " : "\n    ";
+    out += "{\"name\": ";
+    json_detail::AppendEscaped(&out, results[i].name);
+    out += ", \"metrics\": {";
+    bool first = true;
+    for (const auto& [k, v] : results[i].metrics) {
+      if (!first) out += ", ";
+      first = false;
+      json_detail::AppendEscaped(&out, k);
+      out += ": ";
+      json_detail::AppendNumber(&out, v);
+    }
+    out += "}}";
+  }
+  out += results.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+inline bool BenchReport::FromJson(const std::string& text, BenchReport* out,
+                                  std::string* err) {
+  json_detail::Reader r(text);
+  *out = {};
+  bool ok = [&] {
+    if (!r.Consume('{')) return false;
+    bool saw_bench = false, saw_results = false;
+    while (true) {
+      std::string key;
+      if (!r.ParseString(&key) || !r.Consume(':')) return false;
+      if (key == "bench") {
+        if (!r.ParseString(&out->bench)) return false;
+        saw_bench = true;
+      } else if (key == "machine") {
+        if (!r.ParseStringMap(&out->machine)) return false;
+      } else if (key == "config") {
+        if (!r.ParseStringMap(&out->config)) return false;
+      } else if (key == "results") {
+        saw_results = true;
+        if (!r.Consume('[')) return false;
+        if (!r.Peek(']')) {
+          while (true) {
+            BenchResult res;
+            if (!r.Consume('{')) return false;
+            while (true) {
+              std::string rk;
+              if (!r.ParseString(&rk) || !r.Consume(':')) return false;
+              if (rk == "name") {
+                if (!r.ParseString(&res.name)) return false;
+              } else if (rk == "metrics") {
+                if (!r.ParseMetricMap(&res.metrics)) return false;
+              } else {
+                return r.Fail("unknown result key '" + rk + "'");
+              }
+              if (r.Peek(',')) {
+                r.Consume(',');
+                continue;
+              }
+              break;
+            }
+            if (!r.Consume('}')) return false;
+            out->results.push_back(std::move(res));
+            if (r.Peek(',')) {
+              r.Consume(',');
+              continue;
+            }
+            break;
+          }
+        }
+        if (!r.Consume(']')) return false;
+      } else {
+        return r.Fail("unknown report key '" + key + "'");
+      }
+      if (r.Peek(',')) {
+        r.Consume(',');
+        continue;
+      }
+      break;
+    }
+    if (!r.Consume('}')) return false;
+    if (!r.AtEnd()) return r.Fail("trailing garbage");
+    if (!saw_bench || !saw_results) return r.Fail("missing required key");
+    return true;
+  }();
+  if (!ok && err) *err = r.err().empty() ? "parse error" : r.err();
+  return ok;
+}
+
+/// Writes `report` to the path named by $BENCH_JSON, if set. Returns true if
+/// a file was written.
+inline bool MaybeWriteJson(const BenchReport& report) {
+  const char* path = std::getenv("BENCH_JSON");
+  if (!path || !*path) return false;
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "BENCH_JSON: cannot open %s for writing\n", path);
+    return false;
+  }
+  f << report.ToJson();
+  f.flush();
+  if (!f.good()) {
+    std::fprintf(stderr, "BENCH_JSON: write to %s failed (disk full?)\n", path);
+    return false;
+  }
+  std::printf("[bench json written to %s]\n", path);
+  return true;
+}
+
+}  // namespace turbo::bench

@@ -6,6 +6,7 @@
 #include <numeric>
 #include <vector>
 
+#include "engine/region_arena.hpp"
 #include "graph/data_graph.hpp"
 #include "util/rng.hpp"
 #include "util/sorted.hpp"
@@ -93,6 +94,40 @@ void BM_AdjacencyLookup(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AdjacencyLookup);
+
+void BM_CandidateRegionStore(benchmark::State& state) {
+  // ExploreCandidateRegion's per-region lifecycle: reset the store, build
+  // `kLists` candidate lists per tree node, look each one up once. Arg 1 =
+  // pooled RegionArena (reset, memory kept), arg 0 = the seed's layout
+  // (unordered_map nodes freed every region).
+  const bool pooled = state.range(0) != 0;
+  constexpr uint32_t kNodes = 6;
+  constexpr uint32_t kLists = 64;
+  constexpr uint32_t kLen = 24;
+  turbo::engine::RegionArena arena;
+  arena.PrepareQuery(kNodes, pooled);
+  // Distinct keys: CandidateMap::Insert requires the key to be absent.
+  std::vector<turbo::VertexId> parents(kLists);
+  for (uint32_t li = 0; li < kLists; ++li) parents[li] = 1000 + li * 131;
+  for (auto _ : state) {
+    arena.ResetRegion();
+    for (uint32_t node = 1; node < kNodes; ++node) {
+      const uint32_t depth = node / 2;
+      for (uint32_t li = 0; li < kLists; ++li) {
+        arena.BeginList(node, depth, parents[li]);
+        for (uint32_t k = 0; k < kLen; ++k)
+          arena.Append(node, depth, parents[li] + k);
+        arena.EndList(node, depth, parents[li]);
+      }
+      for (uint32_t li = 0; li < kLists; ++li) {
+        auto span = arena.Lookup(node, depth, parents[li]);
+        benchmark::DoNotOptimize(span.data());
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * (kNodes - 1) * kLists * kLen);
+}
+BENCHMARK(BM_CandidateRegionStore)->Arg(0)->Arg(1);
 
 }  // namespace
 

@@ -7,7 +7,15 @@
 //    TurboHOM++ stays fastest;
 //  * the index-nested-loop baseline (System-X stand-in) is competitive on
 //    point queries but collapses on Q2/Q9.
+//
+// With BENCH_JSON=<path> the run also emits a machine-tagged JSON report
+// (per query: ms, rows, heap allocations) — the input format of
+// bench/compare_results.py. TURBO_REUSE_REGION_MEMORY=0 selects the
+// pre-arena allocation behaviour, so a reuse-off/reuse-on pair of reports
+// is the measured delta of the RegionArena optimization.
+#include "alloc_counter.hpp"
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "workload/lubm.hpp"
 
 using namespace turbo;
@@ -15,13 +23,21 @@ using namespace turbo;
 int main() {
   auto scales = bench::ScalesFromEnv("LUBM_SCALES", {2, 8, 32});
   auto queries = workload::LubmQueries();
+  engine::MatchOptions turbo_opts = bench::TurboOptionsFromEnv();
+  if (bench::kAllocCountingEnabled) bench::g_alloc_probe = &bench::AllocCount;
+
+  bench::BenchReport report;
+  report.bench = "bench_table3_lubm";
+  report.machine = bench::MachineTag();
+  report.config["reuse_region_memory"] = turbo_opts.reuse_region_memory ? "1" : "0";
+  report.config["reps"] = std::to_string(bench::RepsFromEnv());
 
   for (uint32_t n : scales) {
     workload::LubmConfig cfg;
     cfg.num_universities = n;
     util::WallTimer prep;
     rdf::Dataset ds = workload::GenerateLubmClosed(cfg);
-    bench::EngineSet engines(ds);
+    bench::EngineSet engines(ds, turbo_opts);
     std::printf("\n[LUBM%u: %zu triples, prep %.1fs]\n", n, ds.size(),
                 prep.ElapsedSeconds());
 
@@ -41,9 +57,21 @@ int main() {
     };
     for (const auto& row : rows) {
       std::vector<std::string> cells;
-      for (const auto& q : queries) cells.push_back(bench::Ms(bench::TimeQuery(*row.solver, q).ms));
+      for (size_t qi = 0; qi < queries.size(); ++qi) {
+        bench::Timed t = bench::TimeQuery(*row.solver, queries[qi]);
+        cells.push_back(bench::Ms(t.ms));
+        bench::BenchResult res;
+        res.name = "LUBM" + std::to_string(n) + "/Q" + std::to_string(qi + 1) + "/" +
+                   row.name;
+        res.metrics["ms"] = t.ms;
+        res.metrics["rows"] = static_cast<double>(t.rows);
+        if (bench::g_alloc_probe)
+          res.metrics["allocs"] = static_cast<double>(t.allocs);
+        report.results.push_back(std::move(res));
+      }
       bench::PrintRow(row.name, cells);
     }
   }
+  bench::MaybeWriteJson(report);
   return 0;
 }

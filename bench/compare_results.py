@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Compare two bench JSON reports produced with BENCH_JSON=<path>.
+
+Usage:
+    bench/compare_results.py BASELINE.json CANDIDATE.json [options]
+
+Matches results by name and prints the per-entry delta for every shared
+metric, plus a geometric-mean summary for "ms" and "allocs". Exits non-zero
+when the geomean "ms" ratio regresses past --max-regress percent (unless
+--report-only), so CI can gate on it.
+
+The machine tags of both files are printed; comparing reports from different
+machines is allowed but flagged, since cross-host deltas are informational
+only.
+"""
+
+import argparse
+import json
+import math
+import re
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        report = json.load(f)
+    for key in ("bench", "results"):
+        if key not in report:
+            sys.exit(f"{path}: not a bench report (missing '{key}')")
+    return report
+
+
+def index(report):
+    return {r["name"]: r.get("metrics", {}) for r in report["results"]}
+
+
+def geomean(ratios):
+    ratios = [r for r in ratios if r > 0]
+    if not ratios:
+        return None
+    return math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--metric", default="ms",
+                    help="metric gated by --max-regress (default: ms)")
+    ap.add_argument("--max-regress", type=float, default=10.0,
+                    help="fail when the geomean ratio exceeds 1 + this %% (default: 10)")
+    ap.add_argument("--report-only", action="store_true",
+                    help="never fail, just print the comparison")
+    ap.add_argument("--min-abs-ms", type=float, default=0.05,
+                    help="ignore entries faster than this in both runs (noise floor)")
+    ap.add_argument("--filter", default=None, metavar="REGEX",
+                    help="only compare result names matching this regex "
+                         "(e.g. 'TurboHOM' for the engine-only delta)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+
+    if base["bench"] != cand["bench"]:
+        print(f"WARNING: comparing different benches "
+              f"({base['bench']} vs {cand['bench']})")
+    bm, cm = base.get("machine", {}), cand.get("machine", {})
+    same_host = bm.get("host") and bm.get("host") == cm.get("host")
+    print(f"baseline : {args.baseline}  [{bm.get('host', '?')}, "
+          f"{bm.get('cpu', '?')}, config {base.get('config', {})}]")
+    print(f"candidate: {args.candidate}  [{cm.get('host', '?')}, "
+          f"{cm.get('cpu', '?')}, config {cand.get('config', {})}]")
+    if not same_host:
+        print("WARNING: different machines — deltas are informational only")
+
+    bi, ci = index(base), index(cand)
+    if args.filter:
+        pat = re.compile(args.filter)
+        bi = {n: m for n, m in bi.items() if pat.search(n)}
+        ci = {n: m for n, m in ci.items() if pat.search(n)}
+    shared = [n for n in bi if n in ci]
+    missing = [n for n in bi if n not in ci] + [n for n in ci if n not in bi]
+    if missing:
+        print(f"note: {len(missing)} entries present in only one report")
+    if not shared:
+        sys.exit("no shared result names to compare")
+
+    metrics = sorted({m for n in shared for m in bi[n] if m in ci[n]})
+    ratios = {m: [] for m in metrics}
+    header = f"{'name':44s}" + "".join(f" {m + ' old':>12s} {m + ' new':>12s} {'Δ%':>8s}"
+                                       for m in metrics)
+    print("\n" + header)
+    for name in shared:
+        cells = []
+        for m in metrics:
+            old, new = bi[name].get(m), ci[name].get(m)
+            if old is None or new is None:
+                cells.append(f" {'-':>12s} {'-':>12s} {'-':>8s}")
+                continue
+            if m == args.metric and old < args.min_abs_ms and new < args.min_abs_ms:
+                pct = "~"
+            elif old > 0:
+                ratios[m].append(new / old)
+                pct = f"{(new / old - 1) * 100:+.1f}"
+            else:
+                pct = "~"
+            cells.append(f" {old:12.3f} {new:12.3f} {pct:>8s}")
+        print(f"{name:44s}" + "".join(cells))
+
+    print()
+    failed = False
+    for m in metrics:
+        g = geomean(ratios[m])
+        if g is None:
+            continue
+        print(f"geomean {m} ratio (new/old): {g:.3f}  "
+              f"({(g - 1) * 100:+.1f}% over {len(ratios[m])} entries)")
+        if m == args.metric and g > 1 + args.max_regress / 100.0:
+            failed = True
+    if failed and not args.report_only:
+        print(f"FAIL: {args.metric} regressed beyond {args.max_regress}%")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -406,25 +406,24 @@ class Worker {
  public:
   Worker(const Context& ctx, const Compiled& c, bool collect,
          const SolutionCallback* stream, std::atomic<uint64_t>* global_count,
-         uint64_t limit)
+         uint64_t limit, RegionArena* arena)
       : ctx_(ctx),
         c_(c),
         q_(*c.q),
         collect_(collect),
         stream_(stream),
         global_count_(global_count),
-        limit_(limit) {
+        limit_(limit),
+        ar_(*arena),
+        iso_(ctx.opt().semantics == MatchSemantics::kIsomorphism) {
     const QueryTree& t = c_.tree;
-    cr_.resize(t.num_nodes());
-    cr_total_.assign(t.num_nodes(), 0);
-    m_node_.assign(t.num_nodes(), kInvalidId);
-    node_depth_.assign(t.num_nodes(), 0);
+    ar_.PrepareQuery(t.num_nodes(), ctx_.opt().reuse_region_memory);
+    ar_.cr_total.assign(t.num_nodes(), 0);
+    ar_.m_node.assign(t.num_nodes(), kInvalidId);
+    ar_.node_depth.assign(t.num_nodes(), 0);
     for (uint32_t i = 1; i < t.num_nodes(); ++i)
-      node_depth_[i] = node_depth_[t.node(i).parent] + 1;
-    explore_scratch_.resize(t.num_nodes() + 1);
-    search_scratch_.resize(t.num_nodes() + 1);
-    if (ctx_.opt().semantics == MatchSemantics::kIsomorphism)
-      mapped_.assign(ctx_.g().num_vertices(), 0);
+      ar_.node_depth[i] = ar_.node_depth[t.node(i).parent] + 1;
+    if (iso_) ar_.EnsureMapped(ctx_.g().num_vertices());
   }
 
   bool aborted() const { return aborted_; }
@@ -435,9 +434,8 @@ class Worker {
       return;
     }
     ++stats.num_start_candidates;
-    for (auto& m : cr_) m.clear();
-    std::fill(cr_total_.begin(), cr_total_.end(), 0);
-    memo_.clear();
+    ar_.ResetRegion();
+    std::fill(ar_.cr_total.begin(), ar_.cr_total.end(), 0);
 
     util::WallTimer te;
     bool ok = ExploreNode(0, vs);
@@ -448,15 +446,15 @@ class Worker {
     if (!order_.ready || !ctx_.opt().reuse_matching_order) ComputeOrder();
 
     util::WallTimer ts;
-    m_node_[0] = vs;
-    if (!mapped_.empty()) mapped_[vs] = 1;
+    ar_.m_node[0] = vs;
+    if (iso_) ar_.mapped[vs] = 1;
     if (SelfLoopsOk(0, vs)) {
       if (c_.tree.num_nodes() == 1)
         Report();
       else
         Search(1);
     }
-    if (!mapped_.empty()) mapped_[vs] = 0;
+    if (iso_) ar_.mapped[vs] = 0;
     stats.search_ms += ts.ElapsedMillis();
   }
 
@@ -472,26 +470,28 @@ class Worker {
     const QueryTree::Node& node = c_.tree.node(ni);
     if (node.children.empty()) return true;
     uint64_t key = (static_cast<uint64_t>(ni) << 32) | v;
-    auto mit = memo_.find(key);
-    if (mit != memo_.end()) return mit->second;
+    if (int hit = ar_.MemoFind(key); hit >= 0) return hit != 0;
     bool ok = true;
     for (uint32_t ci : node.children) {
       const QueryTree::Node& child = c_.tree.node(ci);
-      std::vector<VertexId>& cands = explore_scratch_[node_depth_[ci]];
+      const uint32_t cd = ar_.node_depth[ci];
+      std::vector<VertexId>& cands = ar_.explore_scratch[cd];
       ctx_.CollectCandidates(c_, child.qv, v, child.dir_from_parent,
                              q_.edge(child.edge).label, &cands);
-      std::vector<VertexId>& lst = cr_[ci][v];
-      lst.clear();
+      // The recursion below only appends to depths > cd, so CR(ci, v) stays
+      // the open tail of its depth's pool until EndList.
+      ar_.BeginList(ci, cd, v);
       for (VertexId w : cands)
-        if (ExploreNode(ci, w)) lst.push_back(w);
-      cr_total_[ci] += lst.size();
-      stats.cr_candidate_vertices += lst.size();
-      if (lst.empty()) {
+        if (ExploreNode(ci, w)) ar_.Append(ci, cd, w);
+      uint32_t len = ar_.EndList(ci, cd, v);
+      ar_.cr_total[ci] += len;
+      stats.cr_candidate_vertices += len;
+      if (len == 0) {
         ok = false;
         break;
       }
     }
-    memo_.emplace(key, ok);
+    ar_.MemoPut(key, ok);
     return ok;
   }
 
@@ -509,7 +509,7 @@ class Worker {
 
     std::vector<std::pair<uint64_t, const std::vector<uint32_t>*>> ranked;
     ranked.reserve(tree.paths().size());
-    for (const auto& p : tree.paths()) ranked.push_back({cr_total_[p.back()], &p});
+    for (const auto& p : tree.paths()) ranked.push_back({ar_.cr_total[p.back()], &p});
     std::stable_sort(ranked.begin(), ranked.end(),
                      [](const auto& a, const auto& b) { return a.first < b.first; });
     for (const auto& [w, path] : ranked)
@@ -555,8 +555,8 @@ class Worker {
       if (qe.has_label()) {
         if (!ctx_.g().HasEdge(v, v, qe.label)) return false;
       } else {
-        ctx_.g().EdgeLabelsBetween(v, v, &el_scratch_);
-        if (el_scratch_.empty()) return false;
+        ctx_.g().EdgeLabelsBetween(v, v, &ar_.el_scratch);
+        if (ar_.el_scratch.empty()) return false;
       }
     }
     return true;
@@ -570,12 +570,11 @@ class Worker {
     const QueryTree& tree = c_.tree;
     uint32_t ni = order_.node_at[depth];
     const QueryTree::Node& node = tree.node(ni);
-    VertexId pv = m_node_[node.parent];
-    auto it = cr_[ni].find(pv);
-    if (it == cr_[ni].end() || it->second.empty()) return;
-    std::span<const VertexId> cands = it->second;
+    VertexId pv = ar_.m_node[node.parent];
+    std::span<const VertexId> cands = ar_.Lookup(ni, ar_.node_depth[ni], pv);
+    if (cands.empty()) return;
 
-    DepthScratch& sc = search_scratch_[depth];
+    SearchScratch& sc = ar_.search_scratch[depth];
     sc.spans.clear();
     size_t ub = 0;
     bool has_self = false;
@@ -584,7 +583,7 @@ class Worker {
         has_self = true;
         continue;
       }
-      VertexId partner_v = m_node_[back.partner_node];
+      VertexId partner_v = ar_.m_node[back.partner_node];
       const QueryEdge& qe = q_.edge(back.edge);
       std::span<const VertexId> span;
       if (qe.has_label()) {
@@ -619,10 +618,10 @@ class Worker {
       iter = sc.int_result;
     }
 
-    const bool iso = !mapped_.empty();
+    const bool iso = iso_;
     const bool last = depth + 1 == tree.num_nodes();
     for (VertexId v : iter) {
-      if (iso && mapped_[v]) continue;  // injectivity test (disabled for hom)
+      if (iso && ar_.mapped[v]) continue;  // injectivity test (disabled for hom)
       if (!use_int && !sc.spans.empty()) {
         bool ok = true;
         for (const auto& s : sc.spans) {
@@ -635,13 +634,13 @@ class Worker {
         if (!ok) continue;
       }
       if (has_self && !SelfLoopsOk(depth, v)) continue;
-      m_node_[ni] = v;
-      if (iso) mapped_[v] = 1;
+      ar_.m_node[ni] = v;
+      if (iso) ar_.mapped[v] = 1;
       if (last)
         Report();
       else
         Search(depth + 1);
-      if (iso) mapped_[v] = 0;
+      if (iso) ar_.mapped[v] = 0;
       if (aborted_) return;
     }
   }
@@ -653,23 +652,15 @@ class Worker {
       if (n >= limit_) aborted_ = true;
     }
     if (collect_ || stream_) {
-      sol_buf_.assign(q_.num_vertices(), kInvalidId);
+      ar_.sol_buf.assign(q_.num_vertices(), kInvalidId);
       for (uint32_t i = 0; i < c_.tree.num_nodes(); ++i)
-        sol_buf_[c_.tree.node(i).qv] = m_node_[i];
+        ar_.sol_buf[c_.tree.node(i).qv] = ar_.m_node[i];
       if (stream_)
-        (*stream_)(sol_buf_);  // sequential mode: deliver without buffering
+        (*stream_)(ar_.sol_buf);  // sequential mode: deliver without buffering
       else
-        solutions.push_back(sol_buf_);
+        solutions.push_back(ar_.sol_buf);
     }
   }
-
-  struct DepthScratch {
-    std::vector<std::span<const VertexId>> spans;
-    std::vector<std::span<const VertexId>> group_spans;
-    std::vector<std::span<const uint32_t>> lists;
-    std::vector<std::vector<uint32_t>> union_bufs;
-    std::vector<uint32_t> int_result;
-  };
 
   const Context& ctx_;
   const Compiled& c_;
@@ -678,29 +669,37 @@ class Worker {
   const SolutionCallback* stream_ = nullptr;
   std::atomic<uint64_t>* global_count_;
   const uint64_t limit_;
+  RegionArena& ar_;   // exclusive to this worker until MatchImpl releases it
+  const bool iso_;
   bool aborted_ = false;
-
-  std::vector<std::unordered_map<VertexId, std::vector<VertexId>>> cr_;
-  std::vector<uint64_t> cr_total_;
-  std::unordered_map<uint64_t, bool> memo_;
-  std::vector<VertexId> m_node_;
-  std::vector<uint32_t> node_depth_;
-  std::vector<uint8_t> mapped_;  // ISO F-flag; empty under homomorphism
-  std::vector<std::vector<VertexId>> explore_scratch_;
-  std::vector<DepthScratch> search_scratch_;
-  std::vector<EdgeLabelId> el_scratch_;
-  std::vector<VertexId> sol_buf_;
   OrderInfo order_;
 };
 
 MatchStats MatchImpl(const DataGraph& g, const MatchOptions& options, const QueryGraph& q,
-                     std::vector<Solution>* out, const SolutionCallback* stream) {
+                     std::vector<Solution>* out, const SolutionCallback* stream,
+                     ArenaPool* pool) {
   util::WallTimer total;
   MatchStats stats;
   Context ctx(g, options);
   Compiled c;
   ctx.Compile(q, &c);
   stats.start_query_vertex = c.start_qv;
+
+  // Check one RegionArena out per worker. With reuse_region_memory the
+  // arenas come from (and return to) the Matcher's pool, warm from earlier
+  // queries; otherwise each run gets throwaway arenas in legacy mode.
+  const bool pooled = options.reuse_region_memory && pool != nullptr;
+  auto acquire_arena = [&]() {
+    std::unique_ptr<RegionArena> a =
+        pooled ? pool->Acquire() : std::make_unique<RegionArena>();
+    ++stats.arena_workers;
+    if (a->warm) ++stats.arena_warm;
+    return a;
+  };
+  auto release_arena = [&](std::unique_ptr<RegionArena> a) {
+    stats.arena_bytes += a->ApproxBytes();
+    if (pooled) pool->Release(std::move(a));
+  };
 
   std::atomic<uint64_t> global_count{0};
   std::atomic<uint64_t>* gc =
@@ -727,18 +726,25 @@ MatchStats MatchImpl(const DataGraph& g, const MatchOptions& options, const Quer
 
   uint32_t nthreads = std::max(1u, options.num_threads);
   if (nthreads == 1) {
-    Worker w(ctx, c, out != nullptr, stream, gc, options.limit);
-    for (VertexId vs : c.start_list) {
-      w.ProcessStart(vs);
-      if (w.aborted()) break;
+    std::unique_ptr<RegionArena> arena = acquire_arena();
+    {
+      Worker w(ctx, c, out != nullptr, stream, gc, options.limit, arena.get());
+      for (VertexId vs : c.start_list) {
+        w.ProcessStart(vs);
+        if (w.aborted()) break;
+      }
+      stats.MergeFrom(w.stats);
+      if (out) *out = std::move(w.solutions);
     }
-    stats.MergeFrom(w.stats);
-    if (out) *out = std::move(w.solutions);
+    release_arena(std::move(arena));
   } else {
+    std::vector<std::unique_ptr<RegionArena>> arenas(nthreads);
     std::vector<std::unique_ptr<Worker>> workers(nthreads);
-    for (uint32_t t = 0; t < nthreads; ++t)
+    for (uint32_t t = 0; t < nthreads; ++t) {
+      arenas[t] = acquire_arena();
       workers[t] = std::make_unique<Worker>(ctx, c, out != nullptr, nullptr, gc,
-                                            options.limit);
+                                            options.limit, arenas[t].get());
+    }
     auto body = [&](uint64_t b, uint64_t e, uint32_t tid) {
       Worker& w = *workers[tid];
       for (uint64_t i = b; i < e && !w.aborted(); ++i) w.ProcessStart(c.start_list[i]);
@@ -753,6 +759,8 @@ MatchStats MatchImpl(const DataGraph& g, const MatchOptions& options, const Quer
         out->insert(out->end(), std::make_move_iterator(w->solutions.begin()),
                     std::make_move_iterator(w->solutions.end()));
     }
+    workers.clear();  // workers reference the arenas; destroy them first
+    for (auto& a : arenas) release_arena(std::move(a));
   }
   if (stats.num_solutions > options.limit) stats.num_solutions = options.limit;
   if (out && out->size() > options.limit) out->resize(options.limit);
@@ -763,26 +771,26 @@ MatchStats MatchImpl(const DataGraph& g, const MatchOptions& options, const Quer
 }  // namespace
 
 MatchStats Matcher::Match(const QueryGraph& q, const SolutionCallback& callback) const {
-  if (!callback) return MatchImpl(g_, options_, q, nullptr, nullptr);
+  if (!callback) return MatchImpl(g_, options_, q, nullptr, nullptr, &arena_pool());
   // Sequential runs stream solutions as they are found; parallel runs buffer
   // per worker and replay after the join so the callback stays single-threaded.
   if (std::max(1u, options_.num_threads) == 1)
-    return MatchImpl(g_, options_, q, nullptr, &callback);
+    return MatchImpl(g_, options_, q, nullptr, &callback, &arena_pool());
   std::vector<Solution> sols;
-  MatchStats stats = MatchImpl(g_, options_, q, &sols, nullptr);
+  MatchStats stats = MatchImpl(g_, options_, q, &sols, nullptr, &arena_pool());
   for (const Solution& s : sols) callback(s);
   return stats;
 }
 
 uint64_t Matcher::Count(const QueryGraph& q, MatchStats* stats) const {
-  MatchStats s = MatchImpl(g_, options_, q, nullptr, nullptr);
+  MatchStats s = MatchImpl(g_, options_, q, nullptr, nullptr, &arena_pool());
   if (stats) *stats = s;
   return s.num_solutions;
 }
 
 std::vector<Solution> Matcher::FindAll(const QueryGraph& q, MatchStats* stats) const {
   std::vector<Solution> out;
-  MatchStats s = MatchImpl(g_, options_, q, &out, nullptr);
+  MatchStats s = MatchImpl(g_, options_, q, &out, nullptr, &arena_pool());
   if (stats) *stats = s;
   return out;
 }

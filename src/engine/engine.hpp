@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "engine/options.hpp"
+#include "engine/region_arena.hpp"
 #include "graph/data_graph.hpp"
 #include "graph/query_graph.hpp"
 
@@ -35,8 +36,13 @@ using SolutionCallback = std::function<void(std::span<const VertexId>)>;
 
 class Matcher {
  public:
-  explicit Matcher(const graph::DataGraph& g, MatchOptions options = {})
-      : g_(g), options_(options) {}
+  /// `shared_pool` (optional) supplies the RegionArena checkout pool; when
+  /// null the Matcher owns a private one. Passing a long-lived pool (as
+  /// TurboBgpSolver does) lets per-query Matcher instances stay cheap while
+  /// candidate-region memory is still reused across queries.
+  explicit Matcher(const graph::DataGraph& g, MatchOptions options = {},
+                   ArenaPool* shared_pool = nullptr)
+      : g_(g), options_(options), shared_pool_(shared_pool) {}
 
   /// Enumerates all e-graph homomorphisms (or isomorphisms) of `q` in the
   /// data graph. The callback, if provided, is invoked sequentially (in
@@ -59,10 +65,14 @@ class Matcher {
   const MatchOptions& options() const { return options_; }
   MatchOptions& mutable_options() { return options_; }
   const graph::DataGraph& data_graph() const { return g_; }
+  /// The arena checkout pool in effect (shared or owned).
+  ArenaPool& arena_pool() const { return shared_pool_ ? *shared_pool_ : own_pool_; }
 
  private:
   const graph::DataGraph& g_;
   MatchOptions options_;
+  ArenaPool* shared_pool_ = nullptr;
+  mutable ArenaPool own_pool_;
 };
 
 }  // namespace turbo::engine

@@ -26,6 +26,14 @@ struct MatchOptions {
   /// +REUSE — compute the matching order for the first candidate region only.
   bool reuse_matching_order = true;
 
+  /// Pool candidate-region storage (CR lists, exploration memo, search
+  /// scratch) in per-worker RegionArenas that are reset — not freed —
+  /// between starting vertices and reused across queries via the Matcher's
+  /// ArenaPool. When false, every worker allocates fresh per-region
+  /// containers exactly like the seed implementation; both paths are
+  /// crosschecked in tests/solver_crosscheck_test.cpp.
+  bool reuse_region_memory = true;
+
   /// Match against L_simple(v) (simple entailment regime, §4.2) instead of
   /// the inferred label closure L(v).
   bool simple_entailment = false;
@@ -55,6 +63,9 @@ struct MatchStats {
   uint64_t cr_candidate_vertices = 0; ///< total candidates across all CRs
   uint64_t isjoinable_checks = 0;     ///< membership probes (non-+INT path)
   uint64_t intersection_ops = 0;      ///< k-way intersections (+INT path)
+  uint64_t arena_workers = 0;         ///< RegionArenas checked out for the run
+  uint64_t arena_warm = 0;            ///< arenas reused from a previous query
+  uint64_t arena_bytes = 0;           ///< resident arena capacity after the run
   double explore_ms = 0;              ///< time in ExploreCandidateRegion
   double search_ms = 0;               ///< time in SubgraphSearch
   double order_ms = 0;                ///< time in DetermineMatchingOrder
@@ -72,6 +83,9 @@ struct MatchStats {
     cr_candidate_vertices += o.cr_candidate_vertices;
     isjoinable_checks += o.isjoinable_checks;
     intersection_ops += o.intersection_ops;
+    arena_workers += o.arena_workers;
+    arena_warm += o.arena_warm;
+    arena_bytes += o.arena_bytes;
     explore_ms += o.explore_ms;
     search_ms += o.search_ms;
     order_ms += o.order_ms;

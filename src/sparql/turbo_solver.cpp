@@ -397,7 +397,7 @@ util::Status TurboBgpSolver::EvaluateOne(const std::vector<TriplePattern>& bgp,
     // Common case: stream solutions straight from the engine — no
     // intermediate materialization (important for the point-shaped queries
     // like LUBM Q6/Q14 whose cost is dominated by result delivery).
-    engine::Matcher matcher(g_, options_);
+    engine::Matcher matcher(g_, options_, &arena_pool_);
     engine::MatchStats stats =
         matcher.Match(q, [&](std::span<const VertexId> sol) {
           for (uint32_t u = 0; u < q.num_vertices(); ++u) m[u] = sol[u];
@@ -428,7 +428,7 @@ util::Status TurboBgpSolver::EvaluateOne(const std::vector<TriplePattern>& bgp,
         le.to = local_idx[e.to];
         sub.AddEdge(le);
       }
-      engine::Matcher matcher(g_, options_);
+      engine::Matcher matcher(g_, options_, &arena_pool_);
       engine::MatchStats stats;
       comp_solutions[c] = matcher.FindAll(sub, &stats);
       last_stats_.MergeFrom(stats);

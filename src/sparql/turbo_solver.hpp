@@ -34,6 +34,12 @@ class TurboBgpSolver : public BgpSolver {
   const engine::MatchStats& last_stats() const { return last_stats_; }
   void ResetStats() { last_stats_ = {}; }
 
+  /// RegionArena pool shared by every Matcher this solver spawns, so
+  /// candidate-region memory is reused across Evaluate calls (the executor
+  /// re-enters Evaluate once per OPTIONAL input row — exactly the workload
+  /// arena reuse targets).
+  engine::ArenaPool& arena_pool() const { return arena_pool_; }
+
  private:
   util::Status EvaluateOne(const std::vector<TriplePattern>& bgp, const VarRegistry& vars,
                            const Row& bound, const std::vector<const FilterExpr*>& pushable,
@@ -43,6 +49,7 @@ class TurboBgpSolver : public BgpSolver {
   const rdf::Dictionary& dict_;
   engine::MatchOptions options_;
   mutable engine::MatchStats last_stats_;
+  mutable engine::ArenaPool arena_pool_;
 };
 
 }  // namespace turbo::sparql

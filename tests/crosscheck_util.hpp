@@ -10,11 +10,21 @@
 // tests/solver_crosscheck_test.cpp is the primary consumer; any PR touching
 // the engine hot path can include this header and crosscheck its variant
 // against the baselines on the same seeded cases.
+//
+// Two fuzz tiers live here:
+//   * MakeRandomCase      — small graphs (<= ~15 entities), bare BGPs, used
+//     by the exhaustive all-toggle matrix;
+//   * MakeExecutorFuzzCase — the nightly-scale tier: 100-500 entity graphs
+//     and full SELECT queries with OPTIONAL / FILTER / UNION, evaluated
+//     through the sparql::Executor so the solver integration (bound-row
+//     re-entry, filter pushdown, left-join extension) is differentially
+//     tested too. Iteration count is scaled by $TURBO_FUZZ_ITERS.
 #pragma once
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <set>
 #include <string>
 #include <utility>
@@ -26,6 +36,7 @@
 #include "rdf/triple.hpp"
 #include "rdf/vocabulary.hpp"
 #include "sparql/ast.hpp"
+#include "sparql/executor.hpp"
 #include "sparql/solver.hpp"
 #include "util/rng.hpp"
 
@@ -289,19 +300,216 @@ inline std::string DescribeCase(const RandomCase& c, uint64_t seed) {
   return s;
 }
 
-/// All 16 combinations of the §4.3 toggles.
+/// All 32 combinations of the §4.3 toggles × reuse_region_memory. The first
+/// 16 entries (reuse on, the default) are the paper's 16-toggle matrix; the
+/// second 16 repeat it over the legacy allocation path, so every toggle
+/// combination is differentially checked on both region-storage layouts.
 inline std::vector<MatchOptions> AllToggleCombos(MatchSemantics sem) {
   std::vector<MatchOptions> out;
-  for (int mask = 0; mask < 16; ++mask) {
+  for (int mask = 0; mask < 32; ++mask) {
     MatchOptions o;
     o.semantics = sem;
     o.use_intersection = mask & 1;
     o.use_nlf = mask & 2;
     o.use_degree_filter = mask & 4;
     o.reuse_matching_order = mask & 8;
+    o.reuse_region_memory = !(mask & 16);
     out.push_back(o);
   }
   return out;
+}
+
+/// Names the §4.3 + region-reuse toggles of `o` for failure messages.
+inline std::string DescribeToggles(const MatchOptions& o) {
+  return " [INT=" + std::to_string(o.use_intersection) +
+         " NLF=" + std::to_string(o.use_nlf) +
+         " DEG=" + std::to_string(o.use_degree_filter) +
+         " REUSE=" + std::to_string(o.reuse_matching_order) +
+         " ARENA=" + std::to_string(o.reuse_region_memory) + "]";
+}
+
+// ---------------------------------------------------------------------------
+// Nightly-scale executor-level fuzz tier.
+// ---------------------------------------------------------------------------
+
+/// Iteration count for the large-graph tier: $TURBO_FUZZ_ITERS when set
+/// (nightly CI uses hundreds), else `dflt` (kept small so the tier still
+/// runs — and catches gross breakage — in every plain ctest invocation).
+inline uint64_t FuzzItersFromEnv(uint64_t dflt) {
+  const char* env = std::getenv("TURBO_FUZZ_ITERS");
+  if (!env || !*env) return dflt;
+  uint64_t v = std::strtoull(env, nullptr, 10);
+  return v > 0 ? v : dflt;
+}
+
+inline std::string ValPredIri() { return "http://x/val"; }
+
+/// Large random dataset for the nightly tier: 100-500 entities, a subclass
+/// chain, random types and edges, plus integer-literal attribute triples
+/// (predicate ValPredIri) so FILTER comparisons have something numeric.
+inline rdf::Dataset MakeLargeRandomDataset(util::Rng& rng) {
+  rdf::Dataset ds;
+  const uint64_t n_entities = 100 + rng.Below(401);  // 100..500
+  const uint64_t n_preds = 3 + rng.Below(4);         // 3..6
+  const uint64_t n_classes = 3 + rng.Below(4);       // 3..6
+  for (uint64_t c = 1; c < n_classes; ++c)
+    if (rng.Chance(0.5))
+      ds.AddIri(ClassIri(c), std::string(rdf::vocab::kRdfsSubClassOf), ClassIri(c - 1));
+  for (uint64_t v = 0; v < n_entities; ++v) {
+    const uint64_t n_types = rng.Below(3);
+    for (uint64_t t = 0; t < n_types; ++t)
+      ds.AddIri(EntityIri(v), std::string(rdf::vocab::kRdfType),
+                ClassIri(rng.Below(n_classes)));
+    if (rng.Chance(0.4))
+      ds.Add(rdf::Term::Iri(EntityIri(v)), rdf::Term::Iri(ValPredIri()),
+             rdf::Term::TypedLiteral(std::to_string(rng.Below(100)),
+                                     "http://www.w3.org/2001/XMLSchema#integer"));
+  }
+  const uint64_t n_edges = 2 * n_entities + rng.Below(2 * n_entities);
+  for (uint64_t e = 0; e < n_edges; ++e)
+    ds.AddIri(EntityIri(rng.Below(n_entities)), PredIri(rng.Below(n_preds)),
+              EntityIri(rng.Below(n_entities)));
+  if (rng.Chance(0.5)) rdf::MaterializeInference(&ds);
+  return ds;
+}
+
+struct ExecutorFuzzCase {
+  rdf::Dataset ds;
+  sparql::SelectQuery query;
+  std::string description;
+};
+
+/// Random SELECT query over a large dataset: a data-sampled connected base
+/// BGP (2-3 vertex variables) decorated with OPTIONAL groups, numeric /
+/// equality FILTERs, a UNION block, and occasionally DISTINCT. All
+/// decorations are randomized independently so the executor paths compose.
+inline ExecutorFuzzCase MakeExecutorFuzzCase(uint64_t seed) {
+  util::Rng rng(seed);
+  ExecutorFuzzCase c;
+  c.ds = MakeLargeRandomDataset(rng);
+  const rdf::Dataset& ds = c.ds;
+  sparql::GroupPattern& where = c.query.where;
+
+  std::vector<rdf::Triple> edges;  // entity->entity edges only (walkable)
+  std::vector<TermId> preds;
+  {
+    auto val_p = ds.dict().FindIri(ValPredIri());
+    for (const rdf::Triple& t : EdgeTriples(ds)) {
+      if (val_p && t.p == *val_p) continue;
+      edges.push_back(t);
+      preds.push_back(t.p);
+    }
+    std::sort(preds.begin(), preds.end());
+    preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+  }
+  if (edges.empty()) return c;  // degenerate; caller skips empty queries
+
+  auto var = [](const std::string& n) { return sparql::PatternTerm::Var(n); };
+  auto slot = [&](uint64_t i) { return var("v" + std::to_string(i)); };
+
+  // Base BGP: random walk over data triples, so a witness is guaranteed.
+  const uint64_t n_slots = 2 + rng.Below(2);  // 2..3
+  std::vector<TermId> slot_entity(n_slots, kInvalidId);
+  rdf::Triple t0 = edges[rng.Below(edges.size())];
+  slot_entity[0] = t0.s;
+  slot_entity[1] = t0.o;
+  where.triples.push_back({slot(0), ConstIri(ds, t0.p), slot(1)});
+  uint64_t placed = 2;
+  for (; placed < n_slots; ++placed) {
+    std::vector<std::pair<rdf::Triple, bool>> touching;
+    for (const rdf::Triple& t : edges)
+      for (uint64_t j = 0; j < placed; ++j) {
+        if (t.s == slot_entity[j]) touching.push_back({t, true});
+        if (t.o == slot_entity[j]) touching.push_back({t, false});
+      }
+    if (touching.empty()) break;
+    auto [t, placed_is_subj] = touching[rng.Below(touching.size())];
+    slot_entity[placed] = placed_is_subj ? t.o : t.s;
+    TermId anchor_entity = placed_is_subj ? t.s : t.o;
+    uint64_t anchor = 0;
+    for (uint64_t j = 0; j < placed; ++j)
+      if (slot_entity[j] == anchor_entity) { anchor = j; break; }
+    if (placed_is_subj)
+      where.triples.push_back({slot(anchor), ConstIri(ds, t.p), slot(placed)});
+    else
+      where.triples.push_back({slot(placed), ConstIri(ds, t.p), slot(anchor)});
+  }
+
+  auto rand_slot = [&] { return rng.Below(placed); };
+  auto rand_pred = [&] { return ConstIri(ds, preds[rng.Below(preds.size())]); };
+
+  // Type constraint on one slot (folds into labels under type-aware).
+  if (auto type_p = ds.dict().FindIri(std::string(rdf::vocab::kRdfType));
+      type_p && rng.Chance(0.4)) {
+    uint64_t i = rand_slot();
+    std::vector<TermId> types;
+    for (const rdf::Triple& t : ds.triples())
+      if (t.p == *type_p && t.s == slot_entity[i]) types.push_back(t.o);
+    if (!types.empty())
+      where.triples.push_back({slot(i), ConstIri(ds, *type_p),
+                               ConstIri(ds, types[rng.Below(types.size())])});
+  }
+
+  // Numeric FILTER over the val attribute of one slot.
+  if (auto val_p = ds.dict().FindIri(ValPredIri()); val_p && rng.Chance(0.5)) {
+    where.triples.push_back({slot(rand_slot()), ConstIri(ds, *val_p), var("x")});
+    auto cmp = rng.Chance(0.5) ? sparql::FilterExpr::Op::kGe : sparql::FilterExpr::Op::kLt;
+    where.filters.push_back(sparql::FilterExpr::MakeBinary(
+        cmp, sparql::FilterExpr::MakeVar("x"),
+        sparql::FilterExpr::MakeLiteral(rdf::Term::TypedLiteral(
+            std::to_string(rng.Below(100)), "http://www.w3.org/2001/XMLSchema#integer"))));
+  }
+
+  // Equality FILTER pinning one slot to its witness entity.
+  if (rng.Chance(0.25)) {
+    uint64_t i = rand_slot();
+    where.filters.push_back(sparql::FilterExpr::MakeBinary(
+        sparql::FilterExpr::Op::kEq, sparql::FilterExpr::MakeVar("v" + std::to_string(i)),
+        sparql::FilterExpr::MakeLiteral(ds.dict().term(slot_entity[i]))));
+  }
+
+  // OPTIONAL: one or two patterns hanging off a base slot; the predicate is
+  // random, so unmatched optionals (unbound columns) occur regularly.
+  if (rng.Chance(0.6)) {
+    sparql::GroupPattern opt;
+    uint64_t i = rand_slot();
+    opt.triples.push_back({slot(i), rand_pred(), var("o0")});
+    if (rng.Chance(0.3)) opt.triples.push_back({var("o0"), rand_pred(), var("o1")});
+    where.optionals.push_back(std::move(opt));
+  }
+
+  // UNION: two single-pattern branches over the same fresh variable.
+  if (rng.Chance(0.4)) {
+    uint64_t i = rand_slot();
+    sparql::GroupPattern b1, b2;
+    b1.triples.push_back({slot(i), rand_pred(), var("u")});
+    b2.triples.push_back({var("u"), rand_pred(), slot(i)});
+    where.unions.push_back({std::move(b1), std::move(b2)});
+  }
+
+  c.query.distinct = rng.Chance(0.3);
+
+  c.description = "seed=" + std::to_string(seed) +
+                  " entities~" + std::to_string(ds.dict().size()) +
+                  " triples=" + std::to_string(ds.size()) +
+                  " base=" + std::to_string(where.triples.size()) +
+                  " opt=" + std::to_string(where.optionals.size()) +
+                  " filters=" + std::to_string(where.filters.size()) +
+                  " unions=" + std::to_string(where.unions.size()) +
+                  (c.query.distinct ? " distinct" : "");
+  return c;
+}
+
+/// Runs `q` through the executor on `solver` and returns the sorted rows.
+inline std::vector<Row> RunExecutor(const sparql::BgpSolver& solver,
+                                    const sparql::SelectQuery& q) {
+  sparql::Executor ex(&solver);
+  auto r = ex.Execute(q);
+  EXPECT_TRUE(r.ok()) << r.message();
+  if (!r.ok()) return {};
+  std::vector<Row> rows = std::move(r.value().rows);
+  std::sort(rows.begin(), rows.end());
+  return rows;
 }
 
 }  // namespace turbo::testing::crosscheck

@@ -58,16 +58,10 @@ TEST(SolverCrosscheck, RandomizedBgpAllTogglesBothSemantics) {
     graph::DataGraph typed = graph::DataGraph::Build(c.ds, graph::TransformMode::kTypeAware);
 
     for (const MatchOptions& o : AllToggleCombos(MatchSemantics::kHomomorphism)) {
-      auto toggles = [&] {
-        return " [INT=" + std::to_string(o.use_intersection) +
-               " NLF=" + std::to_string(o.use_nlf) +
-               " DEG=" + std::to_string(o.use_degree_filter) +
-               " REUSE=" + std::to_string(o.reuse_matching_order) + "]";
-      };
       sparql::TurboBgpSolver turbo_typed(typed, c.ds.dict(), o);
-      EXPECT_EQ(reference, Evaluate(turbo_typed, c)) << "type-aware" << toggles();
+      EXPECT_EQ(reference, Evaluate(turbo_typed, c)) << "type-aware" << DescribeToggles(o);
       sparql::TurboBgpSolver turbo_direct(direct, c.ds.dict(), o);
-      EXPECT_EQ(reference, Evaluate(turbo_direct, c)) << "direct" << toggles();
+      EXPECT_EQ(reference, Evaluate(turbo_direct, c)) << "direct" << DescribeToggles(o);
     }
 
     // Isomorphism: only when query vertices coincide exactly with the
@@ -163,11 +157,78 @@ TEST(SolverCrosscheck, MatcherVsBruteForceOnRandomGraphs) {
         std::sort(got.begin(), got.end());
         EXPECT_EQ(expected, got)
             << "sem=" << (sem == MatchSemantics::kHomomorphism ? "hom" : "iso")
-            << " INT=" << o.use_intersection << " NLF=" << o.use_nlf
-            << " DEG=" << o.use_degree_filter << " REUSE=" << o.reuse_matching_order;
+            << DescribeToggles(o);
       }
     }
     if (::testing::Test::HasFailure()) break;
+  }
+}
+
+// Nightly-scale fuzz tier: 100-500 entity graphs and full SELECT queries
+// (OPTIONAL / FILTER / UNION / DISTINCT) evaluated through the
+// sparql::Executor, so the solver integration — bound-row re-entry for
+// OPTIONAL, filter pushdown, RegionArena reuse across the executor's many
+// Evaluate calls — is differentially tested, not just bare BGP matching.
+//
+// Runs a handful of seeds by default (fast enough for every ctest run);
+// nightly CI scales it up with TURBO_FUZZ_ITERS=150+. Both region-storage
+// modes and a parallel configuration are checked against both baselines.
+TEST(SolverCrosscheck, LargeGraphExecutorFuzz) {
+  const uint64_t iters = FuzzItersFromEnv(5);
+  constexpr size_t kRowCap = 50000;  // skip pathological row explosions
+  uint64_t nonempty = 0, skipped = 0;
+  for (uint64_t seed = 1000; seed < 1000 + iters; ++seed) {
+    ExecutorFuzzCase c = MakeExecutorFuzzCase(seed);
+    SCOPED_TRACE(c.description);
+    if (c.query.where.triples.empty()) continue;
+
+    baseline::TripleIndex index(c.ds);
+    baseline::SortMergeBgpSolver sort_merge(index, c.ds.dict());
+    baseline::IndexJoinBgpSolver index_join(index, c.ds.dict());
+
+    const std::vector<Row> reference = RunExecutor(sort_merge, c.query);
+    if (reference.size() > kRowCap) {
+      ++skipped;
+      continue;
+    }
+    if (!reference.empty()) ++nonempty;
+    EXPECT_EQ(reference, RunExecutor(index_join, c.query)) << "baselines disagree";
+
+    graph::DataGraph direct = graph::DataGraph::Build(c.ds, graph::TransformMode::kDirect);
+    graph::DataGraph typed = graph::DataGraph::Build(c.ds, graph::TransformMode::kTypeAware);
+
+    for (bool reuse : {true, false}) {
+      MatchOptions o;
+      o.reuse_region_memory = reuse;
+      sparql::TurboBgpSolver turbo_typed(typed, c.ds.dict(), o);
+      EXPECT_EQ(reference, RunExecutor(turbo_typed, c.query))
+          << "type-aware" << DescribeToggles(o);
+      sparql::TurboBgpSolver turbo_direct(direct, c.ds.dict(), o);
+      EXPECT_EQ(reference, RunExecutor(turbo_direct, c.query))
+          << "direct" << DescribeToggles(o);
+      if (reuse) {
+        // The solver's arena pool must actually have been exercised: the
+        // executor re-enters Evaluate per OPTIONAL row, and every worker
+        // checkout after the first should find a warm arena.
+        const engine::MatchStats& st = turbo_typed.last_stats();
+        EXPECT_GT(st.arena_workers, 0u);
+        EXPECT_EQ(st.arena_warm + 1, st.arena_workers)
+            << "expected all checkouts after the first to reuse a warm arena";
+      }
+    }
+    {
+      MatchOptions o;
+      o.num_threads = 3;
+      sparql::TurboBgpSolver turbo_par(typed, c.ds.dict(), o);
+      EXPECT_EQ(reference, RunExecutor(turbo_par, c.query)) << "parallel type-aware";
+    }
+    if (::testing::Test::HasFailure()) break;
+  }
+  if (!::testing::Test::HasFailure() && skipped < iters) {
+    // The generator guarantees a witness for the base BGP; decorations can
+    // filter everything out sometimes, but a mostly-empty run means the
+    // tier regressed into testing nothing.
+    EXPECT_GE(nonempty, (iters - skipped) / 2);
   }
 }
 
