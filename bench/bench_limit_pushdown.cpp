@@ -1,0 +1,122 @@
+// LIMIT pushdown micro-bench: for the increasing-solution LUBM queries
+// (Q2/Q6/Q9/Q13/Q14 — the ones whose answer grows with scale), compare a
+// full enumeration against a 10-row cursor budget through the QueryEngine
+// streaming API. The budget propagates a stop into SubgraphSearch, so both
+// elapsed time AND enumeration work (starting vertices tried, solutions
+// produced) should collapse; before the stop-aware pipeline the only way to
+// get 10 rows was to materialize everything and truncate.
+//
+// With BENCH_JSON=<path> the run emits the machine-tagged report consumed by
+// bench/compare_results.py; bench/results/limit_pushdown.json is the
+// checked-in reference-VM baseline. Entries are named
+// LUBM<n>/Q<i>/{full,limit10} with metrics ms / rows / starts / solutions.
+#include "bench_common.hpp"
+#include "bench_json.hpp"
+#include "workload/lubm.hpp"
+
+using namespace turbo;
+
+namespace {
+
+constexpr uint64_t kBudget = 10;
+
+struct Measured {
+  double ms = 0;
+  size_t rows = 0;
+  uint64_t starts = 0;      ///< MatchStats::num_start_candidates
+  uint64_t solutions = 0;   ///< MatchStats::num_solutions
+};
+
+Measured TimeCursor(const sparql::QueryEngine& engine, const std::string& query,
+                    const sparql::ExecOptions& opts, int reps) {
+  Measured result;
+  std::vector<double> times;
+  const sparql::TurboBgpSolver* solver = engine.turbo_solver();
+  for (int i = 0; i < reps; ++i) {
+    solver->ResetStats();
+    util::WallTimer t;
+    auto cursor = engine.Open(query, opts);
+    size_t rows = 0;
+    if (cursor.ok()) {
+      sparql::Row row;
+      while (cursor.value().Next(&row)) ++rows;
+    }
+    double ms = t.ElapsedMillis();
+    result.rows = rows;
+    result.starts = solver->last_stats().num_start_candidates;
+    result.solutions = solver->last_stats().num_solutions;
+    times.push_back(ms);
+    if (ms > 2000 && i == 0) break;
+  }
+  if (times.size() >= 3) {
+    std::sort(times.begin(), times.end());
+    double sum = 0;
+    for (size_t i = 1; i + 1 < times.size(); ++i) sum += times[i];
+    result.ms = sum / (times.size() - 2);
+  } else {
+    double sum = 0;
+    for (double t : times) sum += t;
+    result.ms = sum / times.size();
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  auto scales = bench::ScalesFromEnv("LUBM_SCALES", {2, 8});
+  auto queries = workload::LubmQueries();
+  const int reps = bench::RepsFromEnv();
+  // The increasing-solution queries of §7.2 (1-based indices).
+  const int increasing[] = {2, 6, 9, 13, 14};
+
+  bench::BenchReport report;
+  report.bench = "bench_limit_pushdown";
+  report.machine = bench::MachineTag();
+  report.config["budget"] = std::to_string(kBudget);
+  report.config["reps"] = std::to_string(reps);
+
+  for (uint32_t n : scales) {
+    workload::LubmConfig cfg;
+    cfg.num_universities = n;
+    util::WallTimer prep;
+    rdf::Dataset ds = workload::GenerateLubmClosed(cfg);
+    std::printf("\n[LUBM%u: %zu triples, prep %.1fs]\n", n, ds.size(),
+                prep.ElapsedSeconds());
+    sparql::QueryEngine engine(std::move(ds));
+
+    bench::PrintHeader("LIMIT pushdown: full enumeration vs " +
+                       std::to_string(kBudget) + "-row cursor budget [ms]");
+    bench::PrintRow("query", {"full ms", "limit ms", "speedup", "full starts",
+                              "limit starts", "full rows"});
+    for (int qi : increasing) {
+      const std::string& query = queries[qi - 1];
+      Measured full = TimeCursor(engine, query, {}, reps);
+      sparql::ExecOptions budget;
+      budget.limit_budget = kBudget;
+      Measured limited = TimeCursor(engine, query, budget, reps);
+
+      char speedup[32];
+      std::snprintf(speedup, sizeof(speedup), "%.1fx",
+                    limited.ms > 0 ? full.ms / limited.ms : 0.0);
+      bench::PrintRow("Q" + std::to_string(qi),
+                      {bench::Ms(full.ms), bench::Ms(limited.ms), speedup,
+                       bench::Num(full.starts), bench::Num(limited.starts),
+                       bench::Num(full.rows)});
+
+      for (const auto& [tag, m] :
+           {std::pair<const char*, const Measured&>{"full", full},
+            std::pair<const char*, const Measured&>{"limit10", limited}}) {
+        bench::BenchResult res;
+        res.name = "LUBM" + std::to_string(n) + "/Q" + std::to_string(qi) + "/" + tag;
+        res.metrics["ms"] = m.ms;
+        res.metrics["rows"] = static_cast<double>(m.rows);
+        res.metrics["starts"] = static_cast<double>(m.starts);
+        res.metrics["solutions"] = static_cast<double>(m.solutions);
+        report.results.push_back(std::move(res));
+      }
+    }
+  }
+  bench::MaybeWriteJson(report);
+  return 0;
+}

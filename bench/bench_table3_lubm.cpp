@@ -46,19 +46,21 @@ int main() {
     for (int i = 1; i <= 14; ++i) header.push_back("Q" + std::to_string(i));
     bench::PrintRow("engine", header);
 
+    // Each solver is driven through the QueryEngine facade — the same
+    // prepared-query + cursor path a service front-end uses.
     struct Row {
       const char* name;
-      const sparql::BgpSolver* solver;
+      sparql::QueryEngine engine;
     } rows[] = {
-        {"TurboHOM++", &engines.turbo},
-        {"SortMerge(RDF-3X-like)", &engines.sortmerge},
-        {"IndexJoin(Sys-X-like)", &engines.indexjoin},
-        {"TurboHOM(direct)", &engines.turbo_direct},
+        {"TurboHOM++", sparql::QueryEngine(&engines.turbo)},
+        {"SortMerge(RDF-3X-like)", sparql::QueryEngine(&engines.sortmerge)},
+        {"IndexJoin(Sys-X-like)", sparql::QueryEngine(&engines.indexjoin)},
+        {"TurboHOM(direct)", sparql::QueryEngine(&engines.turbo_direct)},
     };
     for (const auto& row : rows) {
       std::vector<std::string> cells;
       for (size_t qi = 0; qi < queries.size(); ++qi) {
-        bench::Timed t = bench::TimeQuery(*row.solver, queries[qi]);
+        bench::Timed t = bench::TimeQuery(row.engine, queries[qi]);
         cells.push_back(bench::Ms(t.ms));
         bench::BenchResult res;
         res.name = "LUBM" + std::to_string(n) + "/Q" + std::to_string(qi + 1) + "/" +

@@ -1,30 +1,47 @@
 // BSBM explore example: the general SPARQL features of Section 5.1 —
 // OPTIONAL (nullify-and-keep-searching semantics), FILTER (numeric, join
-// conditions, regex) and UNION — on the e-commerce workload.
+// conditions, regex) and UNION — on the e-commerce workload, driven through
+// the QueryEngine streaming API. The per-query row cap is a cursor budget
+// (ExecOptions::limit_budget), so display truncation also stops the
+// underlying enumeration.
 //
 //   $ ./examples/bsbm_explore
 #include <cstdio>
 
-#include "graph/data_graph.hpp"
-#include "sparql/executor.hpp"
-#include "sparql/turbo_solver.hpp"
+#include "sparql/query_engine.hpp"
 #include "workload/bsbm.hpp"
 
 using namespace turbo;
 
 namespace {
 
-void Show(const sparql::Executor& ex, const rdf::Dictionary& dict, const char* title,
-          const std::string& query, size_t max_rows = 5) {
+void Show(const sparql::QueryEngine& engine, const char* title,
+          const std::string& query, uint64_t max_rows = 5) {
   std::printf("\n-- %s --\n", title);
-  auto r = ex.Execute(query);
-  if (!r.ok()) {
-    std::fprintf(stderr, "error: %s\n", r.message().c_str());
+  auto prepared = engine.Prepare(query);
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "error: %s\n", prepared.message().c_str());
     return;
   }
-  std::printf("%zu rows\n", r.value().rows.size());
-  for (size_t i = 0; i < r.value().rows.size() && i < max_rows; ++i)
-    std::printf("  %s\n", sparql::FormatRow(r.value(), i, dict).c_str());
+  // First pass: count everything (materializing nothing on our side).
+  auto all = engine.Open(prepared.value());
+  size_t total = 0;
+  sparql::Row row;
+  if (all.ok())
+    while (all.value().Next(&row)) ++total;
+  std::printf("%zu rows\n", total);
+  // Second pass: stream only the rows we display — the budget pushes the
+  // stop down into the matcher.
+  sparql::ExecOptions opts;
+  opts.limit_budget = max_rows;
+  auto cursor = engine.Open(prepared.value(), opts);
+  if (!cursor.ok()) {
+    std::fprintf(stderr, "error: %s\n", cursor.message().c_str());
+    return;
+  }
+  while (cursor.value().Next(&row))
+    std::printf("  %s\n",
+                sparql::FormatRow(cursor.value().var_names(), row, engine.dict()).c_str());
 }
 
 }  // namespace
@@ -33,31 +50,30 @@ int main() {
   workload::BsbmConfig cfg;
   cfg.num_products = 1000;
   rdf::Dataset ds = workload::GenerateBsbmClosed(cfg);
-  graph::DataGraph g = graph::DataGraph::Build(ds, graph::TransformMode::kTypeAware);
-  sparql::TurboBgpSolver solver(g, ds.dict());
-  sparql::Executor ex(&solver);
-  std::printf("BSBM-like dataset: %zu triples\n", ds.size());
+  size_t num_triples = ds.size();
+  sparql::QueryEngine engine(std::move(ds));
+  std::printf("BSBM-like dataset: %zu triples\n", num_triples);
 
   const std::string pfx = std::string("PREFIX bsbm: <") + workload::kBsbmPrefix +
                           "> PREFIX inst: <" + workload::kBsbmInst +
                           "> PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#> ";
 
   // OPTIONAL: offers may or may not exist for a product.
-  Show(ex, ds.dict(), "OPTIONAL (paper Figure 12 pattern)",
+  Show(engine, "OPTIONAL (paper Figure 12 pattern)",
        pfx +
            "SELECT ?price ?rating WHERE { inst:Product1 rdfs:label ?label . "
            "OPTIONAL { ?offer bsbm:product inst:Product1 . ?offer bsbm:price ?price . } "
            "OPTIONAL { ?review bsbm:reviewFor inst:Product1 . ?review bsbm:rating1 ?rating . } }");
 
   // FILTER with a join condition (paper Figure 13 pattern).
-  Show(ex, ds.dict(), "FILTER join condition (products rated above Product1)",
+  Show(engine, "FILTER join condition (products rated above Product1)",
        pfx +
            "SELECT DISTINCT ?product WHERE { "
            "?r1 bsbm:reviewFor inst:Product1 . ?r1 bsbm:rating1 ?v1 . "
            "?r2 bsbm:reviewFor ?product . ?r2 bsbm:rating1 ?v2 . FILTER(?v2 > ?v1) } LIMIT 50");
 
   // UNION (paper Figure 14 pattern).
-  Show(ex, ds.dict(), "UNION (feature1 or feature2)",
+  Show(engine, "UNION (feature1 or feature2)",
        pfx +
            "SELECT ?product WHERE { "
            "{ ?product a bsbm:Product . ?product bsbm:productFeature inst:ProductFeature1 . } "
@@ -65,7 +81,7 @@ int main() {
            "{ ?product a bsbm:Product . ?product bsbm:productFeature inst:ProductFeature2 . } }");
 
   // Regex FILTER (the expensive BSBM Q6 shape).
-  Show(ex, ds.dict(), "regex FILTER",
+  Show(engine, "regex FILTER",
        pfx +
            "SELECT ?product ?label WHERE { ?product rdfs:label ?label . "
            "?product a bsbm:Product . FILTER(regex(?label, \"golden.*violet\")) }");

@@ -1,15 +1,15 @@
-// Quickstart: load RDF from N-Triples, materialize inference, build the
-// type-aware graph, and answer SPARQL queries with TurboHOM++.
+// Quickstart: load RDF from N-Triples, materialize inference, and answer
+// SPARQL with the streaming query API — QueryEngine owns the type-aware
+// graph and the TurboHOM++ solver, Prepare() parses + plans once, and a
+// Cursor streams rows with stop-aware LIMIT pushdown.
 //
 //   $ ./examples/quickstart
 #include <cstdio>
 #include <string>
 
-#include "graph/data_graph.hpp"
 #include "rdf/ntriples.hpp"
 #include "rdf/reasoner.hpp"
-#include "sparql/executor.hpp"
-#include "sparql/turbo_solver.hpp"
+#include "sparql/query_engine.hpp"
 
 int main() {
   // 1. Parse a small RDF dataset (normally you would stream a file).
@@ -34,29 +34,50 @@ int main() {
   // 2. Materialize RDFS inference (alice becomes a Student via subClassOf).
   turbo::rdf::MaterializeInference(&dataset);
 
-  // 3. Build the type-aware transformed data graph (§4.1 of the paper).
-  turbo::graph::DataGraph graph =
-      turbo::graph::DataGraph::Build(dataset, turbo::graph::TransformMode::kTypeAware);
-  std::printf("graph: %u vertices, %llu edges, %u vertex labels\n", graph.num_vertices(),
-              static_cast<unsigned long long>(graph.num_edges()),
-              graph.num_vertex_labels());
+  // 3. Hand the closed dataset to the engine: it builds the type-aware
+  // transformed data graph (§4.1 of the paper) and the TurboHOM++ solver.
+  turbo::sparql::QueryEngine engine(std::move(dataset));
 
-  // 4. Answer SPARQL with the TurboHOM++ engine.
-  turbo::sparql::TurboBgpSolver solver(graph, dataset.dict());
-  turbo::sparql::Executor executor(&solver);
-  const std::string query =
+  // 4. Prepare once (parse + plan), then execute as often as you like.
+  auto prepared = engine.Prepare(
       "SELECT ?s ?n WHERE { "
       "  ?s a <http://ex/Student> . "
       "  ?s <http://ex/degreeFrom> <http://ex/mit> . "
-      "  ?s <http://ex/name> ?n . }";
-  auto result = executor.Execute(query);
-  if (!result.ok()) {
-    std::fprintf(stderr, "query error: %s\n", result.message().c_str());
+      "  ?s <http://ex/name> ?n . }");
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "query error: %s\n", prepared.message().c_str());
     return 1;
   }
-  std::printf("students with an MIT degree (%zu):\n", result.value().rows.size());
-  for (size_t i = 0; i < result.value().rows.size(); ++i)
+
+  // 5. Stream the rows through a cursor.
+  auto cursor = engine.Open(prepared.value());
+  if (!cursor.ok()) {
+    std::fprintf(stderr, "open error: %s\n", cursor.message().c_str());
+    return 1;
+  }
+  std::printf("students with an MIT degree:\n");
+  turbo::sparql::Row row;
+  size_t n = 0;
+  while (cursor.value().Next(&row)) {
     std::printf("  %s\n",
-                turbo::sparql::FormatRow(result.value(), i, dataset.dict()).c_str());
+                turbo::sparql::FormatRow(cursor.value().var_names(), row, engine.dict())
+                    .c_str());
+    ++n;
+  }
+  if (!cursor.value().status().ok()) {
+    std::fprintf(stderr, "query error: %s\n", cursor.value().status().message().c_str());
+    return 1;
+  }
+  std::printf("%zu rows\n", n);
+
+  // 6. The same prepared query under a delivery budget: LIMIT pushdown stops
+  // the subgraph search after the first row instead of enumerating all.
+  turbo::sparql::ExecOptions one_row;
+  one_row.limit_budget = 1;
+  auto first = engine.Open(prepared.value(), one_row);
+  if (first.ok() && first.value().Next(&row))
+    std::printf("first row only: %s\n",
+                turbo::sparql::FormatRow(first.value().var_names(), row, engine.dict())
+                    .c_str());
   return 0;
 }

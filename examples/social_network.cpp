@@ -66,6 +66,7 @@ int main() {
   hom.Match(q, [&](std::span<const VertexId> m) {
     std::printf("  manager=%s  e1=%s  e2=%s\n", name_of(m[0]).c_str(),
                 name_of(m[1]).c_str(), name_of(m[2]).c_str());
+    return true;  // keep enumerating (false would stop the search)
   });
 
   // Isomorphism: additionally requires distinct data vertices per query

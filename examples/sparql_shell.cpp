@@ -1,5 +1,8 @@
-// sparql_shell: command-line SPARQL processor over TurboHOM++ — the kind of
-// front-end a downstream user would drive the library with.
+// sparql_shell: command-line SPARQL processor over the streaming query API —
+// the kind of front-end a downstream user would drive the library with. The
+// QueryEngine facade owns the dataset and the chosen solver; every query
+// runs through Prepare + Open and streams rows from a Cursor as they clear
+// the solution modifiers, with optional per-query budgets.
 //
 //   # load N-Triples, run one query:
 //   $ ./examples/sparql_shell --nt data.nt 'SELECT ?s WHERE { ?s ?p ?o . }'
@@ -9,22 +12,20 @@
 //   $ ./examples/sparql_shell --lubm 2 --save lubm2.snap
 //   $ ./examples/sparql_shell --snap lubm2.snap 'SELECT ...'
 // Options: --direct (direct transformation), --engine turbo|sortmerge|indexjoin,
-//          --threads N, --no-inference.
+//          --threads N, --no-inference, --max-rows N (server-style delivery
+//          cap), --timeout-ms N (per-query deadline).
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
-#include <memory>
 #include <string>
 
-#include "baseline/solvers.hpp"
-#include "graph/data_graph.hpp"
 #include "rdf/ntriples.hpp"
 #include "rdf/reasoner.hpp"
 #include "rdf/snapshot.hpp"
 #include "rdf/turtle.hpp"
-#include "sparql/executor.hpp"
-#include "sparql/turbo_solver.hpp"
+#include "sparql/query_engine.hpp"
 #include "util/timer.hpp"
 #include "workload/lubm.hpp"
 
@@ -37,17 +38,41 @@ int Fail(const std::string& msg) {
   return 1;
 }
 
-void RunQuery(const sparql::Executor& ex, const rdf::Dictionary& dict,
+struct QueryLimits {
+  uint64_t max_rows = sparql::kNoBudget;
+  int64_t timeout_ms = -1;
+};
+
+void RunQuery(const sparql::QueryEngine& engine, const QueryLimits& limits,
               const std::string& query) {
   util::WallTimer t;
-  auto r = ex.Execute(query);
-  if (!r.ok()) {
-    std::fprintf(stderr, "error: %s\n", r.message().c_str());
+  auto prepared = engine.Prepare(query);
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "error: %s\n", prepared.message().c_str());
     return;
   }
-  for (size_t i = 0; i < r.value().rows.size(); ++i)
-    std::printf("%s\n", sparql::FormatRow(r.value(), i, dict).c_str());
-  std::printf("-- %zu rows in %.2f ms\n", r.value().rows.size(), t.ElapsedMillis());
+  sparql::ExecOptions opts;
+  opts.limit_budget = limits.max_rows;
+  if (limits.timeout_ms >= 0)
+    opts.deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(limits.timeout_ms);
+  auto cursor = engine.Open(prepared.value(), opts);
+  if (!cursor.ok()) {
+    std::fprintf(stderr, "error: %s\n", cursor.message().c_str());
+    return;
+  }
+  size_t rows = 0;
+  sparql::Row row;
+  while (cursor.value().Next(&row)) {
+    std::printf("%s\n",
+                sparql::FormatRow(cursor.value().var_names(), row, engine.dict()).c_str());
+    ++rows;
+  }
+  if (!cursor.value().status().ok()) {
+    std::fprintf(stderr, "error: %s\n", cursor.value().status().message().c_str());
+    return;
+  }
+  std::printf("-- %zu rows in %.2f ms\n", rows, t.ElapsedMillis());
 }
 
 }  // namespace
@@ -56,6 +81,7 @@ int main(int argc, char** argv) {
   std::string nt_path, ttl_path, snap_path, save_path, engine_name = "turbo", query;
   uint32_t lubm = 0, threads = 1;
   bool direct = false, inference = true;
+  QueryLimits limits;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
@@ -66,6 +92,8 @@ int main(int argc, char** argv) {
     else if (arg == "--lubm") lubm = std::atoi(next());
     else if (arg == "--engine") engine_name = next();
     else if (arg == "--threads") threads = std::atoi(next());
+    else if (arg == "--max-rows") limits.max_rows = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--timeout-ms") limits.timeout_ms = std::atoll(next());
     else if (arg == "--direct") direct = true;
     else if (arg == "--no-inference") inference = false;
     else query = arg;
@@ -108,32 +136,26 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "snapshot written to %s\n", save_path.c_str());
   }
 
-  // ---- Build the requested engine. ----
+  // ---- Build the requested engine behind the facade. ----
   t.Reset();
-  std::unique_ptr<graph::DataGraph> g;
-  std::unique_ptr<baseline::TripleIndex> index;
-  std::unique_ptr<sparql::BgpSolver> solver;
+  sparql::QueryEngine::Config config;
   if (engine_name == "turbo") {
-    g = std::make_unique<graph::DataGraph>(graph::DataGraph::Build(
-        ds, direct ? graph::TransformMode::kDirect : graph::TransformMode::kTypeAware));
-    engine::MatchOptions opts;
-    opts.num_threads = threads;
-    solver = std::make_unique<sparql::TurboBgpSolver>(*g, ds.dict(), opts);
-  } else if (engine_name == "sortmerge" || engine_name == "indexjoin") {
-    index = std::make_unique<baseline::TripleIndex>(ds);
-    if (engine_name == "sortmerge")
-      solver = std::make_unique<baseline::SortMergeBgpSolver>(*index, ds.dict());
-    else
-      solver = std::make_unique<baseline::IndexJoinBgpSolver>(*index, ds.dict());
+    config.solver = direct ? sparql::QueryEngine::SolverKind::kTurboDirect
+                           : sparql::QueryEngine::SolverKind::kTurbo;
+    config.engine_options.num_threads = threads;
+  } else if (engine_name == "sortmerge") {
+    config.solver = sparql::QueryEngine::SolverKind::kSortMerge;
+  } else if (engine_name == "indexjoin") {
+    config.solver = sparql::QueryEngine::SolverKind::kIndexJoin;
   } else {
     return Fail("unknown engine '" + engine_name + "'");
   }
+  sparql::QueryEngine engine(std::move(ds), config);
   std::fprintf(stderr, "engine '%s' ready (%.1fs)\n", engine_name.c_str(),
                t.ElapsedSeconds());
 
-  sparql::Executor ex(solver.get());
   if (!query.empty()) {
-    RunQuery(ex, ds.dict(), query);
+    RunQuery(engine, limits, query);
     return 0;
   }
   // REPL: one query per line (';' continues are not needed — queries are
@@ -141,7 +163,7 @@ int main(int argc, char** argv) {
   std::string line;
   std::fprintf(stderr, "sparql> ");
   while (std::getline(std::cin, line)) {
-    if (!line.empty() && line != "quit" && line != "exit") RunQuery(ex, ds.dict(), line);
+    if (!line.empty() && line != "quit" && line != "exit") RunQuery(engine, limits, line);
     if (line == "quit" || line == "exit") break;
     std::fprintf(stderr, "sparql> ");
   }

@@ -7,10 +7,28 @@ namespace turbo::baseline {
 
 namespace {
 
+using sparql::EmitResult;
+using sparql::EvalControl;
 using sparql::PatternTerm;
 using sparql::Row;
+using sparql::RowSink;
 using sparql::TriplePattern;
 using sparql::VarRegistry;
+
+/// Amortized cancellation probe: checks the control signals once every 4096
+/// calls so the per-row cost stays negligible.
+class ControlTicker {
+ public:
+  explicit ControlTicker(const EvalControl& control) : control_(control) {}
+  util::Status Tick() {
+    if ((++count_ & 0xFFF) == 0) return control_.Check();
+    return util::Status::Ok();
+  }
+
+ private:
+  const EvalControl& control_;
+  uint64_t count_ = 0;
+};
 
 /// One position of a resolved pattern: a constant term id or a variable
 /// index (constants include variables pre-bound by the executor).
@@ -83,9 +101,10 @@ uint64_t HashKey(const Row& row, const std::vector<int>& key_vars) {
 util::Status SortMergeBgpSolver::Evaluate(
     const std::vector<TriplePattern>& bgp, const VarRegistry& vars, const Row& bound,
     const std::vector<const sparql::FilterExpr*>& /*pushable: executor re-checks*/,
-    const std::function<void(const Row&)>& emit) const {
+    const RowSink& emit, const EvalControl& control) const {
   std::vector<ResolvedPattern> patterns;
   if (!Resolve(bgp, vars, bound, dict_, &patterns)) return util::Status::Ok();
+  ControlTicker ticker(control);
 
   struct Relation {
     std::vector<int> vars;  // variables bound by this relation (sorted)
@@ -102,6 +121,7 @@ util::Status SortMergeBgpSolver::Evaluate(
                               rp.p.is_var() ? kInvalidId : rp.p.term,
                               rp.o.is_var() ? kInvalidId : rp.o.term);
     for (const rdf::Triple& t : span) {
+      if (auto st = ticker.Tick(); !st.ok()) return st;
       Row row = seed;
       std::vector<int> newly;
       if (Bind(&row, rp.s, t.s, &newly) && Bind(&row, rp.p, t.p, &newly) &&
@@ -162,6 +182,7 @@ util::Status SortMergeBgpSolver::Evaluate(
       // Cartesian product.
       for (const Row& a : cur.rows)
         for (const Row& b : nxt.rows) {
+          if (auto st = ticker.Tick(); !st.ok()) return st;
           Row merged = a;
           for (int v : nxt.vars) merged[v] = b[v];
           joined.rows.push_back(std::move(merged));
@@ -176,6 +197,7 @@ util::Status SortMergeBgpSolver::Evaluate(
       for (const Row& r : build) table.emplace(HashKey(r, shared), &r);
       const std::vector<int>& other_vars = build_next ? nxt.vars : cur.vars;
       for (const Row& r : probe) {
+        if (auto st = ticker.Tick(); !st.ok()) return st;
         auto [lo, hi] = table.equal_range(HashKey(r, shared));
         for (auto it = lo; it != hi; ++it) {
           const Row& b = *it->second;
@@ -195,7 +217,8 @@ util::Status SortMergeBgpSolver::Evaluate(
     if (joined.rows.empty()) return util::Status::Ok();
     cur = std::move(joined);
   }
-  for (const Row& r : cur.rows) emit(r);
+  for (const Row& r : cur.rows)
+    if (emit(r) == EmitResult::kStop) break;
   return util::Status::Ok();
 }
 
@@ -206,7 +229,7 @@ util::Status SortMergeBgpSolver::Evaluate(
 util::Status IndexJoinBgpSolver::Evaluate(
     const std::vector<TriplePattern>& bgp, const VarRegistry& vars, const Row& bound,
     const std::vector<const sparql::FilterExpr*>& /*pushable: executor re-checks*/,
-    const std::function<void(const Row&)>& emit) const {
+    const RowSink& emit, const EvalControl& control) const {
   std::vector<ResolvedPattern> patterns;
   if (!Resolve(bgp, vars, bound, dict_, &patterns)) return util::Status::Ok();
   if (patterns.empty()) {
@@ -215,6 +238,7 @@ util::Status IndexJoinBgpSolver::Evaluate(
     emit(seed);
     return util::Status::Ok();
   }
+  ControlTicker ticker(control);
 
   // Selectivity-ordered greedy plan: repeatedly take the cheapest pattern,
   // preferring ones connected to already-bound variables.
@@ -258,12 +282,11 @@ util::Status IndexJoinBgpSolver::Evaluate(
   Row row = bound;
   row.resize(vars.size(), kInvalidId);
 
-  // Depth-first index nested-loop join.
-  std::function<void(size_t)> probe = [&](size_t depth) {
-    if (depth == order.size()) {
-      emit(row);
-      return;
-    }
+  // Depth-first index nested-loop join; a kStop from the sink (or a tripped
+  // control signal, surfaced via `abort_status`) unwinds the whole probe.
+  util::Status abort_status;
+  std::function<EmitResult(size_t)> probe = [&](size_t depth) -> EmitResult {
+    if (depth == order.size()) return emit(row);
     const ResolvedPattern& rp = patterns[order[depth]];
     auto value_of = [&](const Slot& s) {
       if (!s.is_var()) return s.term;
@@ -271,16 +294,23 @@ util::Status IndexJoinBgpSolver::Evaluate(
     };
     auto span = index_.Lookup(value_of(rp.s), value_of(rp.p), value_of(rp.o));
     for (const rdf::Triple& t : span) {
+      if (auto st = ticker.Tick(); !st.ok()) {
+        abort_status = st;
+        return EmitResult::kStop;
+      }
       std::vector<int> newly;
+      EmitResult er = EmitResult::kContinue;
       if (Bind(&row, rp.s, t.s, &newly) && Bind(&row, rp.p, t.p, &newly) &&
           Bind(&row, rp.o, t.o, &newly)) {
-        probe(depth + 1);
+        er = probe(depth + 1);
       }
       for (int v : newly) row[v] = kInvalidId;
+      if (er == EmitResult::kStop) return EmitResult::kStop;
     }
+    return EmitResult::kContinue;
   };
   probe(0);
-  return util::Status::Ok();
+  return abort_status;
 }
 
 }  // namespace turbo::baseline

@@ -30,7 +30,8 @@ class SortMergeBgpSolver : public sparql::BgpSolver {
   util::Status Evaluate(const std::vector<sparql::TriplePattern>& bgp,
                         const sparql::VarRegistry& vars, const sparql::Row& bound,
                         const std::vector<const sparql::FilterExpr*>& pushable,
-                        const std::function<void(const sparql::Row&)>& emit) const override;
+                        const sparql::RowSink& emit,
+                        const sparql::EvalControl& control = {}) const override;
 
   const rdf::Dictionary& dict() const override { return dict_; }
 
@@ -47,7 +48,8 @@ class IndexJoinBgpSolver : public sparql::BgpSolver {
   util::Status Evaluate(const std::vector<sparql::TriplePattern>& bgp,
                         const sparql::VarRegistry& vars, const sparql::Row& bound,
                         const std::vector<const sparql::FilterExpr*>& pushable,
-                        const std::function<void(const sparql::Row&)>& emit) const override;
+                        const sparql::RowSink& emit,
+                        const sparql::EvalControl& control = {}) const override;
 
   const rdf::Dictionary& dict() const override { return dict_; }
 

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <tuple>
 #include <unordered_map>
@@ -386,6 +388,15 @@ class Context {
 // per-position non-tree-edge checks consumed by IsJoinable.
 // ---------------------------------------------------------------------------
 
+/// Restores the arena's union-buffer stack on scope exit, so every return
+/// path of SubgraphSearch releases the blank-edge buffers it acquired.
+struct UnionBufScope {
+  explicit UnionBufScope(RegionArena& a) : ar(a), base(a.union_buf_top()) {}
+  ~UnionBufScope() { ar.RestoreUnionBufs(base); }
+  RegionArena& ar;
+  size_t base;
+};
+
 struct OrderInfo {
   std::vector<uint32_t> node_at;  ///< position -> tree node index
   struct Back {
@@ -404,9 +415,14 @@ struct OrderInfo {
 
 class Worker {
  public:
+  /// `stop_all` is the run-wide stop flag shared by every worker: set when
+  /// any worker hits the solution limit, when a streaming callback returns
+  /// false, or when the external cancel/deadline fires. `stream_mu` (null in
+  /// sequential runs) serializes parallel streaming delivery.
   Worker(const Context& ctx, const Compiled& c, bool collect,
          const SolutionCallback* stream, std::atomic<uint64_t>* global_count,
-         uint64_t limit, RegionArena* arena)
+         uint64_t limit, std::atomic<bool>* stop_all, std::mutex* stream_mu,
+         RegionArena* arena)
       : ctx_(ctx),
         c_(c),
         q_(*c.q),
@@ -414,6 +430,8 @@ class Worker {
         stream_(stream),
         global_count_(global_count),
         limit_(limit),
+        stop_all_(stop_all),
+        stream_mu_(stream_mu),
         ar_(*arena),
         iso_(ctx.opt().semantics == MatchSemantics::kIsomorphism) {
     const QueryTree& t = c_.tree;
@@ -428,7 +446,38 @@ class Worker {
 
   bool aborted() const { return aborted_; }
 
+  /// True when the caller's cancel token or deadline has fired. The
+  /// deadline branch pays a steady_clock read, so callers amortize.
+  bool ExternalFired() const {
+    const MatchOptions& opt = ctx_.opt();
+    if (opt.cancel && opt.cancel->load(std::memory_order_relaxed)) return true;
+    return opt.has_deadline() && std::chrono::steady_clock::now() >= opt.deadline;
+  }
+
+  /// Stop requested by another worker, the limit, or the caller's cancel
+  /// token / deadline. Sets aborted_ (and, for cancel/deadline, propagates
+  /// to the shared flag so sibling workers drain too). The cancel token is
+  /// checked every call (one relaxed load); the deadline's clock read is
+  /// amortized across starts.
+  bool ShouldStop() {
+    if (aborted_) return true;
+    if (stop_all_->load(std::memory_order_relaxed)) {
+      aborted_ = true;
+      return true;
+    }
+    const MatchOptions& opt = ctx_.opt();
+    bool fired = opt.cancel && opt.cancel->load(std::memory_order_relaxed);
+    if (!fired && opt.has_deadline() && (++search_poll_ & 0xFF) == 0)
+      fired = std::chrono::steady_clock::now() >= opt.deadline;
+    if (fired) {
+      aborted_ = true;
+      stop_all_->store(true, std::memory_order_relaxed);
+    }
+    return aborted_;
+  }
+
   void ProcessStart(VertexId vs) {
+    if (ShouldStop()) return;
     if (global_count_ && global_count_->load(std::memory_order_relaxed) >= limit_) {
       aborted_ = true;
       return;
@@ -566,7 +615,18 @@ class Worker {
   /// probes at one position collapse into a single k-way intersection of the
   /// candidate list with the relevant adjacency lists (§4.3).
   void Search(uint32_t depth) {
-    if (aborted_) return;
+    if (aborted_ || stop_all_->load(std::memory_order_relaxed)) {
+      aborted_ = true;
+      return;
+    }
+    // Cancellation must also reach queries dominated by one huge candidate
+    // region (a single ProcessStart): poll the external signals inside the
+    // search itself, amortized so the clock read stays off the hot path.
+    if ((++search_poll_ & 0x3FF) == 0 && ExternalFired()) {
+      aborted_ = true;
+      stop_all_->store(true, std::memory_order_relaxed);
+      return;
+    }
     const QueryTree& tree = c_.tree;
     uint32_t ni = order_.node_at[depth];
     const QueryTree::Node& node = tree.node(ni);
@@ -576,7 +636,7 @@ class Worker {
 
     SearchScratch& sc = ar_.search_scratch[depth];
     sc.spans.clear();
-    size_t ub = 0;
+    UnionBufScope union_scope(ar_);  // releases this depth's blank-edge buffers
     bool has_self = false;
     for (const auto& back : order_.checks[depth]) {
       if (back.self_loop) {
@@ -589,13 +649,12 @@ class Worker {
       if (qe.has_label()) {
         span = ctx_.g().Neighbors(partner_v, back.partner_dir, qe.label);
       } else {
-        if (sc.union_bufs.size() <= ub) sc.union_bufs.emplace_back();
+        std::vector<VertexId>& buf = ar_.PushUnionBuf();
         sc.group_spans.clear();
         for (const auto& grp : ctx_.g().ElGroups(partner_v, back.partner_dir))
           sc.group_spans.push_back(ctx_.g().GroupNeighbors(back.partner_dir, grp));
-        util::UnionInto(sc.group_spans, &sc.union_bufs[ub]);
-        span = sc.union_bufs[ub];
-        ++ub;
+        util::UnionInto(sc.group_spans, &buf);
+        span = buf;
       }
       if (span.empty()) return;
       sc.spans.push_back(span);
@@ -646,19 +705,34 @@ class Worker {
   }
 
   void Report() {
-    ++stats.num_solutions;
     if (global_count_) {
       uint64_t n = 1 + global_count_->fetch_add(1, std::memory_order_relaxed);
-      if (n >= limit_) aborted_ = true;
+      if (n >= limit_) {
+        aborted_ = true;
+        stop_all_->store(true, std::memory_order_relaxed);
+      }
+      if (n > limit_) return;  // a sibling already delivered the limit-th row
     }
+    ++stats.num_solutions;
     if (collect_ || stream_) {
       ar_.sol_buf.assign(q_.num_vertices(), kInvalidId);
       for (uint32_t i = 0; i < c_.tree.num_nodes(); ++i)
         ar_.sol_buf[c_.tree.node(i).qv] = ar_.m_node[i];
-      if (stream_)
-        (*stream_)(ar_.sol_buf);  // sequential mode: deliver without buffering
-      else
+      if (stream_) {
+        bool keep_going;
+        if (stream_mu_) {
+          std::lock_guard<std::mutex> lock(*stream_mu_);
+          keep_going = (*stream_)(ar_.sol_buf);
+        } else {
+          keep_going = (*stream_)(ar_.sol_buf);
+        }
+        if (!keep_going) {
+          aborted_ = true;
+          stop_all_->store(true, std::memory_order_relaxed);
+        }
+      } else {
         solutions.push_back(ar_.sol_buf);
+      }
     }
   }
 
@@ -669,9 +743,12 @@ class Worker {
   const SolutionCallback* stream_ = nullptr;
   std::atomic<uint64_t>* global_count_;
   const uint64_t limit_;
+  std::atomic<bool>* stop_all_;
+  std::mutex* stream_mu_ = nullptr;
   RegionArena& ar_;   // exclusive to this worker until MatchImpl releases it
   const bool iso_;
   bool aborted_ = false;
+  uint32_t search_poll_ = 0;
   OrderInfo order_;
 };
 
@@ -704,22 +781,42 @@ MatchStats MatchImpl(const DataGraph& g, const MatchOptions& options, const Quer
   std::atomic<uint64_t> global_count{0};
   std::atomic<uint64_t>* gc =
       options.limit != std::numeric_limits<uint64_t>::max() ? &global_count : nullptr;
+  // Run-wide stop flag: solution limit, callback stop, cancel, or deadline.
+  std::atomic<bool> stop_all{false};
+
+  auto externally_cancelled = [&]() {
+    if (options.cancel && options.cancel->load(std::memory_order_relaxed)) return true;
+    return options.has_deadline() && std::chrono::steady_clock::now() >= options.deadline;
+  };
 
   if (c.single_vertex) {
     // Algorithm 1, lines 2-4: every vertex carrying the labels is a solution.
     uint64_t n = std::min<uint64_t>(c.start_list.size(), options.limit);
     stats.num_start_candidates = c.start_list.size();
-    stats.num_solutions = n;
     if (out) {
       out->reserve(n);
       for (uint64_t i = 0; i < n; ++i) out->push_back({c.start_list[i]});
+      stats.num_solutions = n;
     } else if (stream) {
       Solution s(1);
+      uint64_t delivered = 0;
       for (uint64_t i = 0; i < n; ++i) {
+        if ((i & 0xFF) == 0 && externally_cancelled()) {
+          stats.stopped_early = true;
+          break;
+        }
         s[0] = c.start_list[i];
-        (*stream)(s);
+        ++delivered;
+        if (!(*stream)(s)) {
+          stats.stopped_early = true;
+          break;
+        }
       }
+      stats.num_solutions = delivered;
+    } else {
+      stats.num_solutions = n;
     }
+    if (n < c.start_list.size()) stats.stopped_early = true;
     stats.total_ms = total.ElapsedMillis();
     return stats;
   }
@@ -728,22 +825,30 @@ MatchStats MatchImpl(const DataGraph& g, const MatchOptions& options, const Quer
   if (nthreads == 1) {
     std::unique_ptr<RegionArena> arena = acquire_arena();
     {
-      Worker w(ctx, c, out != nullptr, stream, gc, options.limit, arena.get());
+      Worker w(ctx, c, out != nullptr, stream, gc, options.limit, &stop_all,
+               /*stream_mu=*/nullptr, arena.get());
       for (VertexId vs : c.start_list) {
         w.ProcessStart(vs);
         if (w.aborted()) break;
       }
       stats.MergeFrom(w.stats);
+      if (w.aborted()) stats.stopped_early = true;
       if (out) *out = std::move(w.solutions);
     }
     release_arena(std::move(arena));
   } else {
+    // Parallel streaming delivers directly from the worker threads, one
+    // callback at a time under `stream_mu`; a stop request (callback false,
+    // limit, cancel, deadline) flips `stop_all`, which every worker polls in
+    // ProcessStart and SubgraphSearch, so the join below is prompt.
+    std::mutex stream_mu;
     std::vector<std::unique_ptr<RegionArena>> arenas(nthreads);
     std::vector<std::unique_ptr<Worker>> workers(nthreads);
     for (uint32_t t = 0; t < nthreads; ++t) {
       arenas[t] = acquire_arena();
-      workers[t] = std::make_unique<Worker>(ctx, c, out != nullptr, nullptr, gc,
-                                            options.limit, arenas[t].get());
+      workers[t] = std::make_unique<Worker>(ctx, c, out != nullptr, stream, gc,
+                                            options.limit, &stop_all, &stream_mu,
+                                            arenas[t].get());
     }
     auto body = [&](uint64_t b, uint64_t e, uint32_t tid) {
       Worker& w = *workers[tid];
@@ -755,6 +860,7 @@ MatchStats MatchImpl(const DataGraph& g, const MatchOptions& options, const Quer
       util::ParallelForStatic(nthreads, c.start_list.size(), body);
     for (auto& w : workers) {
       stats.MergeFrom(w->stats);
+      if (w->aborted()) stats.stopped_early = true;
       if (out)
         out->insert(out->end(), std::make_move_iterator(w->solutions.begin()),
                     std::make_move_iterator(w->solutions.end()));
@@ -772,14 +878,10 @@ MatchStats MatchImpl(const DataGraph& g, const MatchOptions& options, const Quer
 
 MatchStats Matcher::Match(const QueryGraph& q, const SolutionCallback& callback) const {
   if (!callback) return MatchImpl(g_, options_, q, nullptr, nullptr, &arena_pool());
-  // Sequential runs stream solutions as they are found; parallel runs buffer
-  // per worker and replay after the join so the callback stays single-threaded.
-  if (std::max(1u, options_.num_threads) == 1)
-    return MatchImpl(g_, options_, q, nullptr, &callback, &arena_pool());
-  std::vector<Solution> sols;
-  MatchStats stats = MatchImpl(g_, options_, q, &sols, nullptr, &arena_pool());
-  for (const Solution& s : sols) callback(s);
-  return stats;
+  // Solutions stream as they are found in both sequential and parallel runs
+  // (parallel delivery is serialized by a mutex inside MatchImpl), so a
+  // `false` return stops the enumeration itself, not just the delivery.
+  return MatchImpl(g_, options_, q, nullptr, &callback, &arena_pool());
 }
 
 uint64_t Matcher::Count(const QueryGraph& q, MatchStats* stats) const {

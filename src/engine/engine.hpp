@@ -31,8 +31,13 @@ namespace turbo::engine {
 /// One embedding: query-vertex index -> data vertex.
 using Solution = std::vector<VertexId>;
 
-/// Called once per solution with the query-vertex-indexed mapping.
-using SolutionCallback = std::function<void(std::span<const VertexId>)>;
+/// Called once per solution with the query-vertex-indexed mapping. Return
+/// false to stop the enumeration: the engine aborts the current search,
+/// drains every worker, and Match returns with MatchStats::stopped_early
+/// set. This is the engine half of the streaming query API — LIMIT-style
+/// termination costs exactly as much search as the delivered solutions
+/// required.
+using SolutionCallback = std::function<bool(std::span<const VertexId>)>;
 
 class Matcher {
  public:
@@ -45,9 +50,11 @@ class Matcher {
       : g_(g), options_(options), shared_pool_(shared_pool) {}
 
   /// Enumerates all e-graph homomorphisms (or isomorphisms) of `q` in the
-  /// data graph. The callback, if provided, is invoked sequentially (in
-  /// parallel runs, solutions are buffered per thread and delivered after
-  /// the join). Requires a connected query graph with >= 1 vertex.
+  /// data graph. The callback, if provided, is invoked serially — parallel
+  /// runs deliver directly from worker threads under a mutex (never
+  /// concurrently), so a `false` return or a MatchOptions::cancel signal
+  /// stops further enumeration promptly instead of after a full
+  /// buffer-and-replay. Requires a connected query graph with >= 1 vertex.
   MatchStats Match(const graph::QueryGraph& q, const SolutionCallback& callback) const;
 
   /// Counts solutions without materializing them.

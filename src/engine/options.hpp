@@ -1,6 +1,8 @@
 // Matching options and statistics for the TurboHOM / TurboHOM++ engine.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -51,12 +53,27 @@ struct MatchOptions {
 
   /// Stop after this many solutions (default: unlimited).
   uint64_t limit = std::numeric_limits<uint64_t>::max();
+
+  /// External cancellation flag (owned by the caller, e.g. a Cursor's cancel
+  /// token). Checked between starting vertices and inside SubgraphSearch, so
+  /// setting it drains sequential and parallel enumeration promptly.
+  const std::atomic<bool>* cancel = nullptr;
+
+  /// Steady-clock deadline; the epoch default means "none". Polled at region
+  /// granularity (every few hundred starting vertices), which keeps the
+  /// clock reads off the per-candidate hot path.
+  std::chrono::steady_clock::time_point deadline{};
+
+  bool has_deadline() const { return deadline.time_since_epoch().count() != 0; }
 };
 
 /// Per-query execution statistics (drives the paper's profiling claims:
 /// ExploreCandidateRegion vs SubgraphSearch time, IsJoinable counts, and
 /// the §4.1 candidate-region size metric).
 struct MatchStats {
+  /// True when enumeration was cut short (solution limit, a callback
+  /// returning false, cancellation, or an expired deadline).
+  bool stopped_early = false;
   uint64_t num_solutions = 0;
   uint64_t num_start_candidates = 0;  ///< data vertices tried as region roots
   uint64_t num_regions = 0;           ///< non-empty candidate regions
@@ -77,6 +94,7 @@ struct MatchStats {
 
   void MergeFrom(const MatchStats& o) {
     if (matching_order.empty()) matching_order = o.matching_order;
+    stopped_early = stopped_early || o.stopped_early;
     num_solutions += o.num_solutions;
     num_start_candidates += o.num_start_candidates;
     num_regions += o.num_regions;

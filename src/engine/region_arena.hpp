@@ -29,6 +29,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -178,13 +179,15 @@ class MemoMap {
   size_t mask_ = 0;
 };
 
-/// Reusable per-depth scratch for SubgraphSearch (+INT buffers, blank-edge
-/// union buffers).
+/// Reusable per-depth scratch for SubgraphSearch (+INT buffers). Blank-edge
+/// union buffers are NOT kept here: they check out of the arena-wide LIFO
+/// pool (RegionArena::PushUnionBuf), so their count is bounded by the
+/// deepest concurrent need instead of growing per (depth, back-edge)
+/// position under variable-predicate workloads.
 struct SearchScratch {
   std::vector<std::span<const VertexId>> spans;
   std::vector<std::span<const VertexId>> group_spans;
   std::vector<std::span<const VertexId>> lists;
-  std::vector<std::vector<VertexId>> union_bufs;
   std::vector<VertexId> int_result;
 };
 
@@ -289,6 +292,21 @@ class RegionArena {
     if (mapped.size() < n) mapped.resize(n, 0);
   }
 
+  /// Checks a blank-edge union buffer out of the LIFO pool. SubgraphSearch's
+  /// recursion acquires strictly above its caller's buffers and restores its
+  /// base on exit (see UnionBufScope in engine.cpp), so buffers — and their
+  /// grown capacity — are shared across depths and back-edge positions
+  /// instead of being owned per position. Deque-backed: growing the pool
+  /// never moves live buffers, so spans into them stay valid.
+  std::vector<VertexId>& PushUnionBuf() {
+    if (union_top_ == union_bufs_.size()) union_bufs_.emplace_back();
+    std::vector<VertexId>& buf = union_bufs_[union_top_++];
+    buf.clear();
+    return buf;
+  }
+  size_t union_buf_top() const { return union_top_; }
+  void RestoreUnionBufs(size_t base) { union_top_ = base; }
+
   /// Approximate resident capacity, for the bench harness / stats.
   size_t ApproxBytes() const {
     size_t b = 0;
@@ -300,10 +318,9 @@ class RegionArena {
     b += node_depth.capacity() * sizeof(uint32_t);
     b += cr_total.capacity() * sizeof(uint64_t);
     for (const auto& s : explore_scratch) b += s.capacity() * sizeof(VertexId);
-    for (const SearchScratch& s : search_scratch) {
+    for (const SearchScratch& s : search_scratch)
       b += s.int_result.capacity() * sizeof(VertexId);
-      for (const auto& u : s.union_bufs) b += u.capacity() * sizeof(VertexId);
-    }
+    for (const auto& u : union_bufs_) b += u.capacity() * sizeof(VertexId);
     return b;
   }
 
@@ -332,6 +349,9 @@ class RegionArena {
   std::vector<std::unordered_map<VertexId, std::vector<VertexId>>> legacy_;
   std::vector<std::vector<VertexId>*> legacy_open_;
   std::unordered_map<uint64_t, bool> legacy_memo_;
+  // Blank-edge union buffer pool (LIFO; see PushUnionBuf).
+  std::deque<std::vector<VertexId>> union_bufs_;
+  size_t union_top_ = 0;
 };
 
 /// Thread-safe checkout pool of RegionArenas. Owned by a Matcher (or shared

@@ -1,202 +1,20 @@
 #include "sparql/executor.hpp"
 
-#include <algorithm>
-#include <set>
-
-#include "sparql/filter_eval.hpp"
 #include "sparql/parser.hpp"
+#include "sparql/query_engine.hpp"
 
 namespace turbo::sparql {
 
-namespace {
-
-/// Registers every variable appearing anywhere in the group (recursively).
-void CollectGroupVars(const GroupPattern& g, VarRegistry* vars) {
-  for (const TriplePattern& t : g.triples) {
-    for (const PatternTerm* pt : {&t.s, &t.p, &t.o})
-      if (pt->is_var()) vars->GetOrAdd(pt->var);
-  }
-  for (const FilterExpr& f : g.filters) {
-    std::vector<std::string> fv;
-    f.CollectVars(&fv);
-    for (auto& v : fv) vars->GetOrAdd(v);
-  }
-  for (const GroupPattern& o : g.optionals) CollectGroupVars(o, vars);
-  for (const auto& u : g.unions)
-    for (const GroupPattern& b : u) CollectGroupVars(b, vars);
-}
-
-/// True if every variable of `f` occurs in a triple pattern of `g` (then the
-/// filter can be handed to the solver as a pruning hint).
-bool FilterCoveredByBgp(const FilterExpr& f, const GroupPattern& g,
-                        const VarRegistry& /*vars*/) {
-  std::vector<std::string> fv;
-  f.CollectVars(&fv);
-  for (const std::string& v : fv) {
-    bool found = false;
-    for (const TriplePattern& t : g.triples) {
-      if ((t.s.is_var() && t.s.var == v) || (t.p.is_var() && t.p.var == v) ||
-          (t.o.is_var() && t.o.var == v)) {
-        found = true;
-        break;
-      }
-    }
-    if (!found) return false;
-  }
-  return !fv.empty();
-}
-
-class GroupEvaluator {
- public:
-  GroupEvaluator(const BgpSolver& solver, const VarRegistry& vars)
-      : solver_(solver), vars_(vars), eval_(solver.dict(), vars) {}
-
-  util::Status Eval(const GroupPattern& g, std::vector<Row>&& input,
-                    std::vector<Row>* output) {
-    std::vector<Row> rows = std::move(input);
-
-    // 1. Basic graph pattern join.
-    if (!g.triples.empty()) {
-      std::vector<const FilterExpr*> pushable;
-      for (const FilterExpr& f : g.filters)
-        if (FilterCoveredByBgp(f, g, vars_)) pushable.push_back(&f);
-      std::vector<Row> joined;
-      for (const Row& r : rows) {
-        auto st = solver_.Evaluate(g.triples, vars_, r, pushable,
-                                   [&](const Row& out) { joined.push_back(out); });
-        if (!st.ok()) return st;
-      }
-      rows = std::move(joined);
-    }
-
-    // 2. UNION blocks: each block multiplies the current rows by its
-    // branches' solutions (concatenated, duplicates preserved).
-    for (const auto& branches : g.unions) {
-      std::vector<Row> unioned;
-      for (const GroupPattern& b : branches) {
-        std::vector<Row> branch_rows;
-        auto st = Eval(b, std::vector<Row>(rows), &branch_rows);
-        if (!st.ok()) return st;
-        for (Row& r : branch_rows) unioned.push_back(std::move(r));
-      }
-      rows = std::move(unioned);
-    }
-
-    // 3. OPTIONAL blocks: left join per row. A failed optional keeps the
-    // row with its variables unbound — emitted once (the paper's
-    // qualify-and-exclude-duplicate behaviour).
-    for (const GroupPattern& opt : g.optionals) {
-      std::vector<Row> extended;
-      for (const Row& r : rows) {
-        std::vector<Row> ext;
-        auto st = Eval(opt, {r}, &ext);
-        if (!st.ok()) return st;
-        if (ext.empty()) {
-          extended.push_back(r);
-        } else {
-          for (Row& e : ext) extended.push_back(std::move(e));
-        }
-      }
-      rows = std::move(extended);
-    }
-
-    // 4. FILTERs scope over the whole group.
-    if (!g.filters.empty()) {
-      rows.erase(std::remove_if(rows.begin(), rows.end(),
-                                [&](const Row& r) {
-                                  for (const FilterExpr& f : g.filters)
-                                    if (!eval_.Test(f, r)) return true;
-                                  return false;
-                                }),
-                 rows.end());
-    }
-    *output = std::move(rows);
-    return util::Status::Ok();
-  }
-
- private:
-  const BgpSolver& solver_;
-  const VarRegistry& vars_;
-  FilterEvaluator eval_;
-};
-
-}  // namespace
-
 util::Result<ResultSet> Executor::Execute(const SelectQuery& q) const {
-  VarRegistry vars;
-  for (const std::string& v : q.select_vars) vars.GetOrAdd(v);
-  CollectGroupVars(q.where, &vars);
-  for (const OrderKey& k : q.order_by) vars.GetOrAdd(k.var);
-
-  std::vector<Row> rows;
-  {
-    std::vector<Row> seed{Row(vars.size(), kInvalidId)};
-    GroupEvaluator ge(*solver_, vars);
-    auto st = ge.Eval(q.where, std::move(seed), &rows);
-    if (!st.ok()) return st;
-  }
-
-  // ORDER BY before projection (keys may be non-projected variables).
-  if (!q.order_by.empty()) {
-    const rdf::Dictionary& dict = solver_->dict();
-    std::vector<int> key_idx;
-    for (const OrderKey& k : q.order_by) key_idx.push_back(*vars.Find(k.var));
-    auto cmp_terms = [&](TermId a, TermId b) -> int {
-      if (a == b) return 0;
-      if (a == kInvalidId) return -1;  // unbound sorts first
-      if (b == kInvalidId) return 1;
-      auto na = dict.NumericValue(a), nb = dict.NumericValue(b);
-      if (na && nb && *na != *nb) return *na < *nb ? -1 : 1;
-      int c = dict.term(a).lexical.compare(dict.term(b).lexical);
-      return c < 0 ? -1 : (c > 0 ? 1 : 0);
-    };
-    std::stable_sort(rows.begin(), rows.end(), [&](const Row& x, const Row& y) {
-      for (size_t i = 0; i < key_idx.size(); ++i) {
-        int c = cmp_terms(x[key_idx[i]], y[key_idx[i]]);
-        if (c != 0) return q.order_by[i].ascending ? c < 0 : c > 0;
-      }
-      return false;
-    });
-  }
-
-  // Projection.
+  auto prepared = PrepareSelect(q);
+  if (!prepared.ok()) return prepared.status();
+  Cursor cursor = OpenCursor(*solver_, prepared.value());
   ResultSet rs;
-  std::vector<int> proj;
-  if (q.select_vars.empty()) {
-    for (size_t i = 0; i < vars.size(); ++i) {
-      rs.var_names.push_back(vars.name(static_cast<int>(i)));
-      proj.push_back(static_cast<int>(i));
-    }
-  } else {
-    for (const std::string& v : q.select_vars) {
-      rs.var_names.push_back(v);
-      proj.push_back(*vars.Find(v));
-    }
-  }
-  rs.rows.reserve(rows.size());
-  for (const Row& r : rows) {
-    std::vector<TermId> out;
-    out.reserve(proj.size());
-    for (int i : proj) out.push_back(r[i]);
-    rs.rows.push_back(std::move(out));
-  }
-  rs.total_before_modifiers = rs.rows.size();
-
-  if (q.distinct) {
-    std::set<std::vector<TermId>> seen;
-    std::vector<std::vector<TermId>> unique;
-    for (auto& r : rs.rows)
-      if (seen.insert(r).second) unique.push_back(std::move(r));
-    rs.rows = std::move(unique);
-  }
-  if (q.offset > 0) {
-    if (static_cast<size_t>(q.offset) >= rs.rows.size())
-      rs.rows.clear();
-    else
-      rs.rows.erase(rs.rows.begin(), rs.rows.begin() + q.offset);
-  }
-  if (q.limit >= 0 && rs.rows.size() > static_cast<size_t>(q.limit))
-    rs.rows.resize(q.limit);
+  rs.var_names = prepared.value().var_names();
+  Row row;
+  while (cursor.Next(&row)) rs.rows.push_back(std::move(row));
+  if (!cursor.status().ok()) return cursor.status();
+  rs.total_before_modifiers = cursor.rows_before_modifiers();
   return rs;
 }
 
@@ -207,14 +25,7 @@ util::Result<ResultSet> Executor::Execute(const std::string& text) const {
 }
 
 std::string FormatRow(const ResultSet& rs, size_t row, const rdf::Dictionary& dict) {
-  std::string out;
-  for (size_t i = 0; i < rs.var_names.size(); ++i) {
-    if (i) out += "  ";
-    out += "?" + rs.var_names[i] + "=";
-    TermId t = rs.rows[row][i];
-    out += t == kInvalidId ? "UNBOUND" : dict.term(t).ToNTriples();
-  }
-  return out;
+  return FormatRow(rs.var_names, rs.rows[row], dict);
 }
 
 }  // namespace turbo::sparql

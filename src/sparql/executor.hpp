@@ -1,10 +1,10 @@
-// SPARQL executor: drives a BgpSolver through the group-graph-pattern
-// algebra. OPTIONAL uses left-join extension (the paper's
-// nullify-and-keep-searching + qualify-and-exclude-duplicate produces the
-// same bag: unmatched optionals leave their variables unbound, once per base
-// solution); UNION concatenates branch solutions without deduplication;
-// FILTERs are pushed to the solver when cheap and always re-checked here
-// (§5.1). DISTINCT / ORDER BY / LIMIT / OFFSET are applied last.
+// Compatibility layer over the streaming query API (sparql/query_engine.hpp).
+// `Executor::Execute` drains a Cursor into a fully materialized ResultSet —
+// the original PR-0 interface, kept for callers that want the whole answer
+// at once. New code (and anything that cares about LIMIT pushdown, budgets,
+// deadlines, or cancellation) should talk to QueryEngine / PreparedQuery /
+// Cursor directly; both routes run the same stop-aware row pipeline, so the
+// rows and their order are identical.
 #pragma once
 
 #include <string>
@@ -19,7 +19,10 @@ namespace turbo::sparql {
 struct ResultSet {
   std::vector<std::string> var_names;      ///< projected variable names
   std::vector<std::vector<TermId>> rows;   ///< kInvalidId = unbound (OPTIONAL)
-  uint64_t total_before_modifiers = 0;     ///< row count before DISTINCT/LIMIT
+  /// Rows that reached the solution-modifier stage. Equal to the pre-LIMIT
+  /// row count when the pipeline ran to completion; smaller when LIMIT
+  /// pushdown stopped the enumeration early (that is the point).
+  uint64_t total_before_modifiers = 0;
 
   size_t size() const { return rows.size(); }
 };
@@ -28,7 +31,7 @@ class Executor {
  public:
   explicit Executor(const BgpSolver* solver) : solver_(solver) {}
 
-  /// Runs the query. Returns the projected result set or an error.
+  /// Runs the query via the cursor pipeline and materializes every row.
   util::Result<ResultSet> Execute(const SelectQuery& q) const;
 
   /// Parses and runs. Convenience for examples and tests.
@@ -38,7 +41,8 @@ class Executor {
   const BgpSolver* solver_;
 };
 
-/// Renders one row as a human-readable line (terms in N-Triples form).
+/// Renders one row as a human-readable line (terms in N-Triples form). The
+/// streaming-row overload lives in sparql/query_engine.hpp.
 std::string FormatRow(const ResultSet& rs, size_t row, const rdf::Dictionary& dict);
 
 }  // namespace turbo::sparql

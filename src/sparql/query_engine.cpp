@@ -1,0 +1,474 @@
+#include "sparql/query_engine.hpp"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "baseline/solvers.hpp"
+#include "baseline/triple_index.hpp"
+#include "graph/data_graph.hpp"
+#include "sparql/filter_eval.hpp"
+#include "sparql/parser.hpp"
+#include "sparql/turbo_solver.hpp"
+
+namespace turbo::sparql {
+
+namespace {
+
+/// Registers every variable appearing anywhere in the group (recursively).
+void CollectGroupVars(const GroupPattern& g, VarRegistry* vars) {
+  for (const TriplePattern& t : g.triples) {
+    for (const PatternTerm* pt : {&t.s, &t.p, &t.o})
+      if (pt->is_var()) vars->GetOrAdd(pt->var);
+  }
+  for (const FilterExpr& f : g.filters) {
+    std::vector<std::string> fv;
+    f.CollectVars(&fv);
+    for (auto& v : fv) vars->GetOrAdd(v);
+  }
+  for (const GroupPattern& o : g.optionals) CollectGroupVars(o, vars);
+  for (const auto& u : g.unions)
+    for (const GroupPattern& b : u) CollectGroupVars(b, vars);
+}
+
+/// True if every variable of `f` occurs in a triple pattern of `g` (then the
+/// filter can be handed to the solver as a pruning hint).
+bool FilterCoveredByBgp(const FilterExpr& f, const GroupPattern& g) {
+  std::vector<std::string> fv;
+  f.CollectVars(&fv);
+  for (const std::string& v : fv) {
+    bool found = false;
+    for (const TriplePattern& t : g.triples) {
+      if ((t.s.is_var() && t.s.var == v) || (t.p.is_var() && t.p.var == v) ||
+          (t.o.is_var() && t.o.var == v)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return !fv.empty();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PreparedQuery: parse + plan once.
+// ---------------------------------------------------------------------------
+
+struct PreparedQuery::Impl {
+  SelectQuery query;
+  VarRegistry vars;
+  std::vector<std::string> var_names;  ///< projected names, SELECT order
+  std::vector<int> proj;               ///< projected row indices
+  std::vector<int> order_idx;          ///< ORDER BY key row indices
+  /// Per-group pushable filter sets, keyed by group identity (the AST is
+  /// owned by this Impl, so the pointers are stable).
+  std::unordered_map<const GroupPattern*, std::vector<const FilterExpr*>> pushable;
+
+  const std::vector<const FilterExpr*>& PushableFor(const GroupPattern& g) const {
+    static const std::vector<const FilterExpr*> kNone;
+    auto it = pushable.find(&g);
+    return it == pushable.end() ? kNone : it->second;
+  }
+
+  void PlanGroup(const GroupPattern& g) {
+    if (!g.triples.empty()) {
+      std::vector<const FilterExpr*> push;
+      for (const FilterExpr& f : g.filters)
+        if (FilterCoveredByBgp(f, g)) push.push_back(&f);
+      if (!push.empty()) pushable.emplace(&g, std::move(push));
+    }
+    for (const GroupPattern& o : g.optionals) PlanGroup(o);
+    for (const auto& u : g.unions)
+      for (const GroupPattern& b : u) PlanGroup(b);
+  }
+};
+
+const SelectQuery& PreparedQuery::query() const { return impl_->query; }
+const VarRegistry& PreparedQuery::vars() const { return impl_->vars; }
+const std::vector<std::string>& PreparedQuery::var_names() const {
+  return impl_->var_names;
+}
+
+util::Result<PreparedQuery> PrepareSelect(SelectQuery q) {
+  auto impl = std::make_shared<PreparedQuery::Impl>();
+  impl->query = std::move(q);
+  const SelectQuery& query = impl->query;
+
+  for (const std::string& v : query.select_vars) impl->vars.GetOrAdd(v);
+  CollectGroupVars(query.where, &impl->vars);
+  for (const OrderKey& k : query.order_by)
+    impl->order_idx.push_back(impl->vars.GetOrAdd(k.var));
+
+  if (query.select_vars.empty()) {
+    for (size_t i = 0; i < impl->vars.size(); ++i) {
+      impl->var_names.push_back(impl->vars.name(static_cast<int>(i)));
+      impl->proj.push_back(static_cast<int>(i));
+    }
+  } else {
+    for (const std::string& v : query.select_vars) {
+      impl->var_names.push_back(v);
+      impl->proj.push_back(*impl->vars.Find(v));
+    }
+  }
+  impl->PlanGroup(query.where);
+
+  PreparedQuery prepared;
+  prepared.impl_ = std::move(impl);
+  return prepared;
+}
+
+// ---------------------------------------------------------------------------
+// GroupStream: the stop-aware row pipeline over one WHERE group.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Streams solutions of a group graph pattern one row at a time: BGP join,
+/// then UNION blocks, then OPTIONAL left-joins, then group FILTERs, each as
+/// a sink-to-sink operator. Stop requests (EmitResult::kStop) and errors
+/// raised downstream unwind the entire operator chain — including the BGP
+/// solver's enumeration — instead of completing a stage.
+class GroupStream {
+ public:
+  GroupStream(const BgpSolver& solver, const PreparedQuery::Impl& p,
+              const EvalControl& control)
+      : solver_(solver), p_(p), control_(control), eval_(solver.dict(), p.vars) {}
+
+  /// Runs the whole WHERE clause for the all-unbound seed row.
+  util::Status Run(const RowSink& sink) {
+    Row seed(p_.vars.size(), kInvalidId);
+    util::Status st = EvalGroup(p_.query.where, seed, sink);
+    if (!st.ok()) return st;
+    return err_;
+  }
+
+ private:
+  util::Status EvalGroup(const GroupPattern& g, const Row& input, const RowSink& sink) {
+    return Stage(g, 0, input, sink);
+  }
+
+  /// Forwards `row` through stage `si` of group `g` into `sink`. Stages:
+  /// 0 = BGP, 1..#unions = UNION blocks, then OPTIONAL blocks, then the
+  /// group FILTER + delivery stage.
+  util::Status Stage(const GroupPattern& g, size_t si, const Row& row,
+                     const RowSink& sink) {
+    if (stopped_) return util::Status::Ok();
+    const size_t nu = g.unions.size();
+    const size_t no = g.optionals.size();
+
+    // A sink an upstream producer (solver or sub-group) feeds; routes each
+    // produced row into the next stage and converts errors into a stop.
+    auto next_stage_sink = [&](size_t next) {
+      return [this, &g, next, &sink](const Row& out) -> EmitResult {
+        util::Status inner = Stage(g, next, out, sink);
+        if (!inner.ok()) {
+          err_ = inner;
+          stopped_ = true;
+        }
+        return stopped_ ? EmitResult::kStop : EmitResult::kContinue;
+      };
+    };
+
+    if (si == 0) {
+      // 1. Basic graph pattern join (under the pre-bound row).
+      if (g.triples.empty()) return Stage(g, 1, row, sink);
+      util::Status st = solver_.Evaluate(g.triples, p_.vars, row, p_.PushableFor(g),
+                                         next_stage_sink(1), control_);
+      if (!st.ok()) return st;
+      return err_;
+    }
+
+    if (si <= nu) {
+      // 2. UNION blocks: this row extends through every branch in turn
+      // (concatenated, duplicates preserved).
+      for (const GroupPattern& b : g.unions[si - 1]) {
+        util::Status st = EvalGroup(b, row, next_stage_sink(si + 1));
+        if (!st.ok()) return st;
+        if (stopped_) break;
+      }
+      return err_;
+    }
+
+    if (si <= nu + no) {
+      // 3. OPTIONAL: left-join extension. A failed optional keeps the row
+      // with its variables unbound — emitted once (the paper's
+      // qualify-and-exclude-duplicate behaviour). When the consumer stops
+      // mid-extension the unextended fallback must not fire.
+      const GroupPattern& opt = g.optionals[si - 1 - nu];
+      bool matched = false;
+      auto forward = next_stage_sink(si + 1);
+      util::Status st = EvalGroup(opt, row, [&](const Row& out) -> EmitResult {
+        matched = true;
+        return forward(out);
+      });
+      if (!st.ok()) return st;
+      if (!err_.ok()) return err_;
+      if (!matched && !stopped_) return Stage(g, si + 1, row, sink);
+      return util::Status::Ok();
+    }
+
+    // 4. Group FILTERs scope over the whole group; then deliver.
+    for (const FilterExpr& f : g.filters)
+      if (!eval_.Test(f, row)) return util::Status::Ok();
+    if (sink(row) == EmitResult::kStop) stopped_ = true;
+    return util::Status::Ok();
+  }
+
+  const BgpSolver& solver_;
+  const PreparedQuery::Impl& p_;
+  const EvalControl& control_;
+  FilterEvaluator eval_;
+  bool stopped_ = false;
+  util::Status err_;  ///< first error raised inside a sink
+};
+
+/// Three-way term comparison for ORDER BY (numeric when both sides are
+/// numeric, else lexical; unbound sorts first).
+int CompareTerms(const rdf::Dictionary& dict, TermId a, TermId b) {
+  if (a == b) return 0;
+  if (a == kInvalidId) return -1;
+  if (b == kInvalidId) return 1;
+  auto na = dict.NumericValue(a), nb = dict.NumericValue(b);
+  if (na && nb && *na != *nb) return *na < *nb ? -1 : 1;
+  int c = dict.term(a).lexical.compare(dict.term(b).lexical);
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Cursor: budgeted execution + modifier pushdown over the pipeline.
+// ---------------------------------------------------------------------------
+
+struct Cursor::State {
+  const BgpSolver* solver = nullptr;
+  std::shared_ptr<const PreparedQuery::Impl> prepared;
+  ExecOptions opts;
+  util::Status status;
+  std::vector<Row> rows;  ///< projected rows that passed every modifier
+  size_t pos = 0;
+  bool ran = false;
+  uint64_t before_modifiers = 0;
+
+  void Run();
+};
+
+void Cursor::State::Run() {
+  ran = true;
+  const PreparedQuery::Impl& p = *prepared;
+  const SelectQuery& q = p.query;
+
+  EvalControl control;
+  control.cancel = opts.cancel_token;
+  control.deadline = opts.deadline;
+  if (auto st = control.Check(); !st.ok()) {
+    status = st;
+    return;
+  }
+
+  // Delivered-row cap: the query's own LIMIT and the caller's budget.
+  uint64_t limit = opts.limit_budget;
+  if (q.limit >= 0) limit = std::min(limit, static_cast<uint64_t>(q.limit));
+  if (limit == 0) return;  // nothing to deliver: skip enumeration entirely
+
+  GroupStream stream(*solver, p, control);
+
+  // The per-row guard shared by both paths: work budget + periodic
+  // cancellation probe (the solvers check too, but rows can also be born in
+  // executor stages like OPTIONAL fallbacks).
+  auto guard = [&](uint64_t n) -> bool {
+    if (n > opts.row_budget) {
+      status = util::Status::Error("row budget exceeded");
+      return false;
+    }
+    if ((n & 0x3F) == 0) {
+      if (auto st = control.Check(); !st.ok()) {
+        status = st;
+        return false;
+      }
+    }
+    return true;
+  };
+
+  if (q.order_by.empty()) {
+    // Fully streaming: project -> DISTINCT -> OFFSET -> LIMIT, stopping the
+    // enumeration the moment the last deliverable row arrives.
+    std::set<std::vector<TermId>> seen;
+    uint64_t skipped = 0;
+    uint64_t delivered = 0;
+    Row projected;
+    util::Status st = stream.Run([&](const Row& full) -> EmitResult {
+      if (!guard(++before_modifiers)) return EmitResult::kStop;
+      projected.assign(p.proj.size(), kInvalidId);
+      for (size_t i = 0; i < p.proj.size(); ++i) projected[i] = full[p.proj[i]];
+      if (q.distinct && !seen.insert(projected).second) return EmitResult::kContinue;
+      if (skipped < static_cast<uint64_t>(q.offset)) {
+        ++skipped;
+        return EmitResult::kContinue;
+      }
+      rows.push_back(projected);
+      return ++delivered >= limit ? EmitResult::kStop : EmitResult::kContinue;
+    });
+    if (!st.ok() && status.ok()) status = st;
+    return;
+  }
+
+  // ORDER BY: the one pipeline breaker — buffer full-width rows (keys may be
+  // non-projected), sort at end-of-stream, then apply the modifiers.
+  std::vector<Row> full_rows;
+  util::Status st = stream.Run([&](const Row& full) -> EmitResult {
+    if (!guard(++before_modifiers)) return EmitResult::kStop;
+    full_rows.push_back(full);
+    return EmitResult::kContinue;
+  });
+  if (!st.ok() && status.ok()) status = st;
+  if (!status.ok()) return;
+
+  const rdf::Dictionary& dict = solver->dict();
+  std::stable_sort(full_rows.begin(), full_rows.end(), [&](const Row& x, const Row& y) {
+    for (size_t i = 0; i < p.order_idx.size(); ++i) {
+      int c = CompareTerms(dict, x[p.order_idx[i]], y[p.order_idx[i]]);
+      if (c != 0) return q.order_by[i].ascending ? c < 0 : c > 0;
+    }
+    return false;
+  });
+
+  std::set<std::vector<TermId>> seen;
+  uint64_t skipped = 0;
+  for (const Row& full : full_rows) {
+    Row projected(p.proj.size(), kInvalidId);
+    for (size_t i = 0; i < p.proj.size(); ++i) projected[i] = full[p.proj[i]];
+    if (q.distinct && !seen.insert(projected).second) continue;
+    if (skipped < static_cast<uint64_t>(q.offset)) {
+      ++skipped;
+      continue;
+    }
+    rows.push_back(std::move(projected));
+    if (rows.size() >= limit) break;
+  }
+}
+
+bool Cursor::Next(Row* row) {
+  if (!state_) return false;
+  if (!state_->ran) state_->Run();
+  if (state_->pos >= state_->rows.size()) return false;
+  // The read position only advances, so hand the buffered row over instead
+  // of copying it — delivery-bound queries pay one allocation per row less.
+  *row = std::move(state_->rows[state_->pos++]);
+  return true;
+}
+
+const util::Status& Cursor::status() const {
+  static const util::Status kOk;
+  return state_ ? state_->status : kOk;
+}
+
+const std::vector<std::string>& Cursor::var_names() const {
+  static const std::vector<std::string> kEmpty;
+  return state_ && state_->prepared ? state_->prepared->var_names : kEmpty;
+}
+
+uint64_t Cursor::rows_before_modifiers() const {
+  return state_ ? state_->before_modifiers : 0;
+}
+
+Cursor OpenCursor(const BgpSolver& solver, const PreparedQuery& prepared,
+                  const ExecOptions& opts) {
+  Cursor cursor;
+  cursor.state_ = std::make_shared<Cursor::State>();
+  cursor.state_->solver = &solver;
+  cursor.state_->prepared = prepared.impl_;
+  cursor.state_->opts = opts;
+  return cursor;
+}
+
+// ---------------------------------------------------------------------------
+// QueryEngine: dataset + solver ownership.
+// ---------------------------------------------------------------------------
+
+struct QueryEngine::Owned {
+  rdf::Dataset dataset;
+  std::unique_ptr<graph::DataGraph> graph;
+  std::unique_ptr<baseline::TripleIndex> index;
+  std::unique_ptr<BgpSolver> solver;
+};
+
+QueryEngine::QueryEngine(rdf::Dataset dataset)
+    : QueryEngine(std::move(dataset), Config{}) {}
+
+QueryEngine::QueryEngine(rdf::Dataset dataset, Config config)
+    : owned_(std::make_unique<Owned>()) {
+  owned_->dataset = std::move(dataset);
+  const rdf::Dataset& ds = owned_->dataset;
+  switch (config.solver) {
+    case SolverKind::kTurbo:
+    case SolverKind::kTurboDirect: {
+      auto mode = config.solver == SolverKind::kTurbo
+                      ? graph::TransformMode::kTypeAware
+                      : graph::TransformMode::kDirect;
+      owned_->graph =
+          std::make_unique<graph::DataGraph>(graph::DataGraph::Build(ds, mode));
+      owned_->solver = std::make_unique<TurboBgpSolver>(*owned_->graph, ds.dict(),
+                                                        config.engine_options);
+      break;
+    }
+    case SolverKind::kSortMerge:
+    case SolverKind::kIndexJoin: {
+      owned_->index = std::make_unique<baseline::TripleIndex>(ds);
+      if (config.solver == SolverKind::kSortMerge)
+        owned_->solver =
+            std::make_unique<baseline::SortMergeBgpSolver>(*owned_->index, ds.dict());
+      else
+        owned_->solver =
+            std::make_unique<baseline::IndexJoinBgpSolver>(*owned_->index, ds.dict());
+      break;
+    }
+  }
+  solver_ = owned_->solver.get();
+}
+
+QueryEngine::QueryEngine(const BgpSolver* solver) : solver_(solver) {}
+
+QueryEngine::~QueryEngine() = default;
+
+util::Result<PreparedQuery> QueryEngine::Prepare(const std::string& text) const {
+  auto q = ParseQuery(text);
+  if (!q.ok()) return q.status();
+  return PrepareSelect(q.take());
+}
+
+util::Result<Cursor> QueryEngine::Open(const PreparedQuery& prepared,
+                                       ExecOptions opts) const {
+  if (!prepared.impl_) return util::Status::Error("query was not prepared");
+  return OpenCursor(*solver_, prepared, opts);
+}
+
+util::Result<Cursor> QueryEngine::Open(const std::string& text, ExecOptions opts) const {
+  auto prepared = Prepare(text);
+  if (!prepared.ok()) return prepared.status();
+  return Open(prepared.value(), opts);
+}
+
+std::string FormatRow(const std::vector<std::string>& var_names, const Row& row,
+                      const rdf::Dictionary& dict) {
+  std::string out;
+  for (size_t i = 0; i < var_names.size(); ++i) {
+    if (i) out += "  ";
+    out += "?" + var_names[i] + "=";
+    TermId t = row[i];
+    out += t == kInvalidId ? "UNBOUND" : dict.term(t).ToNTriples();
+  }
+  return out;
+}
+
+const rdf::Dataset* QueryEngine::dataset() const {
+  return owned_ ? &owned_->dataset : nullptr;
+}
+
+const TurboBgpSolver* QueryEngine::turbo_solver() const {
+  return dynamic_cast<const TurboBgpSolver*>(solver_);
+}
+
+}  // namespace turbo::sparql

@@ -1,0 +1,203 @@
+// The streaming query API: the top-level facade a service front-end drives.
+//
+//   QueryEngine engine(std::move(dataset));            // owns data + solver
+//   auto prepared = engine.Prepare(text);              // parse + plan once
+//   auto cursor = engine.Open(prepared.value(), opts); // execute
+//   Row row;
+//   while (cursor.value().Next(&row)) { ... }          // stream rows
+//
+// The layer below is a push-with-backpressure row pipeline (GroupPattern
+// operators -> projection -> DISTINCT -> OFFSET/LIMIT): every operator
+// forwards rows one at a time into a RowSink, and a kStop return unwinds all
+// the way into the TurboHOM++ Matcher's SubgraphSearch (sequential and
+// parallel), so a LIMIT-k query without ORDER BY enumerates only as much of
+// the solution space as k rows require — the paper's "answer within the
+// budget" behaviour rather than materialize-then-truncate. ORDER BY is the
+// one pipeline breaker: it buffers, sorts at end-of-stream, then applies the
+// remaining modifiers.
+//
+// ExecOptions adds the service-side controls on top of the query's own
+// modifiers: a delivered-row cap (limit_budget), a pre-modifier work budget
+// (row_budget), a deadline, and a cooperative cancel token. Cancel/deadline
+// reach the enumeration loops themselves (MatchOptions::cancel/deadline), so
+// even zero-solution searches terminate promptly and cleanly.
+//
+// `sparql::Executor` remains as a thin compatibility wrapper that drains a
+// cursor into the materialized ResultSet.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/options.hpp"
+#include "rdf/dataset.hpp"
+#include "sparql/ast.hpp"
+#include "sparql/solver.hpp"
+#include "util/status.hpp"
+
+namespace turbo::baseline {
+class TripleIndex;
+}
+namespace turbo::graph {
+class DataGraph;
+}
+
+namespace turbo::sparql {
+
+class Cursor;
+class TurboBgpSolver;
+struct ExecOptions;
+
+inline constexpr uint64_t kNoBudget = std::numeric_limits<uint64_t>::max();
+
+/// Caller-side execution controls, orthogonal to the query's own solution
+/// modifiers (which always apply).
+struct ExecOptions {
+  /// Cap on delivered (post-DISTINCT/OFFSET) rows; combines with the query's
+  /// LIMIT by taking the minimum. Reaching it is a normal termination.
+  uint64_t limit_budget = kNoBudget;
+  /// Cap on pre-modifier rows the pipeline may inspect; exceeding it stops
+  /// execution with an error status ("row budget exceeded"). Guards a
+  /// service against runaway queries whose cost is in enumeration, not
+  /// delivery.
+  uint64_t row_budget = kNoBudget;
+  /// Steady-clock deadline (epoch default = none). Tripping it surfaces as
+  /// status "deadline exceeded".
+  std::chrono::steady_clock::time_point deadline{};
+  /// Cooperative cancel token owned by the caller; set it from any thread to
+  /// stop execution with status "query cancelled".
+  const std::atomic<bool>* cancel_token = nullptr;
+};
+
+/// A parsed + planned SELECT query, reusable across Open calls (and across
+/// threads: it is immutable after Prepare). Cheap to copy — shared state.
+class PreparedQuery {
+ public:
+  PreparedQuery() = default;
+
+  const SelectQuery& query() const;
+  const VarRegistry& vars() const;
+  /// Projected variable names, in SELECT order (all vars for SELECT *).
+  const std::vector<std::string>& var_names() const;
+
+  struct Impl;
+
+ private:
+  friend class Cursor;
+  friend class QueryEngine;
+  friend util::Result<PreparedQuery> PrepareSelect(SelectQuery q);
+  friend Cursor OpenCursor(const BgpSolver& solver, const PreparedQuery& prepared,
+                           const ExecOptions& opts);
+  std::shared_ptr<const Impl> impl_;
+};
+
+/// Plans an already-parsed SELECT (variable registry, projection indices,
+/// per-group pushable filter sets). The text front door is
+/// QueryEngine::Prepare.
+util::Result<PreparedQuery> PrepareSelect(SelectQuery q);
+
+/// A streaming result handle. Next() delivers projected rows in the same
+/// order Executor::Execute would return them; status() reports how the
+/// stream ended (Ok for completion, LIMIT, or budget-satisfied stops; an
+/// error for cancellation / deadline / row-budget violations — any rows
+/// already delivered remain valid).
+///
+/// The cursor runs the row pipeline on first use and retains only the rows
+/// the modifiers let through (bounded by LIMIT/limit_budget when present).
+/// It must not outlive the solver/engine it was opened on.
+class Cursor {
+ public:
+  Cursor() = default;
+
+  /// Advances to the next row. Returns false at end-of-stream (check
+  /// status() to distinguish completion from an error).
+  bool Next(Row* row);
+
+  /// How the stream ended so far; Ok while rows are still flowing.
+  const util::Status& status() const;
+
+  /// Projected variable names (row columns), in SELECT order.
+  const std::vector<std::string>& var_names() const;
+
+  /// Rows that entered the solution-modifier stage before the stream
+  /// stopped; with an early LIMIT stop this is what the pushdown saved work
+  /// on (compare with ResultSet::total_before_modifiers of a full run).
+  uint64_t rows_before_modifiers() const;
+
+ private:
+  friend class QueryEngine;
+  friend Cursor OpenCursor(const BgpSolver& solver, const PreparedQuery& prepared,
+                           const ExecOptions& opts);
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+/// Opens a cursor over a bare solver — the building block QueryEngine::Open
+/// and the Executor compatibility wrapper share. The solver must outlive the
+/// cursor.
+Cursor OpenCursor(const BgpSolver& solver, const PreparedQuery& prepared,
+                  const ExecOptions& opts = {});
+
+/// Renders one streamed row as a human-readable line (terms in N-Triples
+/// form); `var_names` comes from the cursor or prepared query.
+std::string FormatRow(const std::vector<std::string>& var_names, const Row& row,
+                      const rdf::Dictionary& dict);
+
+/// Owns a dataset, its derived index structures, and one BgpSolver; or wraps
+/// a caller-owned solver. The facade for everything above the BGP layer.
+class QueryEngine {
+ public:
+  enum class SolverKind : uint8_t {
+    kTurbo,        ///< TurboHOM++ on the type-aware transformed graph
+    kTurboDirect,  ///< TurboHOM on the directly transformed graph
+    kSortMerge,    ///< RDF-3X-style scan + join baseline
+    kIndexJoin,    ///< index-nested-loop baseline
+  };
+
+  struct Config {
+    SolverKind solver = SolverKind::kTurbo;
+    /// Engine options for the Turbo solvers (threads, §4.3 toggles, arena).
+    engine::MatchOptions engine_options{};
+  };
+
+  /// Owning constructors: take the (inference-closed) dataset and build the
+  /// transformed graph / triple index the chosen solver needs.
+  explicit QueryEngine(rdf::Dataset dataset);
+  QueryEngine(rdf::Dataset dataset, Config config);
+
+  /// Non-owning view over an existing solver (benches and tests that manage
+  /// their own EngineSet). The solver must outlive the engine.
+  explicit QueryEngine(const BgpSolver* solver);
+
+  QueryEngine(QueryEngine&&) = default;
+  QueryEngine& operator=(QueryEngine&&) = default;
+  ~QueryEngine();
+
+  /// Parse + plan once; the result re-executes any number of times.
+  util::Result<PreparedQuery> Prepare(const std::string& text) const;
+
+  /// Starts executing a prepared query under `opts`.
+  util::Result<Cursor> Open(const PreparedQuery& prepared, ExecOptions opts = {}) const;
+  /// One-shot convenience: Prepare + Open.
+  util::Result<Cursor> Open(const std::string& text, ExecOptions opts = {}) const;
+
+  const BgpSolver& solver() const { return *solver_; }
+  const rdf::Dictionary& dict() const { return solver_->dict(); }
+  /// The owned dataset (owning engines only; nullptr when wrapping).
+  const rdf::Dataset* dataset() const;
+  /// The TurboBgpSolver behind this engine, or nullptr for the baselines —
+  /// gives access to MatchStats for EXPLAIN-style diagnostics and tests.
+  const TurboBgpSolver* turbo_solver() const;
+
+ private:
+  struct Owned;
+  std::unique_ptr<Owned> owned_;   // null when wrapping a caller-owned solver
+  const BgpSolver* solver_ = nullptr;
+};
+
+}  // namespace turbo::sparql

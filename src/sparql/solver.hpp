@@ -5,8 +5,17 @@
 //   * IndexJoinBgpSolver  — index-nested-loop baseline (System-X stand-in).
 // Sharing the interface lets the executor provide OPTIONAL / FILTER / UNION
 // uniformly and lets tests cross-check the engines row-for-row.
+//
+// Evaluation is push-with-backpressure: the solver emits rows into a
+// RowSink, and the sink's EmitResult return value propagates a stop request
+// back down into the enumeration (through the TurboHOM++ Matcher's
+// SubgraphSearch, including its parallel workers). This is what lets a
+// LIMIT-k cursor terminate matching after k rows instead of materializing
+// the full solution bag.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <functional>
 #include <optional>
 #include <string>
@@ -45,21 +54,56 @@ class VarRegistry {
   std::vector<std::string> names_;
 };
 
+/// What a RowSink tells the producing solver after each row.
+enum class EmitResult : uint8_t {
+  kContinue,  ///< keep enumerating
+  kStop,      ///< enough rows: unwind the enumeration and return Ok
+};
+
+/// Per-row consumer. Returning kStop is a normal early termination (LIMIT
+/// satisfied, cursor closed), not an error.
+using RowSink = std::function<EmitResult(const Row&)>;
+
+/// Caller-supplied cancellation surface threaded through Evaluate into the
+/// enumeration loops. Distinct from a sink kStop: tripping either signal
+/// makes Evaluate return an error status (see CheckControl).
+struct EvalControl {
+  const std::atomic<bool>* cancel = nullptr;          ///< cooperative cancel token
+  std::chrono::steady_clock::time_point deadline{};   ///< epoch default = none
+
+  bool has_deadline() const { return deadline.time_since_epoch().count() != 0; }
+  bool cancelled() const {
+    return cancel && cancel->load(std::memory_order_relaxed);
+  }
+  bool expired() const {
+    return has_deadline() && std::chrono::steady_clock::now() >= deadline;
+  }
+  /// Ok, or the error a solver must return when a signal has fired.
+  util::Status Check() const {
+    if (cancelled()) return util::Status::Error("query cancelled");
+    if (expired()) return util::Status::Error("deadline exceeded");
+    return util::Status::Ok();
+  }
+};
+
 class BgpSolver {
  public:
   virtual ~BgpSolver() = default;
 
   /// Evaluates `bgp` under the pre-bound row `bound` (vars already bound act
   /// as constants — this is how the executor implements OPTIONAL extension).
-  /// Emits one completed row per solution. `pushable` are filters whose
-  /// variables all occur in `bgp`; a solver MAY use them to prune early
-  /// (§5.1: "inexpensive filters are applied whenever we access the
-  /// corresponding vertices") — the executor re-checks every filter, so
-  /// ignoring them is always safe.
+  /// Emits one completed row per solution until the sink returns kStop (then
+  /// returns Ok without enumerating further) or `control` trips (then
+  /// returns the matching error). `pushable` are filters whose variables all
+  /// occur in `bgp`; a solver MAY use them to prune early (§5.1:
+  /// "inexpensive filters are applied whenever we access the corresponding
+  /// vertices") — the executor re-checks every filter, so ignoring them is
+  /// always safe.
   virtual util::Status Evaluate(const std::vector<TriplePattern>& bgp,
                                 const VarRegistry& vars, const Row& bound,
                                 const std::vector<const FilterExpr*>& pushable,
-                                const std::function<void(const Row&)>& emit) const = 0;
+                                const RowSink& emit,
+                                const EvalControl& control = {}) const = 0;
 
   /// The dictionary used to resolve constants in patterns and filters.
   virtual const rdf::Dictionary& dict() const = 0;

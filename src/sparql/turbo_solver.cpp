@@ -36,7 +36,8 @@ bool ContainsRegex(const FilterExpr& e) {
 util::Status TurboBgpSolver::Evaluate(const std::vector<TriplePattern>& bgp,
                                       const VarRegistry& vars, const Row& bound,
                                       const std::vector<const FilterExpr*>& pushable,
-                                      const std::function<void(const Row&)>& emit) const {
+                                      const RowSink& emit,
+                                      const EvalControl& control) const {
   // In type-aware mode, rdf:type triples are folded into labels and
   // rdfs:subClassOf triples into the schema side table, so an unbound
   // predicate variable would silently miss those rows. For each such
@@ -65,7 +66,15 @@ util::Status TurboBgpSolver::Evaluate(const std::vector<TriplePattern>& bgp,
         return util::Status::Error("too many variable predicates in one pattern");
       uint64_t combos = 1;
       for (size_t j = 0; j < pred_vars.size(); ++j) combos *= interpretations.size();
-      for (uint64_t mask = 0; mask < combos; ++mask) {
+      // A sink stop must also stop the remaining interpretation combos, so
+      // watch for it on the way through.
+      bool stopped = false;
+      RowSink watched = [&](const Row& r) {
+        EmitResult er = emit(r);
+        if (er == EmitResult::kStop) stopped = true;
+        return er;
+      };
+      for (uint64_t mask = 0; mask < combos && !stopped; ++mask) {
         Row b2 = bound;
         b2.resize(vars.size(), kInvalidId);
         uint64_t rest = mask;
@@ -73,19 +82,20 @@ util::Status TurboBgpSolver::Evaluate(const std::vector<TriplePattern>& bgp,
           b2[pred_vars[j]] = interpretations[rest % interpretations.size()];
           rest /= interpretations.size();
         }
-        auto st = EvaluateOne(bgp, vars, b2, pushable, emit);
+        auto st = EvaluateOne(bgp, vars, b2, pushable, watched, control);
         if (!st.ok()) return st;
       }
       return util::Status::Ok();
     }
   }
-  return EvaluateOne(bgp, vars, bound, pushable, emit);
+  return EvaluateOne(bgp, vars, bound, pushable, emit, control);
 }
 
 util::Status TurboBgpSolver::EvaluateOne(const std::vector<TriplePattern>& bgp,
                                          const VarRegistry& vars, const Row& bound,
                                          const std::vector<const FilterExpr*>& pushable,
-                                         const std::function<void(const Row&)>& emit) const {
+                                         const RowSink& emit,
+                                         const EvalControl& control) const {
   const bool type_aware = g_.mode() == graph::TransformMode::kTypeAware;
   auto type_term = dict_.Find(rdf::Term::Iri(rdf::vocab::kRdfType));
   auto subclass_term = dict_.Find(rdf::Term::Iri(rdf::vocab::kRdfsSubClassOf));
@@ -291,15 +301,13 @@ util::Status TurboBgpSolver::EvaluateOne(const std::vector<TriplePattern>& bgp,
   }
 
   // ---- Schema join wrapper: extend each solution row with the
-  // rdfs:subClassOf side-table bindings. ----
-  std::function<void(Row&)> emit_schema = [&](Row& row) { emit(row); };
+  // rdfs:subClassOf side-table bindings. Propagates the sink's stop request
+  // back out through the recursion. ----
+  std::function<EmitResult(Row&)> emit_schema = [&](Row& row) { return emit(row); };
   if (!schema_patterns.empty()) {
-    emit_schema = [&](Row& row) {
-      std::function<void(size_t)> rec = [&](size_t k) {
-        if (k == schema_patterns.size()) {
-          emit(row);
-          return;
-        }
+    emit_schema = [&](Row& row) -> EmitResult {
+      std::function<EmitResult(size_t)> rec = [&](size_t k) -> EmitResult {
+        if (k == schema_patterns.size()) return emit(row);
         const TriplePattern& tp = *schema_patterns[k];
         TermId fs = kInvalidId, fo = kInvalidId;
         int vs = -1, vo = -1;
@@ -317,6 +325,7 @@ util::Status TurboBgpSolver::EvaluateOne(const std::vector<TriplePattern>& bgp,
         };
         resolve(tp.s, &fs, &vs);
         resolve(tp.o, &fo, &vo);
+        EmitResult result = EmitResult::kContinue;
         for (const auto& [subj, obj] : g_.SubclassTriples()) {
           if (vs < 0 && subj != fs) continue;
           if (vo < 0 && obj != fo) continue;
@@ -325,12 +334,14 @@ util::Status TurboBgpSolver::EvaluateOne(const std::vector<TriplePattern>& bgp,
           TermId save_o = vo >= 0 ? row[vo] : 0;
           if (vs >= 0) row[vs] = subj;
           if (vo >= 0) row[vo] = obj;
-          rec(k + 1);
+          result = rec(k + 1);
           if (vs >= 0) row[vs] = save_s;
           if (vo >= 0) row[vo] = save_o;
+          if (result == EmitResult::kStop) break;
         }
+        return result;
       };
-      rec(0);
+      return rec(0);
     };
   }
 
@@ -345,65 +356,80 @@ util::Status TurboBgpSolver::EvaluateOne(const std::vector<TriplePattern>& bgp,
     return util::Status::Ok();
   }
 
+  // Engine options for this call: the caller's cancel token / deadline ride
+  // into the Matcher so even zero-solution enumerations stay cancellable.
+  engine::MatchOptions mopts = options_;
+  mopts.cancel = control.cancel;
+  mopts.deadline = control.deadline;
+
   // ---- Row assembly: resolve pending type-variable and predicate-variable
-  // bindings, then run the schema join and emit. ----
+  // bindings, then run the schema join and emit. A kStop propagates back to
+  // the Matcher callback, which aborts SubgraphSearch itself. ----
   Row out;
   std::vector<VertexId> m(q.num_vertices(), kInvalidId);
   std::vector<EdgeLabelId> el_scratch;
 
-  std::function<void(size_t)> expand = [&](size_t k) {
-    if (k == type_vars.size() + el_vars.size()) {
-      emit_schema(out);
-      return;
-    }
+  std::function<EmitResult(size_t)> expand = [&](size_t k) -> EmitResult {
+    if (k == type_vars.size() + el_vars.size()) return emit_schema(out);
     if (k < type_vars.size()) {
       const PendingTypeVar& tv = type_vars[k];
       auto labels = options_.simple_entailment ? g_.simple_labels(m[tv.qv])
                                                : g_.labels(m[tv.qv]);
       TermId already = out[tv.var];
+      EmitResult result = EmitResult::kContinue;
       for (LabelId l : labels) {
         TermId t = g_.LabelTerm(l);
         if (already != kInvalidId && already != t) continue;
         out[tv.var] = t;
-        expand(k + 1);
+        result = expand(k + 1);
+        if (result == EmitResult::kStop) break;
       }
       out[tv.var] = already;
-      return;
+      return result;
     }
     const PendingElVar& ev = el_vars[k - type_vars.size()];
     g_.EdgeLabelsBetween(m[ev.from_qv], m[ev.to_qv], &el_scratch);
     std::vector<EdgeLabelId> labels = el_scratch;  // recursion reuses scratch
     TermId already = out[ev.var];
+    EmitResult result = EmitResult::kContinue;
     for (EdgeLabelId el : labels) {
       TermId t = g_.EdgeLabelTerm(el);
       if (already != kInvalidId && already != t) continue;
       out[ev.var] = t;
-      expand(k + 1);
+      result = expand(k + 1);
+      if (result == EmitResult::kStop) break;
     }
     out[ev.var] = already;
+    return result;
   };
 
-  auto emit_mapping = [&]() {
+  auto emit_mapping = [&]() -> EmitResult {
     out = bound;
     out.resize(vars.size(), kInvalidId);
     for (uint32_t u = 0; u < q.num_vertices(); ++u) {
       int vi = q.vertex(u).var;
       if (vi >= 0) out[vi] = g_.VertexTerm(m[u]);
     }
-    expand(0);
+    return expand(0);
   };
 
   if (num_comps == 1) {
     // Common case: stream solutions straight from the engine — no
     // intermediate materialization (important for the point-shaped queries
     // like LUBM Q6/Q14 whose cost is dominated by result delivery).
-    engine::Matcher matcher(g_, options_, &arena_pool_);
+    engine::Matcher matcher(g_, mopts, &arena_pool_);
+    bool sink_stopped = false;
     engine::MatchStats stats =
         matcher.Match(q, [&](std::span<const VertexId> sol) {
           for (uint32_t u = 0; u < q.num_vertices(); ++u) m[u] = sol[u];
-          emit_mapping();
+          if (emit_mapping() == EmitResult::kStop) sink_stopped = true;
+          return !sink_stopped;
         });
     last_stats_.MergeFrom(stats);
+    // Surface a cancel/deadline error only when it actually cut the
+    // enumeration short — a signal that trips after completion (or after
+    // the sink's own kStop) must not retroactively spoil a full answer.
+    if (stats.stopped_early && !sink_stopped) return control.Check();
     return util::Status::Ok();
   }
 
@@ -428,23 +454,25 @@ util::Status TurboBgpSolver::EvaluateOne(const std::vector<TriplePattern>& bgp,
         le.to = local_idx[e.to];
         sub.AddEdge(le);
       }
-      engine::Matcher matcher(g_, options_, &arena_pool_);
+      engine::Matcher matcher(g_, mopts, &arena_pool_);
       engine::MatchStats stats;
       comp_solutions[c] = matcher.FindAll(sub, &stats);
       last_stats_.MergeFrom(stats);
+      // FindAll has no sink, so an early stop here can only mean the
+      // cancel/deadline fired mid-enumeration.
+      if (stats.stopped_early)
+        if (auto st = control.Check(); !st.ok()) return st;
       if (comp_solutions[c].empty()) return util::Status::Ok();
     }
   }
 
-  std::function<void(uint32_t)> cartesian = [&](uint32_t c) {
-    if (c == num_comps) {
-      emit_mapping();
-      return;
-    }
+  std::function<EmitResult(uint32_t)> cartesian = [&](uint32_t c) -> EmitResult {
+    if (c == num_comps) return emit_mapping();
     for (const engine::Solution& sol : comp_solutions[c]) {
       for (size_t i = 0; i < comp_qvs[c].size(); ++i) m[comp_qvs[c][i]] = sol[i];
-      cartesian(c + 1);
+      if (cartesian(c + 1) == EmitResult::kStop) return EmitResult::kStop;
     }
+    return EmitResult::kContinue;
   };
   cartesian(0);
   return util::Status::Ok();

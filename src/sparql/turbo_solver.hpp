@@ -23,16 +23,18 @@ class TurboBgpSolver : public BgpSolver {
 
   util::Status Evaluate(const std::vector<TriplePattern>& bgp, const VarRegistry& vars,
                         const Row& bound, const std::vector<const FilterExpr*>& pushable,
-                        const std::function<void(const Row&)>& emit) const override;
+                        const RowSink& emit,
+                        const EvalControl& control = {}) const override;
 
   const rdf::Dictionary& dict() const override { return dict_; }
   const graph::DataGraph& data_graph() const { return g_; }
   engine::MatchOptions& mutable_options() { return options_; }
   const engine::MatchOptions& options() const { return options_; }
 
-  /// Cumulative engine statistics across Evaluate calls.
+  /// Cumulative engine statistics across Evaluate calls. (Stats are mutable
+  /// bookkeeping, so resetting through a const facade pointer is fine.)
   const engine::MatchStats& last_stats() const { return last_stats_; }
-  void ResetStats() { last_stats_ = {}; }
+  void ResetStats() const { last_stats_ = {}; }
 
   /// RegionArena pool shared by every Matcher this solver spawns, so
   /// candidate-region memory is reused across Evaluate calls (the executor
@@ -43,7 +45,7 @@ class TurboBgpSolver : public BgpSolver {
  private:
   util::Status EvaluateOne(const std::vector<TriplePattern>& bgp, const VarRegistry& vars,
                            const Row& bound, const std::vector<const FilterExpr*>& pushable,
-                           const std::function<void(const Row&)>& emit) const;
+                           const RowSink& emit, const EvalControl& control) const;
 
   const graph::DataGraph& g_;
   const rdf::Dictionary& dict_;

@@ -105,6 +105,7 @@ class BaselineSolverTest : public ::testing::TestWithParam<Kind> {
                                 [&](const sparql::Row& r) {
                                   distinct.insert(r);
                                   ++total;
+                                  return sparql::EmitResult::kContinue;
                                 });
     EXPECT_TRUE(st.ok()) << st.message();
     return {distinct.size(), total};
@@ -171,6 +172,7 @@ TEST_P(BaselineSolverTest, PreBoundRowActsAsConstant) {
                               [&](const sparql::Row& r) {
                                 EXPECT_EQ(r[vx], T("alice"));
                                 ++count;
+                                return sparql::EmitResult::kContinue;
                               });
   ASSERT_TRUE(st.ok());
   EXPECT_EQ(count, 1u);

@@ -268,8 +268,10 @@ inline RandomCase MakeRandomCase(uint64_t seed) {
 inline std::vector<Row> Evaluate(const sparql::BgpSolver& solver, const RandomCase& c) {
   std::vector<Row> rows;
   Row bound(c.vars.size(), kInvalidId);
-  util::Status st = solver.Evaluate(c.bgp, c.vars, bound, {},
-                                    [&](const Row& r) { rows.push_back(r); });
+  util::Status st = solver.Evaluate(c.bgp, c.vars, bound, {}, [&](const Row& r) {
+    rows.push_back(r);
+    return sparql::EmitResult::kContinue;
+  });
   EXPECT_TRUE(st.ok()) << st.message();
   std::sort(rows.begin(), rows.end());
   return rows;

@@ -101,6 +101,7 @@ TEST(Integration, StreamingCallbackDeliversEverySolutionOnce) {
     ++calls;
     EXPECT_EQ(sol.size(), 2u);
     EXPECT_NE(sol[0], kInvalidId);
+    return true;
   });
   EXPECT_EQ(calls, 3u);
   EXPECT_EQ(stats.num_solutions, 3u);
@@ -115,6 +116,7 @@ TEST(Integration, StreamingSingleVertexQuery) {
   m.Match(q, [&](std::span<const VertexId> sol) {
     ++calls;
     EXPECT_EQ(sol.size(), 1u);
+    return true;
   });
   EXPECT_EQ(calls, 2u);
 }
@@ -133,8 +135,13 @@ TEST(Integration, ParallelCallbackStillDeliversAll) {
   engine::MatchOptions opt;
   opt.num_threads = 4;
   engine::Matcher m(t.g(), opt);
-  size_t calls = 0;  // parallel runs buffer and replay sequentially
-  m.Match(q, [&](std::span<const VertexId>) { ++calls; });
+  // Parallel runs stream directly from worker threads, serialized by the
+  // engine's delivery mutex — the callback never runs concurrently.
+  size_t calls = 0;
+  m.Match(q, [&](std::span<const VertexId>) {
+    ++calls;
+    return true;
+  });
   EXPECT_EQ(calls, 3u);
 }
 

@@ -208,12 +208,15 @@ TEST(SolverCrosscheck, LargeGraphExecutorFuzz) {
           << "direct" << DescribeToggles(o);
       if (reuse) {
         // The solver's arena pool must actually have been exercised: the
-        // executor re-enters Evaluate per OPTIONAL row, and every worker
-        // checkout after the first should find a warm arena.
+        // executor re-enters Evaluate per OPTIONAL row. The streaming
+        // pipeline nests those calls inside the outer Match's callback, so
+        // up to one arena per active pipeline stage (base BGP, a UNION
+        // branch, an OPTIONAL extension) is checked out concurrently — each
+        // stage's first checkout is cold, every later one must be warm.
         const engine::MatchStats& st = turbo_typed.last_stats();
         EXPECT_GT(st.arena_workers, 0u);
-        EXPECT_EQ(st.arena_warm + 1, st.arena_workers)
-            << "expected all checkouts after the first to reuse a warm arena";
+        EXPECT_LE(st.arena_workers - st.arena_warm, 3u)
+            << "more cold arena checkouts than concurrent pipeline stages";
       }
     }
     {
