@@ -1,0 +1,193 @@
+// Ingestion benchmark: sequential istream parse vs the chunked parallel
+// pipeline (at several thread counts) vs the binary snapshot fast path, on
+// inference-closed LUBM N-Triples dumps. This is the measurement the paper
+// never gives (loading is excluded from all its numbers) but that dominates
+// wall-clock at LUBM-8+ scale.
+//
+// Rows per scale (metrics: ms, allocs, triples):
+//   parse-seq        ParseNTriples (the pre-pipeline istream loop)
+//   parse-par/tN     LoadNTriplesFile, threads = N
+//   load+graph/tN    LoadNTriplesFile with the fused GraphBuilder stage
+//   snapshot-save    SaveSnapshotFile of the loaded dataset
+//   snapshot-load    LoadSnapshotFile (bulk sectioned reads)
+//
+// Environment: INGEST_SCALES (default "2,8" universities), INGEST_THREADS
+// (default "1,2,8"), BENCH_REPS (default 5, drop best/worst), BENCH_JSON.
+// Temp files go to $INGEST_TMP (default /tmp) and are removed on exit.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/alloc_counter.hpp"
+#include "bench/bench_common.hpp"
+#include "bench/bench_json.hpp"
+#include "rdf/loader.hpp"
+#include "rdf/ntriples.hpp"
+#include "rdf/snapshot.hpp"
+#include "util/timer.hpp"
+#include "workload/lubm.hpp"
+
+#include <fstream>
+
+using namespace turbo;
+
+namespace {
+
+struct Measured {
+  double ms = 0;
+  uint64_t allocs = 0;
+  uint64_t triples = 0;
+};
+
+/// Paper-style repetition: run `reps` times, drop best and worst, average
+/// the rest. The probe returns the triple count (sanity-checked by caller).
+template <typename Fn>
+Measured Measure(int reps, Fn&& fn) {
+  Measured out;
+  std::vector<double> times;
+  for (int i = 0; i < reps; ++i) {
+    uint64_t a0 = bench::AllocCount();
+    util::WallTimer t;
+    out.triples = fn();
+    times.push_back(t.ElapsedMillis());
+    out.allocs = bench::AllocCount() - a0;
+    if (times.back() > 30000 && i == 0) break;  // very slow cell: measure once
+  }
+  if (times.size() >= 3) {
+    std::sort(times.begin(), times.end());
+    double sum = 0;
+    for (size_t i = 1; i + 1 < times.size(); ++i) sum += times[i];
+    out.ms = sum / (times.size() - 2);
+  } else {
+    double sum = 0;
+    for (double v : times) sum += v;
+    out.ms = sum / times.size();
+  }
+  return out;
+}
+
+std::string TmpDir() {
+  const char* env = std::getenv("INGEST_TMP");
+  return env && *env ? env : "/tmp";
+}
+
+}  // namespace
+
+int main() {
+  auto scales = bench::ScalesFromEnv("INGEST_SCALES", {2, 8});
+  auto thread_counts = bench::ScalesFromEnv("INGEST_THREADS", {1, 2, 8});
+  const int reps = bench::RepsFromEnv();
+
+  bench::BenchReport report;
+  report.bench = "bench_ingest";
+  report.machine = bench::MachineTag();
+  {
+    std::string s, th;
+    for (uint32_t v : scales) s += (s.empty() ? "" : ",") + std::to_string(v);
+    for (uint32_t v : thread_counts) th += (th.empty() ? "" : ",") + std::to_string(v);
+    report.config["scales"] = s;
+    report.config["threads"] = th;
+    report.config["reps"] = std::to_string(reps);
+  }
+
+  for (uint32_t scale : scales) {
+    const std::string tag = "LUBM" + std::to_string(scale);
+    const std::string nt_path = TmpDir() + "/bench_ingest_" + tag + ".nt";
+    const std::string snap_path = TmpDir() + "/bench_ingest_" + tag + ".snap";
+
+    workload::LubmConfig cfg;
+    cfg.num_universities = scale;
+    if (auto st = workload::WriteLubmNTriplesFile(cfg, nt_path); !st.ok()) {
+      std::fprintf(stderr, "fixture error: %s\n", st.message().c_str());
+      return 1;
+    }
+    uint64_t bytes = 0;
+    {
+      std::ifstream in(nt_path, std::ios::binary | std::ios::ate);
+      bytes = static_cast<uint64_t>(in.tellg());
+    }
+    bench::PrintHeader(tag + " ingest (" + std::to_string(bytes >> 20) + " MiB N-Triples)");
+    bench::PrintRow("variant", {"ms", "Mtriples/s", "allocs"});
+
+    auto record = [&](const std::string& name, const Measured& m) {
+      double mtps = m.ms > 0 ? m.triples / m.ms / 1000.0 : 0;
+      bench::PrintRow(name, {bench::Ms(m.ms),
+                             bench::Ms(mtps),
+                             bench::Num(m.allocs)});
+      report.results.push_back(
+          {tag + "/" + name,
+           {{"ms", m.ms}, {"allocs", static_cast<double>(m.allocs)},
+            {"triples", static_cast<double>(m.triples)}}});
+    };
+
+    // ---- Sequential istream baseline (the pre-pipeline ingestion path). ----
+    Measured seq = Measure(reps, [&] {
+      rdf::Dataset ds;
+      std::ifstream in(nt_path);
+      if (!in || !rdf::ParseNTriples(in, &ds).ok()) return uint64_t{0};
+      return static_cast<uint64_t>(ds.size());
+    });
+    record("parse-seq", seq);
+
+    // ---- Parallel pipeline at each thread count. ----
+    for (uint32_t threads : thread_counts) {
+      rdf::LoadOptions opts;
+      opts.threads = threads;
+      Measured par = Measure(reps, [&] {
+        auto r = rdf::LoadNTriplesFile(nt_path, opts);
+        if (!r.ok()) {
+          std::fprintf(stderr, "load error: %s\n", r.message().c_str());
+          return uint64_t{0};
+        }
+        return r.value().stats.triples;
+      });
+      if (par.triples != seq.triples)
+        std::fprintf(stderr, "WARNING: %s triple-count mismatch (%llu vs %llu)\n",
+                     tag.c_str(), static_cast<unsigned long long>(par.triples),
+                     static_cast<unsigned long long>(seq.triples));
+      record("parse-par/t" + std::to_string(threads), par);
+    }
+
+    // ---- Fused load+graph at the top thread count. ----
+    {
+      rdf::LoadOptions opts;
+      opts.threads = thread_counts.back();
+      opts.build_graph = true;
+      Measured fused = Measure(reps, [&] {
+        auto r = rdf::LoadNTriplesFile(nt_path, opts);
+        return r.ok() ? r.value().stats.triples : uint64_t{0};
+      });
+      record("load+graph/t" + std::to_string(opts.threads), fused);
+    }
+
+    // ---- Snapshot fast path. ----
+    {
+      rdf::LoadOptions opts;
+      opts.threads = thread_counts.back();
+      auto loaded = rdf::LoadNTriplesFile(nt_path, opts);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "load error: %s\n", loaded.message().c_str());
+        return 1;
+      }
+      Measured save = Measure(reps, [&] {
+        if (!rdf::SaveSnapshotFile(loaded.value().dataset, snap_path).ok())
+          return uint64_t{0};
+        return static_cast<uint64_t>(loaded.value().dataset.size());
+      });
+      record("snapshot-save", save);
+      Measured load = Measure(reps, [&] {
+        auto r = rdf::LoadSnapshotFile(snap_path, opts.threads);
+        return r.ok() ? static_cast<uint64_t>(r.value().size()) : uint64_t{0};
+      });
+      if (load.triples != seq.triples)
+        std::fprintf(stderr, "WARNING: %s snapshot triple-count mismatch\n", tag.c_str());
+      record("snapshot-load", load);
+    }
+
+    std::remove(nt_path.c_str());
+    std::remove(snap_path.c_str());
+  }
+
+  bench::MaybeWriteJson(report);
+  return 0;
+}

@@ -250,7 +250,7 @@ class Reader {
     if (Peek('}')) return Consume('}');
     while (true) {
       std::string k;
-      double v;
+      double v = 0;
       if (!ParseString(&k) || !Consume(':') || !ParseNumber(&v)) return false;
       (*out)[k] = v;
       if (Peek(',')) {

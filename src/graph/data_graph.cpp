@@ -25,144 +25,138 @@ std::vector<uint32_t> BuildOffsets(const std::vector<Row>& rows, size_t num_keys
 // Builder
 // ---------------------------------------------------------------------------
 
-class GraphBuilder {
- public:
-  GraphBuilder(const rdf::Dataset& dataset, TransformMode mode)
-      : dataset_(dataset), mode_(mode) {}
+GraphBuilder::GraphBuilder(const rdf::Dictionary& dict, TransformMode mode)
+    : dict_(dict), mode_(mode) {
+  g_.mode_ = mode;
+}
 
-  DataGraph Build() {
-    DataGraph g;
-    g.mode_ = mode_;
+void GraphBuilder::ResolveSchemaPredicates() {
+  // Lazy per-chunk resolution: the dictionary may still be growing between
+  // chunks (incremental use), but by the time a chunk is appended every id
+  // it references — including rdf:type if present — is interned.
+  if (!type_p_) type_p_ = dict_.Find(rdf::Term::Iri(rdf::vocab::kRdfType));
+  if (!subclass_p_) subclass_p_ = dict_.Find(rdf::Term::Iri(rdf::vocab::kRdfsSubClassOf));
+}
 
-    const rdf::Dictionary& dict = dataset_.dict();
-    std::optional<TermId> type_p = dict.Find(rdf::Term::Iri(rdf::vocab::kRdfType));
-    std::optional<TermId> subclass_p = dict.Find(rdf::Term::Iri(rdf::vocab::kRdfsSubClassOf));
+void GraphBuilder::Append(std::span<const rdf::Triple> chunk, bool inferred) {
+  if (chunk.empty()) return;
+  ResolveSchemaPredicates();
+  DataGraph& g = g_;
 
-    // ---- Classify triples; assign vertex / label / edge-label ids. ----
-    struct EdgeTriple {
-      VertexId s;
-      EdgeLabelId el;
-      VertexId o;
-    };
-    std::vector<EdgeTriple> edges;
-    edges.reserve(dataset_.size());
-    // (vertex, label, simple?) assignments.
-    std::vector<std::pair<VertexId, LabelId>> label_pairs;
-    std::vector<std::pair<VertexId, LabelId>> simple_label_pairs;
+  auto vertex_of = [&](TermId t) -> VertexId {
+    auto [it, added] = g.term_to_vertex_.try_emplace(
+        t, static_cast<VertexId>(g.vertex_terms_.size()));
+    if (added) g.vertex_terms_.push_back(t);
+    return it->second;
+  };
+  auto label_of = [&](TermId t) -> LabelId {
+    auto [it, added] =
+        g.term_to_label_.try_emplace(t, static_cast<LabelId>(g.label_terms_.size()));
+    if (added) g.label_terms_.push_back(t);
+    return it->second;
+  };
+  auto el_of = [&](TermId t) -> EdgeLabelId {
+    auto [it, added] =
+        g.term_to_el_.try_emplace(t, static_cast<EdgeLabelId>(g.el_terms_.size()));
+    if (added) g.el_terms_.push_back(t);
+    return it->second;
+  };
 
-    auto vertex_of = [&](TermId t) -> VertexId {
-      auto [it, added] = g.term_to_vertex_.try_emplace(
-          t, static_cast<VertexId>(g.vertex_terms_.size()));
-      if (added) g.vertex_terms_.push_back(t);
-      return it->second;
-    };
-    auto label_of = [&](TermId t) -> LabelId {
-      auto [it, added] =
-          g.term_to_label_.try_emplace(t, static_cast<LabelId>(g.label_terms_.size()));
-      if (added) g.label_terms_.push_back(t);
-      return it->second;
-    };
-    auto el_of = [&](TermId t) -> EdgeLabelId {
-      auto [it, added] =
-          g.term_to_el_.try_emplace(t, static_cast<EdgeLabelId>(g.el_terms_.size()));
-      if (added) g.el_terms_.push_back(t);
-      return it->second;
-    };
-
-    const auto& triples = dataset_.triples();
-    for (size_t i = 0; i < triples.size(); ++i) {
-      const rdf::Triple& t = triples[i];
-      if (mode_ == TransformMode::kTypeAware) {
-        if (type_p && t.p == *type_p) {
-          VertexId v = vertex_of(t.s);
-          LabelId l = label_of(t.o);
-          label_pairs.emplace_back(v, l);
-          if (!dataset_.IsInferred(i)) simple_label_pairs.emplace_back(v, l);
-          continue;
-        }
-        if (subclass_p && t.p == *subclass_p) {
-          g.schema_subclass_.emplace_back(t.s, t.o);  // folded into labels
-          continue;
-        }
+  for (const rdf::Triple& t : chunk) {
+    if (mode_ == TransformMode::kTypeAware) {
+      if (type_p_ && t.p == *type_p_) {
+        VertexId v = vertex_of(t.s);
+        LabelId l = label_of(t.o);
+        label_pairs_.emplace_back(v, l);
+        if (!inferred) simple_label_pairs_.emplace_back(v, l);
+        continue;
       }
-      edges.push_back({vertex_of(t.s), el_of(t.p), vertex_of(t.o)});
+      if (subclass_p_ && t.p == *subclass_p_) {
+        g.schema_subclass_.emplace_back(t.s, t.o);  // folded into labels
+        continue;
+      }
     }
+    edges_.push_back({vertex_of(t.s), el_of(t.p), vertex_of(t.o)});
+  }
+}
 
-    const uint32_t n = static_cast<uint32_t>(g.vertex_terms_.size());
-    const uint32_t num_labels = static_cast<uint32_t>(g.label_terms_.size());
-    const uint32_t num_els = static_cast<uint32_t>(g.el_terms_.size());
+DataGraph GraphBuilder::Finish() {
+  DataGraph& g = g_;
+  std::vector<EdgeTriple>& edges = edges_;
 
-    // ---- Deduplicate edges. ----
-    std::sort(edges.begin(), edges.end(), [](const EdgeTriple& a, const EdgeTriple& b) {
-      return std::tie(a.s, a.el, a.o) < std::tie(b.s, b.el, b.o);
-    });
-    edges.erase(std::unique(edges.begin(), edges.end(),
-                            [](const EdgeTriple& a, const EdgeTriple& b) {
-                              return a.s == b.s && a.el == b.el && a.o == b.o;
-                            }),
-                edges.end());
-    g.num_edges_ = edges.size();
+  const uint32_t n = static_cast<uint32_t>(g.vertex_terms_.size());
+  const uint32_t num_labels = static_cast<uint32_t>(g.label_terms_.size());
+  const uint32_t num_els = static_cast<uint32_t>(g.el_terms_.size());
 
-    // ---- Vertex label CSRs. ----
-    auto build_label_csr = [&](std::vector<std::pair<VertexId, LabelId>>& pairs,
-                               std::vector<uint32_t>* offsets, std::vector<LabelId>* flat) {
+  // ---- Deduplicate edges. ----
+  std::sort(edges.begin(), edges.end(), [](const EdgeTriple& a, const EdgeTriple& b) {
+    return std::tie(a.s, a.el, a.o) < std::tie(b.s, b.el, b.o);
+  });
+  edges.erase(std::unique(edges.begin(), edges.end(),
+                          [](const EdgeTriple& a, const EdgeTriple& b) {
+                            return a.s == b.s && a.el == b.el && a.o == b.o;
+                          }),
+              edges.end());
+  g.num_edges_ = edges.size();
+
+  // ---- Vertex label CSRs. ----
+  auto build_label_csr = [&](std::vector<std::pair<VertexId, LabelId>>& pairs,
+                             std::vector<uint32_t>* offsets, std::vector<LabelId>* flat) {
+    std::sort(pairs.begin(), pairs.end());
+    pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+    *offsets = BuildOffsets(pairs, n, [](const auto& p) { return p.first; });
+    flat->resize(pairs.size());
+    for (size_t i = 0; i < pairs.size(); ++i) (*flat)[i] = pairs[i].second;
+  };
+  build_label_csr(label_pairs_, &g.label_offsets_, &g.labels_);
+  build_label_csr(simple_label_pairs_, &g.simple_label_offsets_, &g.simple_labels_);
+
+  // ---- Inverse vertex-label list. ----
+  {
+    std::vector<std::pair<LabelId, VertexId>> inv;
+    inv.reserve(g.labels_.size());
+    for (VertexId v = 0; v < n; ++v)
+      for (LabelId l : g.labels(v)) inv.emplace_back(l, v);
+    std::sort(inv.begin(), inv.end());
+    g.inv_label_offsets_ = BuildOffsets(inv, num_labels, [](const auto& p) { return p.first; });
+    g.inv_label_vertices_.resize(inv.size());
+    for (size_t i = 0; i < inv.size(); ++i) g.inv_label_vertices_[i] = inv[i].second;
+  }
+
+  // ---- Adjacency (out, then in by swapping endpoints). ----
+  BuildAdjDir(g, edges, n, /*out=*/true, &g.out_);
+  BuildAdjDir(g, edges, n, /*out=*/false, &g.in_);
+
+  // ---- Predicate index. ----
+  {
+    std::vector<std::pair<EdgeLabelId, VertexId>> subj, obj;
+    subj.reserve(edges.size());
+    obj.reserve(edges.size());
+    for (const EdgeTriple& e : edges) {
+      subj.emplace_back(e.el, e.s);
+      obj.emplace_back(e.el, e.o);
+    }
+    auto finish = [&](std::vector<std::pair<EdgeLabelId, VertexId>>& pairs,
+                      std::vector<uint32_t>* offsets, std::vector<VertexId>* flat) {
       std::sort(pairs.begin(), pairs.end());
       pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
-      *offsets = BuildOffsets(pairs, n, [](const auto& p) { return p.first; });
+      *offsets = BuildOffsets(pairs, num_els, [](const auto& p) { return p.first; });
       flat->resize(pairs.size());
       for (size_t i = 0; i < pairs.size(); ++i) (*flat)[i] = pairs[i].second;
     };
-    build_label_csr(label_pairs, &g.label_offsets_, &g.labels_);
-    build_label_csr(simple_label_pairs, &g.simple_label_offsets_, &g.simple_labels_);
-
-    // ---- Inverse vertex-label list. ----
-    {
-      std::vector<std::pair<LabelId, VertexId>> inv;
-      inv.reserve(g.labels_.size());
-      for (VertexId v = 0; v < n; ++v)
-        for (LabelId l : g.labels(v)) inv.emplace_back(l, v);
-      std::sort(inv.begin(), inv.end());
-      g.inv_label_offsets_ = BuildOffsets(inv, num_labels, [](const auto& p) { return p.first; });
-      g.inv_label_vertices_.resize(inv.size());
-      for (size_t i = 0; i < inv.size(); ++i) g.inv_label_vertices_[i] = inv[i].second;
-    }
-
-    // ---- Adjacency (out, then in by swapping endpoints). ----
-    BuildAdjDir(g, edges, n, /*out=*/true, &g.out_);
-    BuildAdjDir(g, edges, n, /*out=*/false, &g.in_);
-
-    // ---- Predicate index. ----
-    {
-      std::vector<std::pair<EdgeLabelId, VertexId>> subj, obj;
-      subj.reserve(edges.size());
-      obj.reserve(edges.size());
-      for (const EdgeTriple& e : edges) {
-        subj.emplace_back(e.el, e.s);
-        obj.emplace_back(e.el, e.o);
-      }
-      auto finish = [&](std::vector<std::pair<EdgeLabelId, VertexId>>& pairs,
-                        std::vector<uint32_t>* offsets, std::vector<VertexId>* flat) {
-        std::sort(pairs.begin(), pairs.end());
-        pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
-        *offsets = BuildOffsets(pairs, num_els, [](const auto& p) { return p.first; });
-        flat->resize(pairs.size());
-        for (size_t i = 0; i < pairs.size(); ++i) (*flat)[i] = pairs[i].second;
-      };
-      finish(subj, &g.pred_subj_offsets_, &g.pred_subjects_);
-      finish(obj, &g.pred_obj_offsets_, &g.pred_objects_);
-    }
-
-    std::sort(g.schema_subclass_.begin(), g.schema_subclass_.end());
-    g.schema_subclass_.erase(
-        std::unique(g.schema_subclass_.begin(), g.schema_subclass_.end()),
-        g.schema_subclass_.end());
-    return g;
+    finish(subj, &g.pred_subj_offsets_, &g.pred_subjects_);
+    finish(obj, &g.pred_obj_offsets_, &g.pred_objects_);
   }
 
- private:
-  template <typename EdgeTriple>
-  static void BuildAdjDir(DataGraph& g, const std::vector<EdgeTriple>& edges, uint32_t n,
-                          bool out, typename DataGraph::AdjDir* dir) {
+  std::sort(g.schema_subclass_.begin(), g.schema_subclass_.end());
+  g.schema_subclass_.erase(
+      std::unique(g.schema_subclass_.begin(), g.schema_subclass_.end()),
+      g.schema_subclass_.end());
+  return std::move(g);
+}
+
+void GraphBuilder::BuildAdjDir(DataGraph& g, const std::vector<EdgeTriple>& edges, uint32_t n,
+                               bool out, DataGraph::AdjDir* dir) {
     // Edge-label-only rows: (v, el, nbr).
     std::vector<std::array<uint32_t, 3>> rows;
     rows.reserve(edges.size());
@@ -210,14 +204,16 @@ class GraphBuilder {
     }
     for (size_t i = 1; i < dir->type_group_offsets.size(); ++i)
       dir->type_group_offsets[i] += dir->type_group_offsets[i - 1];
-  }
-
-  const rdf::Dataset& dataset_;
-  TransformMode mode_;
-};
+}
 
 DataGraph DataGraph::Build(const rdf::Dataset& dataset, TransformMode mode) {
-  return GraphBuilder(dataset, mode).Build();
+  GraphBuilder builder(dataset.dict(), mode);
+  const auto& triples = dataset.triples();
+  const size_t num_original = dataset.num_original();
+  builder.Append({triples.data(), num_original}, /*inferred=*/false);
+  builder.Append({triples.data() + num_original, triples.size() - num_original},
+                 /*inferred=*/true);
+  return builder.Finish();
 }
 
 // ---------------------------------------------------------------------------

@@ -232,4 +232,44 @@ class DataGraph {
   friend class GraphBuilder;
 };
 
+/// Incremental DataGraph construction: triples arrive in dataset order as
+/// encoded chunks (classification + id assignment happen per chunk, the CSR
+/// sorts once in Finish). This is what lets the parallel load pipeline fuse
+/// graph building into ingestion — each remapped chunk is consumed as soon
+/// as it exists instead of re-scanning the finished dataset. The referenced
+/// dictionary must already contain every id appearing in a chunk at the
+/// time of its Append. DataGraph::Build is the one-shot wrapper.
+class GraphBuilder {
+ public:
+  GraphBuilder(const rdf::Dictionary& dict, TransformMode mode);
+
+  /// Consumes one chunk of encoded triples; `inferred` marks the chunk as
+  /// part of the inferred region (affects L_simple, §4.2). Chunks must
+  /// arrive in dataset order, original before inferred.
+  void Append(std::span<const rdf::Triple> chunk, bool inferred);
+
+  /// Finalizes the CSR structures. The builder is spent afterwards.
+  DataGraph Finish();
+
+ private:
+  struct EdgeTriple {
+    VertexId s;
+    EdgeLabelId el;
+    VertexId o;
+  };
+
+  void ResolveSchemaPredicates();
+  static void BuildAdjDir(DataGraph& g, const std::vector<EdgeTriple>& edges, uint32_t n,
+                          bool out, DataGraph::AdjDir* dir);
+
+  const rdf::Dictionary& dict_;
+  TransformMode mode_;
+  DataGraph g_;
+  std::vector<EdgeTriple> edges_;
+  std::vector<std::pair<VertexId, LabelId>> label_pairs_;
+  std::vector<std::pair<VertexId, LabelId>> simple_label_pairs_;
+  std::optional<TermId> type_p_;
+  std::optional<TermId> subclass_p_;
+};
+
 }  // namespace turbo::graph

@@ -4,11 +4,13 @@
 // L(v) (full entailment) and L_simple(v) (simple entailment regime, §4.2).
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
 #include "rdf/dictionary.hpp"
 #include "rdf/triple.hpp"
+#include "util/status.hpp"
 
 namespace turbo::rdf {
 
@@ -22,6 +24,27 @@ class Dataset {
   void Add(TermId s, TermId p, TermId o) {
     triples_.push_back({s, p, o});
     if (!closed_) num_original_ = triples_.size();
+  }
+
+  /// Bulk-appends already-encoded triples into the *original* region. The
+  /// boundary is explicit here: appending after BeginInferred() is an error
+  /// (it would silently corrupt num_original()), not a side effect of a
+  /// closed_ flag. The parallel load pipeline appends through this.
+  util::Status AppendOriginal(std::span<const Triple> batch) {
+    if (closed_)
+      return util::Status::Error(
+          "AppendOriginal: original region is closed (BeginInferred was called)");
+    triples_.insert(triples_.end(), batch.begin(), batch.end());
+    num_original_ = triples_.size();
+    return util::Status::Ok();
+  }
+
+  /// Bulk-appends triples into the *inferred* region, closing the original
+  /// region first if still open (the explicit counterpart of BeginInferred +
+  /// Add; snapshot loading uses it to restore the saved boundary exactly).
+  void AppendInferred(std::span<const Triple> batch) {
+    if (!closed_) BeginInferred();
+    triples_.insert(triples_.end(), batch.begin(), batch.end());
   }
   /// Appends a triple of terms, interning as needed.
   void Add(const Term& s, const Term& p, const Term& o) {

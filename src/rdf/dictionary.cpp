@@ -1,27 +1,238 @@
 #include "rdf/dictionary.hpp"
 
+#include <array>
+#include <atomic>
+
+#include "rdf/ntriples.hpp"
+#include "util/thread_pool.hpp"
+
 namespace turbo::rdf {
 
-TermId Dictionary::GetOrAdd(const Term& term) {
-  std::string key = term.ToNTriples();
-  auto it = index_.find(key);
-  if (it != index_.end()) return it->second;
-  TermId id = static_cast<TermId>(terms_.size());
-  index_.emplace(std::move(key), id);
-  terms_.push_back(term);
+namespace {
+
+/// Marks a mapping entry that points into a shard's pending-new list instead
+/// of holding a final id (resolved once shard base offsets are known).
+constexpr TermId kPendingBit = 0x80000000u;
+
+}  // namespace
+
+Dictionary::CachedNum Dictionary::NumericOf(const Term& term) {
   CachedNum num;
   if (auto v = term.NumericValue()) {
     num.value = *v;
     num.valid = true;
   }
-  numeric_.push_back(num);
+  return num;
+}
+
+TermId Dictionary::Append(const Term& term, std::string&& key, uint32_t s) {
+  TermId id = static_cast<TermId>(terms_.size());
+  shards_[s].emplace(std::move(key), id);
+  terms_.push_back(term);
+  numeric_.push_back(NumericOf(term));
   return id;
 }
 
+TermId Dictionary::GetOrAdd(const Term& term) {
+  std::string key = term.ToNTriples();
+  size_t hash = TermKeyHash{}(key);
+  uint32_t s = ShardOf(hash);
+  auto it = shards_[s].find(HashedKey{key, hash});
+  if (it != shards_[s].end()) return it->second;
+  return Append(term, std::move(key), s);
+}
+
 std::optional<TermId> Dictionary::Find(const Term& term) const {
-  auto it = index_.find(term.ToNTriples());
-  if (it == index_.end()) return std::nullopt;
+  std::string key = term.ToNTriples();
+  size_t hash = TermKeyHash{}(key);
+  const ShardMap& shard = shards_[ShardOf(hash)];
+  auto it = shard.find(HashedKey{key, hash});
+  if (it == shard.end()) return std::nullopt;
   return it->second;
+}
+
+void Dictionary::Reserve(size_t num_terms) {
+  terms_.reserve(num_terms);
+  numeric_.reserve(num_terms);
+  for (ShardMap& shard : shards_) shard.reserve(num_terms / kNumShards + 1);
+}
+
+void Dictionary::AddBatch(const std::vector<Term>& terms, std::vector<TermId>* ids) {
+  ids->reserve(ids->size() + terms.size());
+  for (const Term& t : terms) ids->push_back(GetOrAdd(t));
+}
+
+util::Status Dictionary::AddUnique(std::vector<Term>&& terms, util::ThreadPool* pool) {
+  const size_t old = terms_.size();
+  const size_t n = terms.size();
+
+  // Hash + key + table fill, parallel over index ranges.
+  std::vector<std::string> keys(n);
+  std::vector<size_t> hashes(n);
+  terms_.resize(old + n);
+  numeric_.resize(old + n);
+  Reserve(old + n);
+  auto prepare = [&](uint64_t begin, uint64_t end, uint32_t) {
+    for (uint64_t i = begin; i < end; ++i) {
+      keys[i] = terms[i].ToNTriples();
+      hashes[i] = TermKeyHash{}(keys[i]);
+      numeric_[old + i] = NumericOf(terms[i]);
+      terms_[old + i] = std::move(terms[i]);
+    }
+  };
+
+  // Shard-parallel index insertion with positional ids; try_emplace failure
+  // = duplicate (within the batch or against an existing entry).
+  std::atomic<bool> duplicate{false};
+  auto index_shard = [&](uint64_t begin, uint64_t end, uint32_t) {
+    for (uint64_t s = begin; s < end; ++s) {
+      ShardMap& shard = shards_[s];
+      for (size_t i = 0; i < n; ++i) {
+        if (ShardOf(hashes[i]) != s) continue;
+        auto [it, added] = shard.try_emplace(std::move(keys[i]),
+                                             static_cast<TermId>(old + i));
+        if (!added) duplicate.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  if (pool) {
+    pool->ParallelFor(n, 4096, prepare);
+    pool->ParallelFor(kNumShards, 1, index_shard);
+  } else {
+    prepare(0, n, 0);
+    // Serial: one pass straight into the owning shards (the per-shard
+    // skip-scan shape only pays off when shards run concurrently).
+    for (size_t i = 0; i < n; ++i) {
+      auto [it, added] = shards_[ShardOf(hashes[i])].try_emplace(
+          std::move(keys[i]), static_cast<TermId>(old + i));
+      if (!added) duplicate.store(true, std::memory_order_relaxed);
+    }
+  }
+  if (duplicate.load()) return util::Status::Error("duplicate term");
+  return util::Status::Ok();
+}
+
+void Dictionary::MergeBatches(std::vector<TermBatch>* batches,
+                              std::vector<std::vector<TermId>>* mappings,
+                              util::ThreadPool* pool) {
+  const size_t nb = batches->size();
+  mappings->assign(nb, {});
+  for (size_t b = 0; b < nb; ++b) (*mappings)[b].resize((*batches)[b].size());
+
+  // ---- Phase 0 (batch-parallel): bucket each batch's entry indices by
+  // shard, so phase 1 walks exactly its own entries instead of skip-
+  // scanning every batch per shard.
+  std::vector<std::array<std::vector<uint32_t>, kNumShards>> by_shard(nb);
+  size_t total_entries = 0;
+  for (const TermBatch& b : *batches) total_entries += b.size();
+  auto bucket_batch = [&](uint64_t begin, uint64_t end, uint32_t) {
+    for (uint64_t b = begin; b < end; ++b) {
+      TermBatch& batch = (*batches)[b];
+      auto& buckets = by_shard[b];
+      for (auto& v : buckets) v.reserve(batch.size() / kNumShards + 8);
+      for (size_t i = 0; i < batch.size(); ++i)
+        buckets[ShardOf(batch.hashes[i])].push_back(static_cast<uint32_t>(i));
+    }
+  };
+
+  // ---- Phase 1 (shard-parallel): resolve every batch entry against the
+  // global shard or the shard's pending-new list. Disjoint hash ranges, so
+  // shards never touch the same mapping entry or map; iterating batches in
+  // order keeps the pending list — and therefore id assignment —
+  // deterministic.
+  struct PendingRef {
+    uint32_t batch;
+    uint32_t idx;
+  };
+  std::vector<std::vector<PendingRef>> pending(kNumShards);
+  auto resolve_shard = [&](uint64_t begin, uint64_t end, uint32_t) {
+    for (uint64_t s = begin; s < end; ++s) {
+      FlatIdMap local(total_entries / kNumShards);
+      std::vector<PendingRef>& mine = pending[s];
+      const bool have_global = !shards_[s].empty();  // initial bulk load: skip finds
+      for (size_t b = 0; b < nb; ++b) {
+        TermBatch& batch = (*batches)[b];
+        std::vector<TermId>& map_b = (*mappings)[b];
+        for (uint32_t i : by_shard[b][s]) {
+          std::string_view key = batch.keys[i];
+          size_t hash = batch.hashes[i];
+          if (have_global) {
+            if (auto it = shards_[s].find(HashedKey{key, hash}); it != shards_[s].end()) {
+              map_b[i] = it->second;
+              continue;
+            }
+          }
+          uint32_t pending_idx = local.Find(hash, key);
+          if (pending_idx == FlatIdMap::kNotFound) {
+            pending_idx = static_cast<uint32_t>(mine.size());
+            mine.push_back({static_cast<uint32_t>(b), i});
+            local.Insert(hash, key, pending_idx);
+          }
+          map_b[i] = kPendingBit | pending_idx;
+        }
+      }
+    }
+  };
+
+  // ---- Phase 2 (serial): per-shard id bases by prefix sum — the step that
+  // makes ids deterministic under any parallelism.
+  // ---- Phase 3 (shard-parallel): move pending terms into the table and
+  // index them. ---- Phase 4 (batch-parallel): patch pending mapping entries
+  // to final ids.
+  size_t bases[kNumShards];
+  auto install_shard = [&](uint64_t begin, uint64_t end, uint32_t) {
+    for (uint64_t s = begin; s < end; ++s) {
+      size_t base = bases[s];
+      for (size_t k = 0; k < pending[s].size(); ++k) {
+        const PendingRef& ref = pending[s][k];
+        TermBatch& batch = (*batches)[ref.batch];
+        std::string_view key = batch.keys[ref.idx];
+        TermId id = static_cast<TermId>(base + k);
+        // Key-only batches materialize the Term here — once per *globally*
+        // distinct term, instead of once per chunk-distinct occurrence.
+        terms_[id] = batch.terms.empty() ? TermFromNTriplesKey(key)
+                                         : std::move(batch.terms[ref.idx]);
+        numeric_[id] = NumericOf(terms_[id]);
+        shards_[s].emplace(std::string(key), id);
+      }
+    }
+  };
+  auto patch_batch = [&](uint64_t begin, uint64_t end, uint32_t) {
+    for (uint64_t b = begin; b < end; ++b) {
+      TermBatch& batch = (*batches)[b];
+      std::vector<TermId>& map_b = (*mappings)[b];
+      for (size_t i = 0; i < batch.size(); ++i) {
+        if (!(map_b[i] & kPendingBit)) continue;
+        uint32_t s = ShardOf(batch.hashes[i]);
+        map_b[i] = static_cast<TermId>(bases[s] + (map_b[i] & ~kPendingBit));
+      }
+    }
+  };
+
+  if (pool) {
+    pool->ParallelFor(nb, 1, bucket_batch);
+    pool->ParallelFor(kNumShards, 1, resolve_shard);
+  } else {
+    bucket_batch(0, nb, 0);
+    resolve_shard(0, kNumShards, 0);
+  }
+
+  size_t total = terms_.size();
+  for (uint32_t s = 0; s < kNumShards; ++s) {
+    bases[s] = total;
+    total += pending[s].size();
+  }
+  terms_.resize(total);
+  numeric_.resize(total);
+
+  if (pool) {
+    pool->ParallelFor(kNumShards, 1, install_shard);
+    pool->ParallelFor(nb, 1, patch_batch);
+  } else {
+    install_shard(0, kNumShards, 0);
+    patch_batch(0, nb, 0);
+  }
 }
 
 }  // namespace turbo::rdf

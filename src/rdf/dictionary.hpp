@@ -3,22 +3,210 @@
 // strings appear only at parse time and result-serialization time, mirroring
 // how RDF-3X / TripleBit keep dictionaries out of the query hot path (the
 // paper excludes dictionary look-up time from all measurements; so do we).
+//
+// The index side is hash-sharded (kNumShards independent maps keyed by the
+// canonical N-Triples serialization). Incremental use (GetOrAdd / Find) is
+// unchanged. Bulk paths: the parallel load pipeline uses Reserve +
+// MergeBatches, merging per-chunk mini-dictionaries shard-parallel — each
+// shard owns a disjoint hash range, so shard merges never contend, and new
+// ids are assigned by per-shard prefix sums, making id assignment
+// deterministic (it depends on batch order and content, never on thread
+// count or scheduling). Snapshot reloads use AddUnique (positional bulk
+// install); AddBatch is the simple interning-loop convenience.
 #pragma once
 
+#include <forward_list>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "rdf/term.hpp"
 #include "util/common.hpp"
+#include "util/status.hpp"
+
+namespace turbo::util {
+class ThreadPool;
+}
 
 namespace turbo::rdf {
+
+/// A key view paired with its precomputed hash: the load pipeline hashes
+/// every key exactly once (at mini-dictionary intern time) and reuses the
+/// value through shard selection and the global-map merge lookups.
+struct HashedKey {
+  std::string_view key;
+  size_t hash;
+};
+
+/// Fast 64-bit byte hash (rotate-multiply over 8-byte blocks). Keys are
+/// long IRIs hashed millions of times during bulk loads, so throughput per
+/// byte matters more here than cryptographic mixing; collisions only cost a
+/// memcmp.
+inline size_t HashTermKey(std::string_view s) {
+  const char* p = s.data();
+  size_t n = s.size();
+  uint64_t h = 0x2545f4914f6cdd1dull ^ (n * 0x9e3779b97f4a7c15ull);
+  auto mix = [&h](uint64_t k) {
+    h ^= k * 0x9ddfea08eb382d69ull;
+    h = (h << 27 | h >> 37) * 0x9e3779b97f4a7c15ull;
+  };
+  while (n >= 8) {
+    uint64_t k;
+    __builtin_memcpy(&k, p, 8);
+    mix(k);
+    p += 8;
+    n -= 8;
+  }
+  if (n) {
+    uint64_t k = 0;
+    __builtin_memcpy(&k, p, n);
+    mix(k);
+  }
+  h ^= h >> 32;
+  h *= 0xd6e8feb86659fd93ull;
+  h ^= h >> 32;
+  return static_cast<size_t>(h);
+}
+
+/// Hash usable for std::string / std::string_view / HashedKey keys
+/// (heterogeneous unordered lookup), shared by the global dictionary shards
+/// and the per-chunk mini-dictionaries so shard assignment agrees
+/// everywhere. HashedKey short-circuits to the stored value.
+struct TermKeyHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const { return HashTermKey(s); }
+  size_t operator()(const std::string& s) const { return HashTermKey(s); }
+  size_t operator()(const HashedKey& k) const { return k.hash; }
+};
+
+/// Transparent content equality across the three key representations.
+struct TermKeyEq {
+  using is_transparent = void;
+  static std::string_view View(std::string_view s) { return s; }
+  static std::string_view View(const std::string& s) { return s; }
+  static std::string_view View(const HashedKey& k) { return k.key; }
+  template <typename A, typename B>
+  bool operator()(const A& a, const B& b) const {
+    return View(a) == View(b);
+  }
+};
+
+/// One parse chunk's private dictionary content, in first-occurrence order:
+/// entry i has canonical key keys[i] (N-Triples form, the dictionary key)
+/// with precomputed hash hashes[i].
+///
+/// Two fill modes, chosen per batch:
+///  * key-only (AddKeyView): keys view caller-stable storage (the parse
+///    buffer, or `owned` via AddOwnedKey). Term objects are derived from
+///    the canonical key *at merge-install time*, so only merge winners —
+///    one per distinct term globally — ever materialize a Term. This is the
+///    N-Triples fast path.
+///  * term-carrying (AddOwned): the Term is already materialized (Turtle
+///    statements, snapshot reloads) and is moved into the dictionary.
+/// MergeBatches consumes the batch either way.
+///
+/// Move-only on purpose: `keys` may view into `owned`, whose nodes are
+/// stable under a (noexcept) move but would dangle after a copy — and a
+/// throwing move would make std::vector reallocation silently copy, so
+/// `owned` is a forward_list (noexcept move, stable nodes), not a deque.
+struct TermBatch {
+  std::vector<std::string_view> keys;
+  std::vector<size_t> hashes;
+  std::vector<Term> terms;  ///< empty in key-only mode, else parallel
+  std::forward_list<std::string> owned;  ///< backing store for non-external keys
+
+  TermBatch() = default;
+  TermBatch(TermBatch&&) noexcept = default;
+  TermBatch& operator=(TermBatch&&) noexcept = default;
+  TermBatch(const TermBatch&) = delete;
+  TermBatch& operator=(const TermBatch&) = delete;
+
+  size_t size() const { return keys.size(); }
+
+  void AddKeyView(std::string_view key, size_t hash) {
+    keys.push_back(key);
+    hashes.push_back(hash);
+  }
+  /// Key-only entry whose key has no stable external storage; returns the
+  /// stable view.
+  std::string_view AddOwnedKey(std::string key, size_t hash) {
+    owned.push_front(std::move(key));
+    keys.push_back(owned.front());
+    hashes.push_back(hash);
+    return owned.front();
+  }
+  void AddOwned(Term term, std::string key, size_t hash) {
+    terms.push_back(std::move(term));
+    AddOwnedKey(std::move(key), hash);
+  }
+};
+
+/// Open-addressing (hash, key view, id) table — the per-occurrence hot path
+/// of bulk interning. Flat storage, power-of-two capacity, linear probing:
+/// no node allocations, typically one cache line per hit. Key views must
+/// stay valid for the table's lifetime (they point into the parse buffer or
+/// a TermBatch's owned storage).
+class FlatIdMap {
+ public:
+  static constexpr uint32_t kNotFound = 0xffffffffu;
+
+  /// `expected` sizes the table for that many inserts up front (it still
+  /// grows on demand past it).
+  explicit FlatIdMap(size_t expected = 512) {
+    size_t cap = 1024;
+    while (cap * 7 < expected * 10) cap *= 2;
+    slots_.resize(cap);
+  }
+
+  uint32_t Find(size_t hash, std::string_view key) const {
+    for (size_t i = hash & mask();; i = (i + 1) & mask()) {
+      const Slot& s = slots_[i];
+      if (s.data == nullptr) return kNotFound;
+      if (s.hash == hash && std::string_view(s.data, s.len) == key) return s.id;
+    }
+  }
+
+  /// `key` must be absent (Find first) and outlive the table.
+  void Insert(size_t hash, std::string_view key, uint32_t id) {
+    if ((count_ + 1) * 10 >= slots_.size() * 7) Grow();
+    InsertNoGrow(hash, key, id);
+    ++count_;
+  }
+
+ private:
+  struct Slot {
+    size_t hash = 0;
+    const char* data = nullptr;
+    uint32_t len = 0;
+    uint32_t id = 0;
+  };
+  size_t mask() const { return slots_.size() - 1; }
+
+  void InsertNoGrow(size_t hash, std::string_view key, uint32_t id) {
+    size_t i = hash & mask();
+    while (slots_[i].data != nullptr) i = (i + 1) & mask();
+    slots_[i] = {hash, key.data(), static_cast<uint32_t>(key.size()), id};
+  }
+
+  void Grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    for (const Slot& s : old)
+      if (s.data != nullptr) InsertNoGrow(s.hash, {s.data, s.len}, s.id);
+  }
+
+  std::vector<Slot> slots_;
+  size_t count_ = 0;
+};
 
 /// Bidirectional term dictionary with a numeric-value side cache used by
 /// FILTER evaluation.
 class Dictionary {
  public:
+  static constexpr uint32_t kNumShards = 16;
+
   /// Interns a term, returning its id (existing or new).
   TermId GetOrAdd(const Term& term);
   /// Convenience: interns an IRI.
@@ -27,6 +215,32 @@ class Dictionary {
   /// Looks up an existing term; nullopt if not interned.
   std::optional<TermId> Find(const Term& term) const;
   std::optional<TermId> FindIri(const std::string& iri) const { return Find(Term::Iri(iri)); }
+
+  /// Pre-sizes the term table and index shards for `num_terms` total terms
+  /// (bulk loads know the exact count or a tight upper bound).
+  void Reserve(size_t num_terms);
+
+  /// Bulk-interns `terms` in order, appending each term's id (existing or
+  /// new) to `ids`. Equivalent to GetOrAdd per element, minus per-call
+  /// overhead.
+  void AddBatch(const std::vector<Term>& terms, std::vector<TermId>* ids);
+
+  /// Positional bulk install: terms[i] gets id size() + i, unconditionally —
+  /// the snapshot rebuild path, where triple sections reference terms by
+  /// position. Hashing, table fill, and shard insertion parallelize on
+  /// `pool` (may be null). Errors if any term duplicates another or an
+  /// existing entry; the dictionary is unusable after an error (callers
+  /// discard it — a corrupt snapshot aborts the whole load).
+  util::Status AddUnique(std::vector<Term>&& terms, util::ThreadPool* pool = nullptr);
+
+  /// Hash-sharded merge of per-chunk mini-dictionaries: after the call,
+  /// (*mappings)[b][i] is the global id of batches[b].terms[i]. New terms
+  /// get ids in deterministic (shard, batch, position) order regardless of
+  /// `pool` parallelism; batches are consumed. `pool` may be null
+  /// (sequential merge, same ids).
+  void MergeBatches(std::vector<TermBatch>* batches,
+                    std::vector<std::vector<TermId>>* mappings,
+                    util::ThreadPool* pool = nullptr);
 
   /// Term for an id. Requires id < size().
   const Term& term(TermId id) const { return terms_[id]; }
@@ -40,12 +254,26 @@ class Dictionary {
 
   size_t size() const { return terms_.size(); }
 
+  /// Shard owning a key with hash `h` — shared with the load pipeline.
+  static uint32_t ShardOf(size_t h) {
+    // Mix the high bits in: unordered_map bucket choice uses the low bits,
+    // so shard selection prefers an independent slice.
+    return static_cast<uint32_t>((h >> 48) ^ (h >> 24) ^ h) & (kNumShards - 1);
+  }
+
  private:
   struct CachedNum {
     double value = 0;
     bool valid = false;
   };
-  std::unordered_map<std::string, TermId> index_;
+  using ShardMap = std::unordered_map<std::string, TermId, TermKeyHash, TermKeyEq>;
+
+  /// Appends `term` to the table (id = old size) and indexes it under `key`
+  /// in shard `s`. The caller has already checked absence.
+  TermId Append(const Term& term, std::string&& key, uint32_t s);
+  static CachedNum NumericOf(const Term& term);
+
+  ShardMap shards_[kNumShards];
   std::vector<Term> terms_;
   std::vector<CachedNum> numeric_;
 };

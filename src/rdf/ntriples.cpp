@@ -11,76 +11,153 @@ void SkipSpace(std::string_view line, size_t* pos) {
   while (*pos < line.size() && (line[*pos] == ' ' || line[*pos] == '\t')) ++(*pos);
 }
 
+/// Scans to the end of an unquoted token (blank label, language tag).
+size_t TokenEnd(std::string_view line, size_t start) {
+  size_t end = start;
+  while (end < line.size() && line[end] != ' ' && line[end] != '\t' && line[end] != '.')
+    ++end;
+  return end;
+}
+
 }  // namespace
 
-util::Result<Term> ParseTerm(std::string_view line, size_t* pos) {
+bool ScanTerm(std::string_view line, size_t* pos, TermSlice* out, std::string* err) {
   SkipSpace(line, pos);
-  if (*pos >= line.size()) return util::Status::Error("unexpected end of line");
+  *out = TermSlice{};
+  if (*pos >= line.size()) {
+    *err = "unexpected end of line";
+    return false;
+  }
+  const size_t term_start = *pos;
   char c = line[*pos];
   if (c == '<') {
     size_t end = line.find('>', *pos + 1);
-    if (end == std::string_view::npos) return util::Status::Error("unterminated IRI");
-    std::string iri(line.substr(*pos + 1, end - *pos - 1));
+    if (end == std::string_view::npos) {
+      *err = "unterminated IRI";
+      return false;
+    }
+    out->kind = TermKind::kIri;
+    out->body = line.substr(*pos + 1, end - *pos - 1);
     *pos = end + 1;
-    return Term::Iri(std::move(iri));
+    out->raw = line.substr(term_start, *pos - term_start);
+    return true;
   }
   if (c == '_') {
-    if (*pos + 1 >= line.size() || line[*pos + 1] != ':')
-      return util::Status::Error("malformed blank node");
+    if (*pos + 1 >= line.size() || line[*pos + 1] != ':') {
+      *err = "malformed blank node";
+      return false;
+    }
     size_t start = *pos + 2;
-    size_t end = start;
-    while (end < line.size() && line[end] != ' ' && line[end] != '\t' && line[end] != '.')
-      ++end;
-    std::string label(line.substr(start, end - start));
-    if (label.empty()) return util::Status::Error("empty blank node label");
+    size_t end = TokenEnd(line, start);
+    if (end == start) {
+      *err = "empty blank node label";
+      return false;
+    }
+    out->kind = TermKind::kBlank;
+    out->body = line.substr(start, end - start);
     *pos = end;
-    return Term::Blank(std::move(label));
+    out->raw = line.substr(term_start, *pos - term_start);
+    return true;
   }
   if (c == '"') {
     // Scan for the closing quote, honoring backslash escapes.
     size_t i = *pos + 1;
-    std::string raw;
     bool closed = false;
+    bool escapes = false, needs_canonical = false;
     while (i < line.size()) {
-      if (line[i] == '\\' && i + 1 < line.size()) {
-        raw += line[i];
-        raw += line[i + 1];
+      char b = line[i];
+      if (b == '\\' && i + 1 < line.size()) {
+        escapes = needs_canonical = true;
         i += 2;
         continue;
       }
-      if (line[i] == '"') {
+      if (b == '"') {
         closed = true;
         break;
       }
-      raw += line[i];
+      if (b == '\t' || b == '\r') needs_canonical = true;
       ++i;
     }
-    if (!closed) return util::Status::Error("unterminated literal");
-    std::string lex = UnescapeNTriples(raw);
+    if (!closed) {
+      *err = "unterminated literal";
+      return false;
+    }
+    out->kind = TermKind::kLiteral;
+    out->body = line.substr(*pos + 1, i - *pos - 1);
+    out->has_escapes = escapes;
+    out->needs_canonical_key = needs_canonical;
     *pos = i + 1;
     // Optional language tag or datatype.
     if (*pos < line.size() && line[*pos] == '@') {
       size_t start = *pos + 1;
-      size_t end = start;
-      while (end < line.size() && line[end] != ' ' && line[end] != '\t' && line[end] != '.')
-        ++end;
-      std::string lang(line.substr(start, end - start));
+      size_t end = TokenEnd(line, start);
+      out->lang = line.substr(start, end - start);
+      // An empty tag ('"a"@') materializes as a plain literal whose
+      // canonical form drops the '@' — the raw span is not the key then.
+      if (out->lang.empty()) out->needs_canonical_key = true;
       *pos = end;
-      return Term::LangLiteral(std::move(lex), std::move(lang));
+      out->raw = line.substr(term_start, *pos - term_start);
+      return true;
     }
     if (*pos + 1 < line.size() && line[*pos] == '^' && line[*pos + 1] == '^') {
       *pos += 2;
-      if (*pos >= line.size() || line[*pos] != '<')
-        return util::Status::Error("malformed datatype");
+      if (*pos >= line.size() || line[*pos] != '<') {
+        *err = "malformed datatype";
+        return false;
+      }
       size_t end = line.find('>', *pos + 1);
-      if (end == std::string_view::npos) return util::Status::Error("unterminated datatype IRI");
-      std::string dt(line.substr(*pos + 1, end - *pos - 1));
+      if (end == std::string_view::npos) {
+        *err = "unterminated datatype IRI";
+        return false;
+      }
+      out->datatype = line.substr(*pos + 1, end - *pos - 1);
+      // Same for an empty datatype ('"a"^^<>').
+      if (out->datatype.empty()) out->needs_canonical_key = true;
       *pos = end + 1;
-      return Term::TypedLiteral(std::move(lex), std::move(dt));
     }
-    return Term::Literal(std::move(lex));
+    out->raw = line.substr(term_start, *pos - term_start);
+    return true;
   }
-  return util::Status::Error(std::string("unexpected character '") + c + "'");
+  *err = std::string("unexpected character '") + c + "'";
+  return false;
+}
+
+Term MaterializeTerm(const TermSlice& slice) {
+  switch (slice.kind) {
+    case TermKind::kIri:
+      return Term::Iri(std::string(slice.body));
+    case TermKind::kBlank:
+      return Term::Blank(std::string(slice.body));
+    case TermKind::kLiteral: {
+      std::string lex =
+          slice.has_escapes ? UnescapeNTriples(slice.body) : std::string(slice.body);
+      if (!slice.lang.empty()) return Term::LangLiteral(std::move(lex), std::string(slice.lang));
+      if (!slice.datatype.empty())
+        return Term::TypedLiteral(std::move(lex), std::string(slice.datatype));
+      return Term::Literal(std::move(lex));
+    }
+  }
+  return {};
+}
+
+Term TermFromNTriplesKey(std::string_view key) {
+  size_t pos = 0;
+  TermSlice slice;
+  std::string err;
+  if (!ScanTerm(key, &pos, &slice, &err)) return {};
+  return MaterializeTerm(slice);
+}
+
+util::Status MakeParseError(size_t line_no, const std::string& msg, std::string_view line) {
+  return util::Status::Error("line " + std::to_string(line_no) + ": " + msg + ": " +
+                             std::string(line));
+}
+
+util::Result<Term> ParseTerm(std::string_view line, size_t* pos) {
+  TermSlice slice;
+  std::string err;
+  if (!ScanTerm(line, pos, &slice, &err)) return util::Status::Error(err);
+  return MaterializeTerm(slice);
 }
 
 util::Status ParseNTriples(std::istream& in, Dataset* dataset) {
@@ -91,19 +168,15 @@ util::Status ParseNTriples(std::istream& in, Dataset* dataset) {
     size_t pos = 0;
     SkipSpace(line, &pos);
     if (pos >= line.size() || line[pos] == '#') continue;
-    auto subj = ParseTerm(line, &pos);
-    if (!subj.ok())
-      return util::Status::Error("line " + std::to_string(line_no) + ": " + subj.message());
-    auto pred = ParseTerm(line, &pos);
-    if (!pred.ok())
-      return util::Status::Error("line " + std::to_string(line_no) + ": " + pred.message());
-    auto obj = ParseTerm(line, &pos);
-    if (!obj.ok())
-      return util::Status::Error("line " + std::to_string(line_no) + ": " + obj.message());
+    TermSlice s, p, o;
+    std::string err;
+    if (!ScanTerm(line, &pos, &s, &err) || !ScanTerm(line, &pos, &p, &err) ||
+        !ScanTerm(line, &pos, &o, &err))
+      return MakeParseError(line_no, err, line);
     SkipSpace(line, &pos);
     if (pos >= line.size() || line[pos] != '.')
-      return util::Status::Error("line " + std::to_string(line_no) + ": missing terminating '.'");
-    dataset->Add(subj.value(), pred.value(), obj.value());
+      return MakeParseError(line_no, "missing terminating '.'", line);
+    dataset->Add(MaterializeTerm(s), MaterializeTerm(p), MaterializeTerm(o));
   }
   return util::Status::Ok();
 }

@@ -1,9 +1,16 @@
 // N-Triples parser / writer. Line-oriented; supports IRIs, blank nodes,
 // plain / language-tagged / datatyped literals with escapes, and comments.
+//
+// The term-level tokenizer is zero-copy (TermSlice views into the input
+// line); the sequential istream parser and the chunked parallel load
+// pipeline (rdf/loader) share it, so both accept exactly the same inputs
+// and produce byte-identical error messages — the parity the loader's
+// first-error-wins reporting depends on.
 #pragma once
 
 #include <istream>
 #include <ostream>
+#include <string>
 #include <string_view>
 
 #include "rdf/dataset.hpp"
@@ -11,8 +18,43 @@
 
 namespace turbo::rdf {
 
+/// Raw positions of one scanned term inside a line. `body` is the content
+/// between the delimiters, still in escaped source form for literals.
+struct TermSlice {
+  TermKind kind = TermKind::kIri;
+  std::string_view body;      ///< IRI content / blank label / raw literal body
+  std::string_view datatype;  ///< typed literal datatype IRI content
+  std::string_view lang;      ///< language tag
+  bool has_escapes = false;   ///< literal body contains backslash escapes
+  /// Literal body is not already in canonical escaped form (contains '\\',
+  /// raw tab, or raw CR) — the dictionary key must then be rebuilt via
+  /// Term::ToNTriples instead of using the raw slice.
+  bool needs_canonical_key = false;
+  /// The full source span of the term, delimiters included. Unless
+  /// needs_canonical_key, this IS the canonical N-Triples serialization
+  /// (and therefore the dictionary key) verbatim — the zero-copy fast path
+  /// the parallel loader interns through.
+  std::string_view raw;
+};
+
+/// Scans one term starting at `pos`; advances `pos` past it. On failure
+/// returns false and fills `err` (message only, no line prefix).
+bool ScanTerm(std::string_view line, size_t* pos, TermSlice* out, std::string* err);
+
+/// Materializes a scanned slice into an owning Term (unescaping literals).
+Term MaterializeTerm(const TermSlice& slice);
+
+/// Parses a canonical N-Triples serialization (a dictionary key) back into
+/// a Term — the merge-install path of key-only TermBatches. The key must be
+/// exactly one well-formed term.
+Term TermFromNTriplesKey(std::string_view key);
+
+/// Canonical "line N: <msg>: <line text>" parse error, shared by the
+/// sequential parser and the parallel loader so errors compare equal.
+util::Status MakeParseError(size_t line_no, const std::string& msg, std::string_view line);
+
 /// Parses N-Triples text into `dataset` (appending). Returns an error with
-/// line information on malformed input.
+/// line number and offending line text on malformed input.
 util::Status ParseNTriples(std::istream& in, Dataset* dataset);
 
 /// Parses a string of N-Triples.

@@ -1,56 +1,234 @@
 #include "rdf/snapshot.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.hpp"
 
 namespace turbo::rdf {
 
 namespace {
 
-constexpr char kMagic[8] = {'T', 'H', 'S', 'N', 'A', 'P', '0', '1'};
+constexpr char kMagic[6] = {'T', 'H', 'S', 'N', 'A', 'P'};
+constexpr uint16_t kVersion = 2;
 
-void PutU32(std::ostream& out, uint32_t v) { out.write(reinterpret_cast<char*>(&v), 4); }
-void PutU64(std::ostream& out, uint64_t v) { out.write(reinterpret_cast<char*>(&v), 8); }
-void PutString(std::ostream& out, const std::string& s) {
-  PutU32(out, static_cast<uint32_t>(s.size()));
-  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+uint32_t Tag(const char t[5]) {
+  uint32_t v;
+  std::memcpy(&v, t, 4);
+  return v;
+}
+const uint32_t kTagTerms = Tag("TERM");
+const uint32_t kTagTriples = Tag("TRPL");
+const uint32_t kTagEnd = Tag("TEND");
+
+/// Sanity cap for any length field: a corrupt stream must not drive a
+/// multi-gigabyte allocation.
+constexpr uint64_t kMaxSection = 1ull << 36;
+
+void AppendRaw(std::string* out, const void* p, size_t n) {
+  out->append(static_cast<const char*>(p), n);
+}
+template <typename T>
+void AppendPod(std::string* out, T v) {
+  AppendRaw(out, &v, sizeof(T));
 }
 
-bool GetU32(std::istream& in, uint32_t* v) {
-  return static_cast<bool>(in.read(reinterpret_cast<char*>(v), 4));
+void WriteSectionHeader(std::ostream& out, uint32_t tag, uint64_t len) {
+  out.write(reinterpret_cast<const char*>(&tag), 4);
+  out.write(reinterpret_cast<const char*>(&len), 8);
 }
-bool GetU64(std::istream& in, uint64_t* v) {
-  return static_cast<bool>(in.read(reinterpret_cast<char*>(v), 8));
+
+/// Cursor over one bulk-read section payload.
+class PayloadReader {
+ public:
+  explicit PayloadReader(const std::string& buf) : buf_(buf) {}
+
+  template <typename T>
+  bool Read(T* v) {
+    if (pos_ + sizeof(T) > buf_.size()) return false;
+    std::memcpy(v, buf_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+  /// Borrows `n` bytes in place (no copy).
+  const char* Borrow(size_t n) {
+    if (pos_ + n > buf_.size()) return nullptr;
+    const char* p = buf_.data() + pos_;
+    pos_ += n;
+    return p;
+  }
+  bool AtEnd() const { return pos_ == buf_.size(); }
+
+ private:
+  const std::string& buf_;
+  size_t pos_ = 0;
+};
+
+util::Status ParseTermSection(const std::string& payload, uint32_t threads, Dataset* ds) {
+  PayloadReader r(payload);
+  uint64_t num_terms;
+  if (!r.Read(&num_terms) || num_terms > kMaxSection)
+    return util::Status::Error("corrupt snapshot (term count)");
+  const size_t n = static_cast<size_t>(num_terms);
+  const char* kinds = r.Borrow(n);
+  const char* lex_len_raw = r.Borrow(n * 4);
+  const char* dt_len_raw = r.Borrow(n * 4);
+  const char* lang_len_raw = r.Borrow(n * 4);
+  if (!kinds || !lex_len_raw || !dt_len_raw || !lang_len_raw)
+    return util::Status::Error("truncated snapshot (term arrays)");
+  auto len_at = [](const char* base, size_t i) {
+    uint32_t v;
+    std::memcpy(&v, base + i * 4, 4);
+    return v;
+  };
+
+  // Materialize the term table from the three string blobs.
+  std::vector<Term> terms(n);
+  uint64_t lex_total = 0, dt_total = 0, lang_total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (static_cast<uint8_t>(kinds[i]) > 2)
+      return util::Status::Error("corrupt term kind");
+    lex_total += len_at(lex_len_raw, i);
+    dt_total += len_at(dt_len_raw, i);
+    lang_total += len_at(lang_len_raw, i);
+    if (lex_total > kMaxSection || dt_total > kMaxSection || lang_total > kMaxSection)
+      return util::Status::Error("corrupt snapshot (blob size)");
+  }
+  const char* lex_blob = r.Borrow(lex_total);
+  const char* dt_blob = r.Borrow(dt_total);
+  const char* lang_blob = r.Borrow(lang_total);
+  if (!lex_blob || !dt_blob || !lang_blob || !r.AtEnd())
+    return util::Status::Error("truncated snapshot (term blobs)");
+  size_t lex_off = 0, dt_off = 0, lang_off = 0;
+  for (size_t i = 0; i < n; ++i) {
+    Term& t = terms[i];
+    t.kind = static_cast<TermKind>(kinds[i]);
+    t.lexical.assign(lex_blob + lex_off, len_at(lex_len_raw, i));
+    t.datatype.assign(dt_blob + dt_off, len_at(dt_len_raw, i));
+    t.lang.assign(lang_blob + lang_off, len_at(lang_len_raw, i));
+    lex_off += len_at(lex_len_raw, i);
+    dt_off += len_at(dt_len_raw, i);
+    lang_off += len_at(lang_len_raw, i);
+  }
+
+  // Rebuild the dictionary. Snapshot ids are positional — the triple
+  // section references terms by index — so the rebuild is the positional
+  // bulk install, not a merge; a duplicate means corruption.
+  if (threads <= 1) {
+    if (auto st = ds->dict().AddUnique(std::move(terms)); !st.ok())
+      return util::Status::Error(st.message() + " in snapshot");
+  } else {
+    util::ThreadPool pool(threads);
+    if (auto st = ds->dict().AddUnique(std::move(terms), &pool); !st.ok())
+      return util::Status::Error(st.message() + " in snapshot");
+  }
+  return util::Status::Ok();
 }
-bool GetString(std::istream& in, std::string* s) {
-  uint32_t len;
-  if (!GetU32(in, &len)) return false;
-  if (len > (1u << 28)) return false;  // corrupt-length guard
-  s->resize(len);
-  return static_cast<bool>(in.read(s->data(), len));
+
+util::Status ParseTripleSection(const std::string& payload, Dataset* ds) {
+  PayloadReader r(payload);
+  uint64_t num_triples, num_original;
+  if (!r.Read(&num_triples) || !r.Read(&num_original) || num_triples > kMaxSection)
+    return util::Status::Error("truncated snapshot (counts)");
+  if (num_original > num_triples) return util::Status::Error("corrupt snapshot boundary");
+  const char* raw = r.Borrow(num_triples * sizeof(Triple));
+  if (!raw || !r.AtEnd()) return util::Status::Error("truncated snapshot (triples)");
+  // Validate and append straight out of the section buffer — one copy (into
+  // the dataset), not three. The payload is a heap buffer at a 16-byte
+  // offset, so the 4-byte-aligned Triple view is safe.
+  const Triple* triples = reinterpret_cast<const Triple*>(raw);
+  const uint64_t num_terms = ds->dict().size();
+  for (uint64_t i = 0; i < num_triples; ++i)
+    if (triples[i].s >= num_terms || triples[i].p >= num_terms ||
+        triples[i].o >= num_terms)
+      return util::Status::Error("corrupt triple id");
+  auto st = ds->AppendOriginal({triples, static_cast<size_t>(num_original)});
+  if (!st.ok()) return st;
+  if (num_original < num_triples)
+    ds->AppendInferred({triples + num_original,
+                        static_cast<size_t>(num_triples - num_original)});
+  return util::Status::Ok();
 }
 
 }  // namespace
 
 util::Status SaveSnapshot(const Dataset& dataset, std::ostream& out) {
   out.write(kMagic, sizeof(kMagic));
-  const Dictionary& dict = dataset.dict();
-  PutU64(out, dict.size());
-  for (TermId id = 0; id < dict.size(); ++id) {
-    const Term& t = dict.term(id);
-    char kind = static_cast<char>(t.kind);
-    out.write(&kind, 1);
-    PutString(out, t.lexical);
-    PutString(out, t.datatype);
-    PutString(out, t.lang);
+  out.write(reinterpret_cast<const char*>(&kVersion), 2);
+
+  // Every section length is computable up front, so sections stream to the
+  // (buffered) ostream through a small staging buffer instead of
+  // materializing a second full copy of the dataset in memory.
+  std::string staging;
+  auto flush_if_full = [&] {
+    if (staging.size() >= (1u << 20)) {
+      out.write(staging.data(), static_cast<std::streamsize>(staging.size()));
+      staging.clear();
+    }
+  };
+  auto flush = [&] {
+    if (!staging.empty()) {
+      out.write(staging.data(), static_cast<std::streamsize>(staging.size()));
+      staging.clear();
+    }
+  };
+
+  // ---- TERM section (columnar). ----
+  {
+    const Dictionary& dict = dataset.dict();
+    const size_t n = dict.size();
+    uint64_t blob_total = 0;
+    for (size_t i = 0; i < n; ++i)
+      blob_total += dict.term(i).lexical.size() + dict.term(i).datatype.size() +
+                    dict.term(i).lang.size();
+    WriteSectionHeader(out, kTagTerms, 8 + n * 13 + blob_total);
+    AppendPod<uint64_t>(&staging, n);
+    for (size_t i = 0; i < n; ++i) {
+      AppendPod<uint8_t>(&staging, static_cast<uint8_t>(dict.term(i).kind));
+      flush_if_full();
+    }
+    for (size_t i = 0; i < n; ++i) {
+      AppendPod<uint32_t>(&staging, static_cast<uint32_t>(dict.term(i).lexical.size()));
+      flush_if_full();
+    }
+    for (size_t i = 0; i < n; ++i) {
+      AppendPod<uint32_t>(&staging, static_cast<uint32_t>(dict.term(i).datatype.size()));
+      flush_if_full();
+    }
+    for (size_t i = 0; i < n; ++i) {
+      AppendPod<uint32_t>(&staging, static_cast<uint32_t>(dict.term(i).lang.size()));
+      flush_if_full();
+    }
+    for (size_t i = 0; i < n; ++i) {
+      AppendRaw(&staging, dict.term(i).lexical.data(), dict.term(i).lexical.size());
+      flush_if_full();
+    }
+    for (size_t i = 0; i < n; ++i) {
+      AppendRaw(&staging, dict.term(i).datatype.data(), dict.term(i).datatype.size());
+      flush_if_full();
+    }
+    for (size_t i = 0; i < n; ++i) {
+      AppendRaw(&staging, dict.term(i).lang.data(), dict.term(i).lang.size());
+      flush_if_full();
+    }
+    flush();
   }
-  PutU64(out, dataset.size());
-  PutU64(out, dataset.num_original());
-  for (const Triple& t : dataset.triples()) {
-    PutU32(out, t.s);
-    PutU32(out, t.p);
-    PutU32(out, t.o);
+
+  // ---- TRPL section (raw id array, written straight from the vector). ----
+  {
+    WriteSectionHeader(out, kTagTriples, 16 + dataset.size() * sizeof(Triple));
+    AppendPod<uint64_t>(&staging, dataset.size());
+    AppendPod<uint64_t>(&staging, dataset.num_original());
+    flush();
+    if (!dataset.triples().empty())
+      out.write(reinterpret_cast<const char*>(dataset.triples().data()),
+                static_cast<std::streamsize>(dataset.size() * sizeof(Triple)));
   }
+
+  WriteSectionHeader(out, kTagEnd, 0);
   if (!out) return util::Status::Error("snapshot write failed");
   return util::Status::Ok();
 }
@@ -61,47 +239,68 @@ util::Status SaveSnapshotFile(const Dataset& dataset, const std::string& path) {
   return SaveSnapshot(dataset, out);
 }
 
-util::Result<Dataset> LoadSnapshot(std::istream& in) {
-  char magic[8];
-  if (!in.read(magic, 8) || std::memcmp(magic, kMagic, 8) != 0)
+util::Result<Dataset> LoadSnapshot(std::istream& in, uint32_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  char magic[6];
+  if (!in.read(magic, 6) || std::memcmp(magic, kMagic, 6) != 0)
     return util::Status::Error("not a TurboHOM++ snapshot (bad magic)");
+  uint16_t version = 0;
+  if (!in.read(reinterpret_cast<char*>(&version), 2))
+    return util::Status::Error("truncated snapshot (header)");
+  // v1 used the same leading bytes with ASCII "01" where v2 stores the
+  // version integer; either way a mismatch is a version error.
+  if (version != kVersion)
+    return util::Status::Error("unsupported snapshot version (expected v" +
+                               std::to_string(kVersion) + "; re-save with this build)");
+
   Dataset ds;
-  uint64_t num_terms;
-  if (!GetU64(in, &num_terms)) return util::Status::Error("truncated snapshot (terms)");
-  for (uint64_t i = 0; i < num_terms; ++i) {
-    char kind;
-    Term t;
-    if (!in.read(&kind, 1) || !GetString(in, &t.lexical) || !GetString(in, &t.datatype) ||
-        !GetString(in, &t.lang))
-      return util::Status::Error("truncated snapshot (term " + std::to_string(i) + ")");
-    if (kind > 2) return util::Status::Error("corrupt term kind");
-    t.kind = static_cast<TermKind>(kind);
-    TermId id = ds.dict().GetOrAdd(t);
-    if (id != i) return util::Status::Error("duplicate term in snapshot");
+  bool saw_terms = false, saw_triples = false, saw_end = false;
+  while (!saw_end) {
+    uint32_t tag;
+    uint64_t len;
+    if (!in.read(reinterpret_cast<char*>(&tag), 4) ||
+        !in.read(reinterpret_cast<char*>(&len), 8))
+      return util::Status::Error("truncated snapshot (section header)");
+    if (len > kMaxSection) return util::Status::Error("corrupt snapshot (section size)");
+    // Bulk section read, but grown in bounded steps: a corrupt length field
+    // then fails at the stream's real end instead of driving one huge
+    // upfront allocation.
+    constexpr uint64_t kReadStep = 64ull << 20;
+    std::string payload;
+    payload.reserve(static_cast<size_t>(std::min(len, kReadStep)));
+    while (payload.size() < len) {
+      size_t step = static_cast<size_t>(std::min(len - payload.size(), kReadStep));
+      size_t off = payload.size();
+      payload.resize(off + step);
+      if (!in.read(payload.data() + off, static_cast<std::streamsize>(step)))
+        return util::Status::Error("truncated snapshot (section payload)");
+    }
+    if (tag == kTagTerms) {
+      if (saw_terms) return util::Status::Error("duplicate TERM section");
+      if (auto st = ParseTermSection(payload, threads, &ds); !st.ok()) return st;
+      saw_terms = true;
+    } else if (tag == kTagTriples) {
+      if (!saw_terms) return util::Status::Error("TRPL section before TERM");
+      if (saw_triples) return util::Status::Error("duplicate TRPL section");
+      if (auto st = ParseTripleSection(payload, &ds); !st.ok()) return st;
+      saw_triples = true;
+    } else if (tag == kTagEnd) {
+      saw_end = true;
+    }
+    // Unknown sections are skipped: newer writers may append sections.
   }
-  uint64_t num_triples, num_original;
-  if (!GetU64(in, &num_triples) || !GetU64(in, &num_original))
-    return util::Status::Error("truncated snapshot (counts)");
-  if (num_original > num_triples) return util::Status::Error("corrupt snapshot boundary");
-  for (uint64_t i = 0; i < num_triples; ++i) {
-    if (i == num_original) ds.BeginInferred();
-    uint32_t s, p, o;
-    if (!GetU32(in, &s) || !GetU32(in, &p) || !GetU32(in, &o))
-      return util::Status::Error("truncated snapshot (triple " + std::to_string(i) + ")");
-    if (s >= num_terms || p >= num_terms || o >= num_terms)
-      return util::Status::Error("corrupt triple id");
-    ds.Add(s, p, o);
-  }
-  if (num_original == num_triples && num_original > 0) {
-    // No inferred region; leave the dataset open (num_original tracks size).
-  }
+  if (!saw_terms || !saw_triples)
+    return util::Status::Error("incomplete snapshot (missing section)");
   return ds;
 }
 
-util::Result<Dataset> LoadSnapshotFile(const std::string& path) {
+util::Result<Dataset> LoadSnapshotFile(const std::string& path, uint32_t threads) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return util::Status::Error("cannot open " + path);
-  return LoadSnapshot(in);
+  return LoadSnapshot(in, threads);
 }
 
 }  // namespace turbo::rdf

@@ -1,14 +1,21 @@
-// Binary dataset snapshots. The paper assumes "graphs in our system are
-// periodically updated from an underlying RDF source" (§4.2) — this module
-// is that loading path: a compact binary image of a Dataset (dictionary +
-// triples + original/inferred boundary) that reloads ~10x faster than
-// re-parsing N-Triples and re-running inference.
+// Binary dataset snapshots — the measured fast path past re-parsing and
+// re-running inference. The paper assumes "graphs in our system are
+// periodically updated from an underlying RDF source" (§4.2); a snapshot is
+// that refresh artifact: a compact binary image of a Dataset (dictionary +
+// triples + original/inferred boundary).
 //
-// Format (little-endian):
-//   magic "THSNAP01" | u64 num_terms | terms | u64 num_triples |
-//   u64 num_original | triples (3 x u32 each)
-// Each term: u8 kind | u32 len lexical | bytes | u32 len datatype | bytes |
-//   u32 len lang | bytes.
+// Format v2 (little-endian), sectioned and version-tagged:
+//   header   "THSNAP" | u16 version
+//   sections u32 tag | u64 payload_bytes | payload    (in order TERM, TRPL)
+//   trailer  tag TEND | u64 0
+// TERM payload (columnar, so loading is one bulk read + array walks):
+//   u64 num_terms | u8 kind[n] | u32 lex_len[n] | u32 dt_len[n] |
+//   u32 lang_len[n] | lexical blob | datatype blob | lang blob
+// TRPL payload:
+//   u64 num_triples | u64 num_original | (u32 s, u32 p, u32 o)[n]
+// Each section is read with a single bulk read into memory; unknown
+// sections are skipped (forward compatibility), and v1 streams are rejected
+// with a version error.
 #pragma once
 
 #include <istream>
@@ -25,8 +32,10 @@ namespace turbo::rdf {
 util::Status SaveSnapshot(const Dataset& dataset, std::ostream& out);
 util::Status SaveSnapshotFile(const Dataset& dataset, const std::string& path);
 
-/// Reads a snapshot into a fresh Dataset.
-util::Result<Dataset> LoadSnapshot(std::istream& in);
-util::Result<Dataset> LoadSnapshotFile(const std::string& path);
+/// Reads a snapshot into a fresh Dataset. `threads` > 1 parallelizes the
+/// dictionary index rebuild (positional bulk install); 0 = hardware
+/// concurrency, matching LoadOptions::threads.
+util::Result<Dataset> LoadSnapshot(std::istream& in, uint32_t threads = 1);
+util::Result<Dataset> LoadSnapshotFile(const std::string& path, uint32_t threads = 1);
 
 }  // namespace turbo::rdf

@@ -62,6 +62,15 @@ std::string Term::ToNTriples() const {
 
 std::optional<double> Term::NumericValue() const {
   if (kind != TermKind::kLiteral || lexical.empty()) return std::nullopt;
+  // Cheap reject before strtod: bulk loads numeric-probe every literal once,
+  // and most literals (names, emails, phone strings) are not numbers. Keep
+  // strtod's leading-whitespace tolerance and its INF/NAN spellings.
+  size_t first = lexical.find_first_not_of(" \t\n\r\f\v");
+  if (first == std::string::npos) return std::nullopt;
+  char c0 = lexical[first];
+  if (!(c0 == '-' || c0 == '+' || c0 == '.' || (c0 >= '0' && c0 <= '9') || c0 == 'i' ||
+        c0 == 'I' || c0 == 'n' || c0 == 'N'))
+    return std::nullopt;
   const char* begin = lexical.c_str();
   char* end = nullptr;
   double v = std::strtod(begin, &end);

@@ -14,8 +14,8 @@ namespace {
 
 class TurtleParser {
  public:
-  TurtleParser(std::string text, Dataset* dataset)
-      : text_(std::move(text)), ds_(dataset) {}
+  TurtleParser(std::string text, const TurtleSink& sink)
+      : text_(std::move(text)), sink_(sink) {}
 
   util::Status Run() {
     while (true) {
@@ -119,7 +119,7 @@ class TurtleParser {
         SkipWs();
         auto obj = ParseTerm(/*as_predicate=*/false);
         if (!obj.ok()) return obj.status();
-        ds_->Add(subj.value(), pred.value(), obj.take());
+        sink_(subj.value(), pred.value(), obj.take());
         SkipWs();
         if (Peek() == ',') {
           ++pos_;
@@ -280,15 +280,21 @@ class TurtleParser {
 
   std::string text_;
   size_t pos_ = 0;
-  Dataset* ds_;
+  const TurtleSink& sink_;
   std::unordered_map<std::string, std::string> prefixes_;
   std::string base_;
 };
 
 }  // namespace
 
+util::Status ParseTurtleToSink(std::string text, const TurtleSink& sink) {
+  return TurtleParser(std::move(text), sink).Run();
+}
+
 util::Status ParseTurtleString(std::string_view text, Dataset* dataset) {
-  return TurtleParser(std::string(text), dataset).Run();
+  return ParseTurtleToSink(std::string(text), [dataset](Term s, Term p, Term o) {
+    dataset->Add(s, p, o);
+  });
 }
 
 util::Status ParseTurtle(std::istream& in, Dataset* dataset) {

@@ -7,13 +7,25 @@
 // collections '(...)'.
 #pragma once
 
+#include <functional>
 #include <istream>
+#include <string>
 #include <string_view>
 
 #include "rdf/dataset.hpp"
 #include "util/status.hpp"
 
 namespace turbo::rdf {
+
+/// Receives one tokenized statement. Turtle tokenization is inherently
+/// sequential (prefix / base directives are stateful), so the parser emits
+/// term triples into a sink; the caller decides how to intern them — the
+/// sequential API interns directly into a Dataset, the parallel load
+/// pipeline batches statements and runs dictionary encoding on the pool.
+using TurtleSink = std::function<void(Term s, Term p, Term o)>;
+
+/// Tokenizes Turtle text, emitting every statement into `sink`.
+util::Status ParseTurtleToSink(std::string text, const TurtleSink& sink);
 
 /// Parses Turtle text into `dataset` (appending).
 util::Status ParseTurtle(std::istream& in, Dataset* dataset);

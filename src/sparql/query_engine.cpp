@@ -251,6 +251,7 @@ struct Cursor::State {
   size_t pos = 0;
   bool ran = false;
   uint64_t before_modifiers = 0;
+  uint64_t peak_buffered = 0;  ///< high-water mark of rows held at once
 
   void Run();
 };
@@ -312,32 +313,76 @@ void Cursor::State::Run() {
       return ++delivered >= limit ? EmitResult::kStop : EmitResult::kContinue;
     });
     if (!st.ok() && status.ok()) status = st;
+    peak_buffered = std::max(peak_buffered, static_cast<uint64_t>(rows.size()));
     return;
   }
 
-  // ORDER BY: the one pipeline breaker — buffer full-width rows (keys may be
-  // non-projected), sort at end-of-stream, then apply the modifiers.
-  std::vector<Row> full_rows;
-  util::Status st = stream.Run([&](const Row& full) -> EmitResult {
-    if (!guard(++before_modifiers)) return EmitResult::kStop;
-    full_rows.push_back(full);
-    return EmitResult::kContinue;
-  });
-  if (!st.ok() && status.ok()) status = st;
-  if (!status.ok()) return;
-
+  // ORDER BY: the pipeline breaker — buffer full-width rows (keys may be
+  // non-projected), sort at end-of-stream, then apply the modifiers. With a
+  // LIMIT and no DISTINCT the buffer is a bounded top-k heap instead of the
+  // whole solution bag: enumeration still runs to completion (the sort is
+  // post-hoc, so no work is skipped — MatchStats/rows_before_modifiers see
+  // the full count), but memory stays O(offset + limit). DISTINCT keeps the
+  // full buffer: heap eviction could drop rows that deduplication downstream
+  // would have needed.
+  //
+  // An arrival sequence number is the final comparison key, which makes the
+  // heap's selection and the sort order exactly equal to stable_sort over
+  // the full bag — the two paths are row-for-row identical.
+  struct Keyed {
+    Row row;
+    uint64_t seq;
+  };
   const rdf::Dictionary& dict = solver->dict();
-  std::stable_sort(full_rows.begin(), full_rows.end(), [&](const Row& x, const Row& y) {
+  auto row_less = [&](const Row& x, uint64_t xseq, const Row& y, uint64_t yseq) {
     for (size_t i = 0; i < p.order_idx.size(); ++i) {
       int c = CompareTerms(dict, x[p.order_idx[i]], y[p.order_idx[i]]);
       if (c != 0) return q.order_by[i].ascending ? c < 0 : c > 0;
     }
-    return false;
+    return xseq < yseq;
+  };
+  auto keyed_less = [&](const Keyed& x, const Keyed& y) {
+    return row_less(x.row, x.seq, y.row, y.seq);
+  };
+
+  const bool bounded = limit != kNoBudget && !q.distinct;
+  const uint64_t cap = bounded ? limit + static_cast<uint64_t>(q.offset) : 0;
+  std::vector<Keyed> full_rows;  ///< max-heap of the cap best when bounded
+  util::Status st = stream.Run([&](const Row& full) -> EmitResult {
+    if (!guard(++before_modifiers)) return EmitResult::kStop;
+    if (!bounded) {
+      full_rows.push_back({full, before_modifiers});
+      return EmitResult::kContinue;
+    }
+    if (full_rows.size() < cap) {
+      full_rows.push_back({full, before_modifiers});
+      std::push_heap(full_rows.begin(), full_rows.end(), keyed_less);
+      return EmitResult::kContinue;
+    }
+    // Compare before copying: at steady state most rows lose to the heap
+    // maximum, and rejecting them must not cost a Row allocation.
+    const Keyed& worst = full_rows.front();
+    if (row_less(full, before_modifiers, worst.row, worst.seq)) {
+      std::pop_heap(full_rows.begin(), full_rows.end(), keyed_less);
+      full_rows.back() = Keyed{full, before_modifiers};
+      std::push_heap(full_rows.begin(), full_rows.end(), keyed_less);
+    }
+    return EmitResult::kContinue;
   });
+  if (!st.ok() && status.ok()) status = st;
+  peak_buffered = std::max(peak_buffered, static_cast<uint64_t>(full_rows.size()));
+  if (!status.ok()) return;
+
+  if (bounded) {
+    std::sort_heap(full_rows.begin(), full_rows.end(), keyed_less);
+  } else {
+    std::sort(full_rows.begin(), full_rows.end(), keyed_less);  // seq => stable
+  }
 
   std::set<std::vector<TermId>> seen;
   uint64_t skipped = 0;
-  for (const Row& full : full_rows) {
+  for (const Keyed& keyed : full_rows) {
+    const Row& full = keyed.row;
     Row projected(p.proj.size(), kInvalidId);
     for (size_t i = 0; i < p.proj.size(); ++i) projected[i] = full[p.proj[i]];
     if (q.distinct && !seen.insert(projected).second) continue;
@@ -372,6 +417,10 @@ const std::vector<std::string>& Cursor::var_names() const {
 
 uint64_t Cursor::rows_before_modifiers() const {
   return state_ ? state_->before_modifiers : 0;
+}
+
+uint64_t Cursor::peak_buffered_rows() const {
+  return state_ ? state_->peak_buffered : 0;
 }
 
 Cursor OpenCursor(const BgpSolver& solver, const PreparedQuery& prepared,

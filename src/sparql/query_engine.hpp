@@ -129,6 +129,11 @@ class Cursor {
   /// on (compare with ResultSet::total_before_modifiers of a full run).
   uint64_t rows_before_modifiers() const;
 
+  /// High-water mark of rows the cursor held at once. For ORDER BY + LIMIT k
+  /// (without DISTINCT) this is bounded by k + OFFSET — the top-k heap —
+  /// while rows_before_modifiers still reports the full enumeration.
+  uint64_t peak_buffered_rows() const;
+
  private:
   friend class QueryEngine;
   friend Cursor OpenCursor(const BgpSolver& solver, const PreparedQuery& prepared,

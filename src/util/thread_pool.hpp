@@ -11,12 +11,119 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 namespace turbo::util {
+
+/// Persistent work-queue thread pool: workers are spawned once and reused
+/// across stages, so a multi-stage pipeline (parse -> merge -> remap ->
+/// graph-build) pays thread start-up once instead of per stage. Tasks
+/// receive the executing worker's stable index [0, size()); one worker runs
+/// its tasks sequentially, so per-worker scratch indexed by that id needs no
+/// locking. With num_threads <= 1 no workers are spawned and everything runs
+/// inline on the caller.
+class ThreadPool {
+ public:
+  explicit ThreadPool(uint32_t num_threads) {
+    if (num_threads <= 1) return;
+    workers_.reserve(num_threads);
+    for (uint32_t t = 0; t < num_threads; ++t)
+      workers_.emplace_back([this, t] { WorkerLoop(t); });
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  /// Number of workers (1 for the inline pool).
+  uint32_t size() const { return workers_.empty() ? 1 : static_cast<uint32_t>(workers_.size()); }
+
+  /// Enqueues a task; it runs on some worker (or inline for a 1-thread pool).
+  void Submit(std::function<void(uint32_t)> task) {
+    if (workers_.empty()) {
+      task(0);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(task));
+      ++pending_;
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until every submitted task has finished.
+  void WaitIdle() {
+    if (workers_.empty()) return;
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return pending_ == 0; });
+  }
+
+  /// Pool-backed parallel-for with dynamic chunking: fn(begin, end, worker)
+  /// over [0, total) in chunks of `chunk` claimed from a shared cursor.
+  /// Blocks until the whole range is processed. Must not be called
+  /// concurrently with other Submit/ParallelFor uses of the same pool.
+  void ParallelFor(uint64_t total, uint64_t chunk,
+                   const std::function<void(uint64_t, uint64_t, uint32_t)>& fn) {
+    if (total == 0) return;
+    if (chunk == 0) chunk = 1;
+    if (workers_.empty()) {
+      for (uint64_t b = 0; b < total; b += chunk) fn(b, std::min(b + chunk, total), 0);
+      return;
+    }
+    std::atomic<uint64_t> cursor{0};
+    auto drain = [&cursor, total, chunk, &fn](uint32_t worker) {
+      for (;;) {
+        uint64_t begin = cursor.fetch_add(chunk, std::memory_order_relaxed);
+        if (begin >= total) break;
+        fn(begin, std::min(begin + chunk, total), worker);
+      }
+    };
+    for (uint32_t t = 0; t < size(); ++t) Submit(drain);
+    WaitIdle();
+  }
+
+ private:
+  void WorkerLoop(uint32_t index) {
+    for (;;) {
+      std::function<void(uint32_t)> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ and drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task(index);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--pending_ == 0) idle_cv_.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;       ///< work available / stopping
+  std::condition_variable idle_cv_;  ///< pending_ reached zero
+  std::deque<std::function<void(uint32_t)>> queue_;
+  uint64_t pending_ = 0;
+  bool stopping_ = false;
+};
 
 /// Runs fn(begin, end, thread_index) over [0, total) split into dynamic
 /// chunks of `chunk` items claimed by `num_threads` workers.

@@ -1,5 +1,8 @@
 #include "workload/lubm.hpp"
 
+#include <fstream>
+
+#include "rdf/ntriples.hpp"
 #include "rdf/vocabulary.hpp"
 #include "util/rng.hpp"
 
@@ -235,6 +238,16 @@ rdf::Dataset GenerateLubmClosed(const LubmConfig& config, rdf::ReasonerStats* st
   rdf::ReasonerStats s = rdf::MaterializeInference(&ds, LubmReasonerOptions(&ds.dict()));
   if (stats) *stats = s;
   return ds;
+}
+
+util::Status WriteLubmNTriplesFile(const LubmConfig& config, const std::string& path) {
+  rdf::Dataset ds = GenerateLubmClosed(config);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return util::Status::Error("cannot open " + path + " for writing");
+  rdf::WriteNTriples(ds, out, /*include_inferred=*/true);
+  out.flush();
+  if (!out.good()) return util::Status::Error("write to " + path + " failed");
+  return util::Status::Ok();
 }
 
 std::vector<std::string> LubmQueries() {

@@ -53,6 +53,12 @@ rdf::ReasonerOptions LubmReasonerOptions(rdf::Dictionary* dict);
 rdf::Dataset GenerateLubmClosed(const LubmConfig& config,
                                 rdf::ReasonerStats* stats = nullptr);
 
+/// Generates the inference-closed dataset and dumps it as N-Triples
+/// (inferred triples included, so a re-load needs no reasoner pass) — the
+/// fixture the ingestion bench and tests parse. Mirrors the paper's setup
+/// of loading dumps whose closure was materialized offline.
+util::Status WriteLubmNTriplesFile(const LubmConfig& config, const std::string& path);
+
 /// The 14 official benchmark queries as SPARQL text. Q1..Q14 = index 0..13.
 std::vector<std::string> LubmQueries();
 

@@ -407,7 +407,11 @@ inline ExecutorFuzzCase MakeExecutorFuzzCase(uint64_t seed) {
   if (edges.empty()) return c;  // degenerate; caller skips empty queries
 
   auto var = [](const std::string& n) { return sparql::PatternTerm::Var(n); };
-  auto slot = [&](uint64_t i) { return var("v" + std::to_string(i)); };
+  auto slot = [&](uint64_t i) {
+    std::string name = "v";
+    name += std::to_string(i);
+    return var(name);
+  };
 
   // Base BGP: random walk over data triples, so a witness is guaranteed.
   const uint64_t n_slots = 2 + rng.Below(2);  // 2..3

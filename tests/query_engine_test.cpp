@@ -350,8 +350,9 @@ TEST_F(LimitPushdown, ConcurrentCancelMidQueryIsClean) {
   std::vector<Row> rows = Drain(cursor.value());
   canceller.join();
   const util::Status& st = cursor.value().status();
-  if (!st.ok())
+  if (!st.ok()) {
     EXPECT_NE(st.message().find("cancel"), std::string::npos) << st.message();
+  }
 }
 
 TEST_F(LimitPushdown, CancelledParallelBaselinesReturnCleanly) {
@@ -464,6 +465,91 @@ TEST(QueryEngineFacade, SolverSinkStopIsHonoured) {
     EXPECT_TRUE(st.ok()) << st.message();
     EXPECT_EQ(delivered, 1u);  // three ratings exist; the stop was honoured
   }
+}
+
+// ---------------------------------------------------------------------------
+// ORDER BY + LIMIT: bounded top-k heap instead of the full solution bag.
+// ---------------------------------------------------------------------------
+
+class OrderByTopK : public ::testing::Test {
+ protected:
+  OrderByTopK() {
+    workload::LubmConfig cfg;
+    cfg.num_universities = 1;
+    engine_ = std::make_unique<QueryEngine>(workload::GenerateLubmClosed(cfg));
+  }
+
+  static constexpr const char* kPrologue =
+      "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#> ";
+  /// Solution-heavy ordered query: every student's email, ordered by it.
+  std::string Ordered(const std::string& modifiers) {
+    return std::string(kPrologue) +
+           "SELECT ?x ?e WHERE { ?x a ub:Student . ?x ub:emailAddress ?e . } "
+           "ORDER BY ?e " +
+           modifiers;
+  }
+
+  std::unique_ptr<QueryEngine> engine_;
+};
+
+TEST_F(OrderByTopK, BoundedHeapMatchesFullSortAndStaysSmall) {
+  auto full_cursor = engine_->Open(Ordered(""));
+  ASSERT_TRUE(full_cursor.ok());
+  std::vector<Row> full = Drain(full_cursor.value());
+  const uint64_t total = full_cursor.value().rows_before_modifiers();
+  ASSERT_GT(total, 1000u);
+  // The unbounded run buffers the whole bag.
+  EXPECT_EQ(full_cursor.value().peak_buffered_rows(), total);
+
+  for (uint64_t k : {1u, 10u, 100u}) {
+    auto cursor = engine_->Open(Ordered("LIMIT " + std::to_string(k)));
+    ASSERT_TRUE(cursor.ok());
+    std::vector<Row> rows = Drain(cursor.value());
+    ASSERT_EQ(rows.size(), k);
+    for (uint64_t i = 0; i < k; ++i) EXPECT_EQ(rows[i], full[i]) << "k=" << k << " i=" << i;
+    // Sort is post-hoc: enumeration still ran the full solution space…
+    EXPECT_EQ(cursor.value().rows_before_modifiers(), total);
+    // …but memory stayed O(k).
+    EXPECT_EQ(cursor.value().peak_buffered_rows(), k);
+  }
+}
+
+TEST_F(OrderByTopK, OffsetWidensTheHeapExactly) {
+  auto full_cursor = engine_->Open(Ordered(""));
+  ASSERT_TRUE(full_cursor.ok());
+  std::vector<Row> full = Drain(full_cursor.value());
+
+  auto cursor = engine_->Open(Ordered("OFFSET 5 LIMIT 7"));
+  ASSERT_TRUE(cursor.ok());
+  std::vector<Row> rows = Drain(cursor.value());
+  ASSERT_EQ(rows.size(), 7u);
+  for (size_t i = 0; i < rows.size(); ++i) EXPECT_EQ(rows[i], full[5 + i]);
+  EXPECT_EQ(cursor.value().peak_buffered_rows(), 12u);  // offset + limit
+}
+
+TEST_F(OrderByTopK, LimitBudgetAloneBoundsTheBuffer) {
+  // The service-side delivery cap bounds the heap exactly like a query
+  // LIMIT.
+  ExecOptions opts;
+  opts.limit_budget = 4;
+  auto cursor = engine_->Open(Ordered(""), opts);
+  ASSERT_TRUE(cursor.ok());
+  EXPECT_EQ(Drain(cursor.value()).size(), 4u);
+  EXPECT_EQ(cursor.value().peak_buffered_rows(), 4u);
+}
+
+TEST_F(OrderByTopK, DistinctKeepsTheFullBuffer) {
+  // DISTINCT after the sort can consume arbitrarily many sorted rows before
+  // k distinct ones accumulate, so the heap must not evict — correctness
+  // over memory in that (rarer) combination.
+  std::string q = std::string(kPrologue) +
+                  "SELECT DISTINCT ?e WHERE { ?x a ub:Student . ?x ub:emailAddress ?e . } "
+                  "ORDER BY ?e LIMIT 3";
+  auto cursor = engine_->Open(q);
+  ASSERT_TRUE(cursor.ok());
+  std::vector<Row> rows = Drain(cursor.value());
+  EXPECT_EQ(rows.size(), 3u);
+  EXPECT_EQ(cursor.value().peak_buffered_rows(), cursor.value().rows_before_modifiers());
 }
 
 }  // namespace
