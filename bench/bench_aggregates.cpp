@@ -1,0 +1,179 @@
+// Grouped-analytics benchmark for the operator pipeline: BI-style GROUP BY
+// / COUNT / SUM / MIN / MAX / AVG / HAVING queries over LUBM (per-department
+// membership counts, per-student course loads) and BSBM (per-vendor price
+// statistics, per-product review averages) — the workloads the aggregate
+// layer was built for. Each query reports elapsed ms, delivered rows
+// (groups), the pre-aggregation enumeration size, and heap allocations via
+// alloc_counter.
+//
+// With BENCH_JSON=<path> the run emits the machine-tagged report consumed
+// by bench/compare_results.py; bench/results/aggregates.json is the
+// checked-in reference-VM baseline. Rows / groups / pre-aggregation counts
+// are machine-independent, so the nightly same-runner gate asserts them
+// exactly while ms stays report-only across machines.
+//
+// Env: LUBM_SCALES (default 1,4), BSBM_PRODUCTS (default 5000), BENCH_REPS,
+// BENCH_JSON.
+#include "alloc_counter.hpp"
+#include "bench_common.hpp"
+#include "bench_json.hpp"
+#include "workload/bsbm.hpp"
+#include "workload/lubm.hpp"
+
+using namespace turbo;
+
+namespace {
+
+struct AggQuery {
+  const char* name;
+  std::string text;
+};
+
+constexpr const char* kUb =
+    "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#> ";
+
+std::vector<AggQuery> LubmAggQueries() {
+  return {
+      {"dept-grad-count",
+       std::string(kUb) +
+           "SELECT ?d (COUNT(?x) AS ?n) WHERE { ?x a ub:GraduateStudent . "
+           "?x ub:memberOf ?d . } GROUP BY ?d"},
+      {"course-load-having-top10",
+       std::string(kUb) +
+           "SELECT ?x (COUNT(?c) AS ?n) WHERE { ?x a ub:Student . "
+           "?x ub:takesCourse ?c . } GROUP BY ?x HAVING(COUNT(?c) > 2) "
+           "ORDER BY DESC(?n) LIMIT 10"},
+      {"global-count",
+       std::string(kUb) +
+           "SELECT (COUNT(*) AS ?n) WHERE { ?x a ub:Student . "
+           "?x ub:takesCourse ?c . }"},
+      {"distinct-courses",
+       std::string(kUb) +
+           "SELECT (COUNT(DISTINCT ?c) AS ?n) WHERE { ?x ub:takesCourse ?c . }"},
+  };
+}
+
+std::vector<AggQuery> BsbmAggQueries() {
+  const std::string prologue = "PREFIX bsbm: <" + std::string(workload::kBsbmPrefix) +
+                               "> PREFIX inst: <" + std::string(workload::kBsbmInst) +
+                               "> ";
+  return {
+      {"vendor-price-stats",
+       prologue +
+           "SELECT ?v (MIN(?p) AS ?lo) (MAX(?p) AS ?hi) (AVG(?p) AS ?avg) WHERE "
+           "{ ?o bsbm:vendor ?v . ?o bsbm:price ?p . } GROUP BY ?v ORDER BY ?v"},
+      {"product-rating-top10",
+       prologue +
+           "SELECT ?prod (AVG(?r) AS ?avg) (COUNT(?r) AS ?n) WHERE "
+           "{ ?rev bsbm:reviewFor ?prod . ?rev bsbm:rating1 ?r . } GROUP BY ?prod "
+           "HAVING(COUNT(?r) > 3) ORDER BY DESC(?avg) LIMIT 10"},
+      {"offers-per-product-sum",
+       prologue +
+           "SELECT ?prod (COUNT(*) AS ?n) (SUM(?p) AS ?total) WHERE "
+           "{ ?o bsbm:product ?prod . ?o bsbm:price ?p . } GROUP BY ?prod"},
+  };
+}
+
+struct Measured {
+  double ms = 0;
+  size_t rows = 0;           ///< delivered groups
+  uint64_t pre_agg = 0;      ///< rows entering the aggregation
+  uint64_t allocs = 0;
+};
+
+Measured TimeAggQuery(const sparql::QueryEngine& engine, const std::string& query,
+                      int reps) {
+  Measured result;
+  std::vector<double> times;
+  for (int i = 0; i < reps; ++i) {
+    uint64_t alloc_before = bench::g_alloc_probe ? bench::g_alloc_probe() : 0;
+    util::WallTimer t;
+    auto cursor = engine.Open(query);
+    size_t rows = 0;
+    if (cursor.ok()) {
+      sparql::Row row;
+      while (cursor.value().Next(&row)) ++rows;
+    }
+    double ms = t.ElapsedMillis();
+    const util::Status& st = cursor.ok() ? cursor.value().status() : cursor.status();
+    if (!st.ok()) {
+      std::fprintf(stderr, "query error: %s\n", st.message().c_str());
+      return result;
+    }
+    if (bench::g_alloc_probe) result.allocs = bench::g_alloc_probe() - alloc_before;
+    result.rows = rows;
+    result.pre_agg = cursor.value().rows_before_modifiers();
+    times.push_back(ms);
+    if (ms > 2000 && i == 0) break;
+  }
+  std::sort(times.begin(), times.end());
+  if (times.size() >= 3) {
+    double sum = 0;
+    for (size_t i = 1; i + 1 < times.size(); ++i) sum += times[i];
+    result.ms = sum / (times.size() - 2);
+  } else {
+    double sum = 0;
+    for (double t : times) sum += t;
+    result.ms = sum / times.size();
+  }
+  return result;
+}
+
+void RunSet(const std::string& tag, const sparql::QueryEngine& engine,
+            const std::vector<AggQuery>& queries, int reps,
+            bench::BenchReport* report) {
+  bench::PrintHeader(tag + ": grouped aggregate queries");
+  bench::PrintRow("query", {"ms", "groups", "pre-agg rows", "allocs"});
+  for (const AggQuery& q : queries) {
+    Measured m = TimeAggQuery(engine, q.text, reps);
+    bench::PrintRow(q.name, {bench::Ms(m.ms), bench::Num(m.rows),
+                             bench::Num(m.pre_agg), bench::Num(m.allocs)});
+    bench::BenchResult res;
+    res.name = tag + "/" + q.name;
+    res.metrics["ms"] = m.ms;
+    res.metrics["rows"] = static_cast<double>(m.rows);
+    res.metrics["pre_agg_rows"] = static_cast<double>(m.pre_agg);
+    if (bench::g_alloc_probe) res.metrics["allocs"] = static_cast<double>(m.allocs);
+    report->results.push_back(std::move(res));
+  }
+}
+
+}  // namespace
+
+int main() {
+  auto scales = bench::ScalesFromEnv("LUBM_SCALES", {1, 4});
+  const int reps = bench::RepsFromEnv();
+  if (bench::kAllocCountingEnabled) bench::g_alloc_probe = &bench::AllocCount;
+
+  bench::BenchReport report;
+  report.bench = "bench_aggregates";
+  report.machine = bench::MachineTag();
+  report.config["reps"] = std::to_string(reps);
+
+  for (uint32_t n : scales) {
+    workload::LubmConfig cfg;
+    cfg.num_universities = n;
+    util::WallTimer prep;
+    rdf::Dataset ds = workload::GenerateLubmClosed(cfg);
+    std::printf("\n[LUBM%u: %zu triples, prep %.1fs]\n", n, ds.size(),
+                prep.ElapsedSeconds());
+    sparql::QueryEngine engine(std::move(ds));
+    RunSet("LUBM" + std::to_string(n), engine, LubmAggQueries(), reps, &report);
+  }
+
+  {
+    workload::BsbmConfig cfg;
+    if (const char* env = std::getenv("BSBM_PRODUCTS"))
+      cfg.num_products = static_cast<uint32_t>(std::strtoul(env, nullptr, 10));
+    util::WallTimer prep;
+    rdf::Dataset ds = workload::GenerateBsbmClosed(cfg);
+    std::printf("\n[BSBM %u products: %zu triples, prep %.1fs]\n", cfg.num_products,
+                ds.size(), prep.ElapsedSeconds());
+    sparql::QueryEngine engine(std::move(ds));
+    RunSet("BSBM" + std::to_string(cfg.num_products), engine, BsbmAggQueries(), reps,
+           &report);
+  }
+
+  bench::MaybeWriteJson(report);
+  return 0;
+}

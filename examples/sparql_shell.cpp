@@ -15,7 +15,8 @@
 //          --threads N (query parallelism), --load-threads N (ingestion
 //          parallelism, 0 = all cores), --skip-bad-lines (tolerate malformed
 //          N-Triples lines), --no-inference, --max-rows N (server-style
-//          delivery cap), --timeout-ms N (per-query deadline).
+//          delivery cap), --timeout-ms N (per-query deadline), --explain
+//          (print the executed operator tree with per-operator row counts).
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -42,6 +43,7 @@ int Fail(const std::string& msg) {
 struct QueryLimits {
   uint64_t max_rows = sparql::kNoBudget;
   int64_t timeout_ms = -1;
+  bool explain = false;
 };
 
 void RunQuery(const sparql::QueryEngine& engine, const QueryLimits& limits,
@@ -65,8 +67,9 @@ void RunQuery(const sparql::QueryEngine& engine, const QueryLimits& limits,
   size_t rows = 0;
   sparql::Row row;
   while (cursor.value().Next(&row)) {
-    std::printf("%s\n",
-                sparql::FormatRow(cursor.value().var_names(), row, engine.dict()).c_str());
+    std::printf("%s\n", sparql::FormatRow(cursor.value().var_names(), row, engine.dict(),
+                                          cursor.value().local_vocab().get())
+                            .c_str());
     ++rows;
   }
   if (!cursor.value().status().ok()) {
@@ -74,6 +77,9 @@ void RunQuery(const sparql::QueryEngine& engine, const QueryLimits& limits,
     return;
   }
   std::printf("-- %zu rows in %.2f ms\n", rows, t.ElapsedMillis());
+  if (limits.explain)
+    std::fprintf(stderr, "-- plan (per-operator rows):\n%s",
+                 cursor.value().Explain().c_str());
 }
 
 }  // namespace
@@ -96,6 +102,7 @@ int main(int argc, char** argv) {
     else if (arg == "--load-threads") load_threads = std::atoi(next());
     else if (arg == "--max-rows") limits.max_rows = std::strtoull(next(), nullptr, 10);
     else if (arg == "--timeout-ms") limits.timeout_ms = std::atoll(next());
+    else if (arg == "--explain") limits.explain = true;
     else if (arg == "--direct") direct = true;
     else if (arg == "--skip-bad-lines") skip_bad = true;
     else if (arg == "--no-inference") inference = false;

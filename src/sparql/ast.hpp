@@ -1,8 +1,10 @@
 // SPARQL abstract syntax: triple patterns, group graph patterns with
-// FILTER / OPTIONAL / UNION, and SELECT queries with solution modifiers.
-// Covers the subset exercised by the paper's benchmarks (LUBM, YAGO,
-// BTC2012 basic graph patterns; BSBM explore use case with OPTIONAL,
-// FILTER, UNION, DISTINCT, ORDER BY, LIMIT/OFFSET).
+// FILTER / OPTIONAL / UNION, and SELECT queries with solution modifiers
+// and aggregation (GROUP BY / HAVING, COUNT / SUM / MIN / MAX / AVG with
+// DISTINCT-inside-aggregate). Covers the subset exercised by the paper's
+// benchmarks (LUBM, YAGO, BTC2012 basic graph patterns; BSBM explore use
+// case with OPTIONAL, FILTER, UNION, DISTINCT, ORDER BY, LIMIT/OFFSET)
+// plus the BI-style grouped analytics queries.
 #pragma once
 
 #include <cstdint>
@@ -37,7 +39,36 @@ struct TriplePattern {
   PatternTerm s, p, o;
 };
 
-/// FILTER expression tree (value semantics).
+/// One aggregate function call: COUNT(*), COUNT(?x), SUM(DISTINCT ?p), ...
+/// The argument is a variable (or `*` for COUNT); expression arguments are
+/// not part of the supported subset.
+struct Aggregate {
+  enum class Func : uint8_t { kCount, kSum, kMin, kMax, kAvg };
+  Func func = Func::kCount;
+  bool distinct = false;  ///< DISTINCT inside the call, e.g. COUNT(DISTINCT ?x)
+  bool star = false;      ///< COUNT(*) / COUNT(DISTINCT *); var is empty then
+  std::string var;        ///< argument variable name, when !star
+
+  bool operator==(const Aggregate& o) const {
+    return func == o.func && distinct == o.distinct && star == o.star && var == o.var;
+  }
+
+  /// Canonical spelling, e.g. "COUNT(DISTINCT ?x)" — used for EXPLAIN output
+  /// and for deduplicating identical calls across SELECT and HAVING.
+  std::string ToString() const {
+    static const char* kNames[] = {"COUNT", "SUM", "MIN", "MAX", "AVG"};
+    std::string s = kNames[static_cast<int>(func)];
+    s += '(';
+    if (distinct) s += "DISTINCT ";
+    s += star ? "*" : "?" + var;
+    s += ')';
+    return s;
+  }
+};
+
+/// FILTER / HAVING expression tree (value semantics). kAggregate nodes are
+/// only legal inside HAVING constraints; the planner rewrites them into
+/// references to the grouped output columns.
 struct FilterExpr {
   enum class Op : uint8_t {
     kOr, kAnd, kNot,
@@ -48,11 +79,13 @@ struct FilterExpr {
     kBound,        // bound(?v)
     kStr, kLang, kDatatype,
     kIsIri, kIsLiteral, kIsBlank,
+    kAggregate,    // COUNT/SUM/MIN/MAX/AVG(...) inside HAVING
   };
   Op op = Op::kLiteral;
   std::vector<FilterExpr> children;
   std::string var;    ///< kVar / kBound
   rdf::Term literal;  ///< kLiteral
+  Aggregate agg;      ///< kAggregate
 
   static FilterExpr MakeVar(std::string name) {
     FilterExpr e;
@@ -80,10 +113,27 @@ struct FilterExpr {
     return e;
   }
 
-  /// Collects the variables referenced by this expression.
+  static FilterExpr MakeAggregate(Aggregate a) {
+    FilterExpr e;
+    e.op = Op::kAggregate;
+    e.agg = std::move(a);
+    return e;
+  }
+
+  /// Collects the variables referenced by this expression (for aggregates:
+  /// the argument variable, which is a WHERE-scope variable).
   void CollectVars(std::vector<std::string>* out) const {
     if (op == Op::kVar || op == Op::kBound) out->push_back(var);
+    if (op == Op::kAggregate && !agg.star) out->push_back(agg.var);
     for (const FilterExpr& c : children) c.CollectVars(out);
+  }
+
+  /// True if any node of this expression is an aggregate call.
+  bool ContainsAggregate() const {
+    if (op == Op::kAggregate) return true;
+    for (const FilterExpr& c : children)
+      if (c.ContainsAggregate()) return true;
+    return false;
   }
 };
 
@@ -105,13 +155,48 @@ struct OrderKey {
   bool ascending = true;
 };
 
+/// One SELECT-clause item: a plain variable, or an aggregate with its
+/// mandatory `(... AS ?alias)` alias.
+struct SelectItem {
+  std::string name;     ///< variable name, or the AS alias for an aggregate
+  bool is_agg = false;
+  Aggregate agg;        ///< when is_agg
+
+  static SelectItem Var(std::string v) {
+    SelectItem s;
+    s.name = std::move(v);
+    return s;
+  }
+  static SelectItem Agg(Aggregate a, std::string alias) {
+    SelectItem s;
+    s.name = std::move(alias);
+    s.is_agg = true;
+    s.agg = std::move(a);
+    return s;
+  }
+};
+
 struct SelectQuery {
   bool distinct = false;
-  std::vector<std::string> select_vars;  ///< empty => SELECT *
+  std::vector<SelectItem> select;  ///< empty => SELECT *
   GroupPattern where;
+  std::vector<std::string> group_by;  ///< GROUP BY variables (names, no '?')
+  std::vector<FilterExpr> having;     ///< HAVING constraints (may aggregate)
   std::vector<OrderKey> order_by;
   int64_t limit = -1;   ///< -1 = none
   int64_t offset = 0;
+
+  /// Convenience for tests / programmatic construction.
+  void AddSelectVar(std::string v) { select.push_back(SelectItem::Var(std::move(v))); }
+
+  /// True if this query aggregates: an explicit GROUP BY, a HAVING clause,
+  /// or any aggregate in the SELECT list (implicit single group).
+  bool IsAggregated() const {
+    if (!group_by.empty() || !having.empty()) return true;
+    for (const SelectItem& s : select)
+      if (s.is_agg) return true;
+    return false;
+  }
 };
 
 }  // namespace turbo::sparql

@@ -15,6 +15,7 @@ util::Result<ResultSet> Executor::Execute(const SelectQuery& q) const {
   while (cursor.Next(&row)) rs.rows.push_back(std::move(row));
   if (!cursor.status().ok()) return cursor.status();
   rs.total_before_modifiers = cursor.rows_before_modifiers();
+  rs.local_vocab = cursor.local_vocab();
   return rs;
 }
 
@@ -25,7 +26,7 @@ util::Result<ResultSet> Executor::Execute(const std::string& text) const {
 }
 
 std::string FormatRow(const ResultSet& rs, size_t row, const rdf::Dictionary& dict) {
-  return FormatRow(rs.var_names, rs.rows[row], dict);
+  return FormatRow(rs.var_names, rs.rows[row], dict, rs.local_vocab.get());
 }
 
 }  // namespace turbo::sparql

@@ -7,10 +7,12 @@
 // rows and their order are identical.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "sparql/ast.hpp"
+#include "sparql/local_vocab.hpp"
 #include "sparql/solver.hpp"
 #include "util/status.hpp"
 
@@ -23,6 +25,9 @@ struct ResultSet {
   /// row count when the pipeline ran to completion; smaller when LIMIT
   /// pushdown stopped the enumeration early (that is the point).
   uint64_t total_before_modifiers = 0;
+  /// Computed terms (aggregate results) of this execution; cells with ids
+  /// at or above dict.size() resolve here. Null for pattern-only queries.
+  std::shared_ptr<const LocalVocab> local_vocab;
 
   size_t size() const { return rows.size(); }
 };

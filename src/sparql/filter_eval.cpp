@@ -1,5 +1,7 @@
 #include "sparql/filter_eval.hpp"
 
+#include "sparql/typed_value.hpp"
+
 namespace turbo::sparql {
 
 bool FilterEvaluator::Test(const FilterExpr& e, const Row& row) const {
@@ -108,17 +110,21 @@ FilterEvaluator::Value FilterEvaluator::Eval(const FilterExpr& e, const Row& row
       auto idx = vars_.Find(e.var);
       if (!idx || static_cast<size_t>(*idx) >= row.size() || row[*idx] == kInvalidId)
         return Value::Null();
+      const rdf::Term* term = ResolveTerm(dict_, local_, row[*idx]);
+      if (!term) return Value::Null();
       Value v;
       v.kind = Value::Kind::kTerm;
-      v.term = &dict_.term(row[*idx]);
-      v.term_num = dict_.NumericValue(row[*idx]);
+      v.term = term;
+      v.term_num = ResolveNumeric(dict_, local_, row[*idx]);
       return v;
     }
     case Op::kLiteral: {
       Value v;
       v.kind = Value::Kind::kTerm;
       v.term = &e.literal;
-      v.term_num = e.literal.NumericValue();
+      // The shared typed-value coercion: same integer/decimal/double rules
+      // the aggregate accumulators apply (comparison uses the double view).
+      if (auto n = NumericOfTerm(e.literal)) v.term_num = n->AsDouble();
       return v;
     }
     case Op::kBound: {
@@ -187,6 +193,10 @@ FilterEvaluator::Value FilterEvaluator::Eval(const FilterExpr& e, const Row& row
       Value v = Eval(e.children[0], row);
       return Value::Bool(v.kind == Value::Kind::kTerm && v.term->is_blank());
     }
+    case Op::kAggregate:
+      // Only legal inside HAVING, where the planner rewrites it into a
+      // column reference before evaluation; reaching here is an error.
+      return Value::Null();
     case Op::kRegex: {
       if (e.children.size() < 2) return Value::Null();
       auto text = StringOf(Eval(e.children[0], row));

@@ -1,6 +1,7 @@
-// FILTER expression evaluation with SPARQL-ish semantics: numeric
-// comparisons when both sides are numeric, lexical comparison for strings,
-// type errors collapse to "false" (SPARQL's error semantics for FILTER).
+// FILTER / HAVING expression evaluation with SPARQL-ish semantics: numeric
+// comparisons when both sides are numeric (coercion via the shared
+// sparql/typed_value helper), lexical comparison for strings, type errors
+// collapse to "false" (SPARQL's error semantics for FILTER).
 #pragma once
 
 #include <memory>
@@ -10,16 +11,20 @@
 
 #include "rdf/dictionary.hpp"
 #include "sparql/ast.hpp"
+#include "sparql/local_vocab.hpp"
 #include "sparql/solver.hpp"
 
 namespace turbo::sparql {
 
 /// Evaluates filter expressions against rows. Thread-compatible (the regex
 /// cache is populated lazily; use one evaluator per thread if needed).
+/// When `local` is given, row cells above the dictionary resolve through it
+/// — the HAVING-over-aggregated-rows configuration.
 class FilterEvaluator {
  public:
-  FilterEvaluator(const rdf::Dictionary& dict, const VarRegistry& vars)
-      : dict_(dict), vars_(vars) {}
+  FilterEvaluator(const rdf::Dictionary& dict, const VarRegistry& vars,
+                  const LocalVocab* local = nullptr)
+      : dict_(dict), vars_(vars), local_(local) {}
 
   /// Effective boolean value of `e` on `row`; errors evaluate to false.
   bool Test(const FilterExpr& e, const Row& row) const;
@@ -63,6 +68,7 @@ class FilterEvaluator {
 
   const rdf::Dictionary& dict_;
   const VarRegistry& vars_;
+  const LocalVocab* local_ = nullptr;
   mutable std::unordered_map<std::string, std::unique_ptr<std::regex>> regex_cache_;
 };
 

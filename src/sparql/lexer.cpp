@@ -13,7 +13,9 @@ const char* kKeywords[] = {"PREFIX",   "SELECT", "DISTINCT", "WHERE",  "FILTER",
                            "OPTIONAL", "UNION",  "ORDER",    "BY",     "ASC",
                            "DESC",     "LIMIT",  "OFFSET",   "REGEX",  "BOUND",
                            "STR",      "LANG",   "DATATYPE", "ISIRI",  "ISLITERAL",
-                           "ISBLANK",  "TRUE",   "FALSE"};
+                           "ISBLANK",  "TRUE",   "FALSE",    "GROUP",  "HAVING",
+                           "AS",       "COUNT",  "SUM",      "MIN",    "MAX",
+                           "AVG"};
 
 bool IsKeyword(const std::string& upper) {
   return std::find_if(std::begin(kKeywords), std::end(kKeywords),

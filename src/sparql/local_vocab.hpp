@@ -1,0 +1,93 @@
+// Per-execution term space for values a query *computes* rather than reads:
+// aggregate results (COUNT/SUM/AVG literals) are RDF terms that do not exist
+// in the shared, immutable Dictionary. A LocalVocab assigns them TermIds in
+// the range [base, base + size) — just above the dictionary — so computed
+// values flow through the same Row = vector<TermId> pipeline as stored
+// terms. Resolution helpers below pick the right table per id.
+//
+// One LocalVocab lives per cursor execution (single-threaded); the Cursor /
+// ResultSet share ownership so delivered rows stay resolvable after the
+// pipeline is gone.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/dictionary.hpp"
+#include "rdf/term.hpp"
+#include "util/common.hpp"
+
+namespace turbo::sparql {
+
+class LocalVocab {
+ public:
+  /// `base` is the first id this vocab owns — dict.size() at open time (the
+  /// dictionary is immutable while a query runs).
+  explicit LocalVocab(TermId base) : base_(base) {}
+
+  /// Interns `t`, deduplicating by term value; returns its local id.
+  TermId Intern(rdf::Term t) {
+    // Composite key without the N-Triples escaping pass: lexical forms of
+    // computed values never contain '\n', and kind disambiguates the rest.
+    std::string key;
+    key.reserve(t.lexical.size() + t.datatype.size() + t.lang.size() + 3);
+    key += static_cast<char>('0' + static_cast<int>(t.kind));
+    key += t.lexical;
+    key += '\n';
+    key += t.datatype;
+    key += '\n';
+    key += t.lang;
+    auto [it, added] =
+        index_.try_emplace(std::move(key), base_ + static_cast<TermId>(terms_.size()));
+    if (added) {
+      // Numeric view cached once at intern time: sort keys and HAVING
+      // comparisons over aggregate columns resolve without re-parsing.
+      numeric_.push_back(t.NumericValue());
+      terms_.push_back(std::move(t));
+    }
+    return it->second;
+  }
+
+  /// The term for a local id; nullptr if `id` is not in this vocab's range.
+  const rdf::Term* Find(TermId id) const {
+    if (id < base_ || id >= base_ + terms_.size()) return nullptr;
+    return &terms_[id - base_];
+  }
+
+  /// Cached numeric value for a local id (nullopt if out of range or
+  /// non-numeric).
+  std::optional<double> Numeric(TermId id) const {
+    if (id < base_ || id >= base_ + numeric_.size()) return std::nullopt;
+    return numeric_[id - base_];
+  }
+
+  TermId base() const { return base_; }
+  size_t size() const { return terms_.size(); }
+
+ private:
+  TermId base_;
+  std::vector<rdf::Term> terms_;
+  std::vector<std::optional<double>> numeric_;
+  std::unordered_map<std::string, TermId> index_;  ///< composite value key -> id
+};
+
+/// Resolves an id against the dictionary or, above it, the local vocab.
+/// Returns nullptr for kInvalidId (unbound) and for ids in neither table.
+inline const rdf::Term* ResolveTerm(const rdf::Dictionary& dict, const LocalVocab* local,
+                                    TermId id) {
+  if (id == kInvalidId) return nullptr;
+  if (id < dict.size()) return &dict.term(id);
+  return local ? local->Find(id) : nullptr;
+}
+
+/// Cached numeric view of an id — the Dictionary's precomputed cache below
+/// the base, the LocalVocab's intern-time cache above it.
+inline std::optional<double> ResolveNumeric(const rdf::Dictionary& dict,
+                                            const LocalVocab* local, TermId id) {
+  if (id == kInvalidId) return std::nullopt;
+  if (id < dict.size()) return dict.NumericValue(id);
+  return local ? local->Numeric(id) : std::nullopt;
+}
+
+}  // namespace turbo::sparql

@@ -44,19 +44,56 @@ class Parser {
     if (IsPunct("*")) {
       Advance();
     } else {
-      while (Cur().kind == TokenKind::kVar) {
-        q.select_vars.push_back(Cur().text);
-        Advance();
+      // Projection items: variables and/or aliased aggregates
+      // `(COUNT(DISTINCT ?x) AS ?n)`.
+      while (true) {
+        if (Cur().kind == TokenKind::kVar) {
+          q.select.push_back(SelectItem::Var(Cur().text));
+          Advance();
+        } else if (IsPunct("(")) {
+          Advance();
+          if (!IsAggKeyword()) return Err("expected aggregate function after ( in SELECT");
+          auto agg = ParseAggregate();
+          if (!agg.ok()) return agg.status();
+          if (!IsKeyword("AS")) return Err("expected AS ?alias after aggregate");
+          Advance();
+          if (Cur().kind != TokenKind::kVar) return Err("expected variable after AS");
+          std::string alias = Cur().text;
+          Advance();
+          if (!IsPunct(")")) return Err("expected ) closing (aggregate AS ?alias)");
+          Advance();
+          q.select.push_back(SelectItem::Agg(agg.take(), std::move(alias)));
+        } else {
+          break;
+        }
         if (IsPunct(",")) Advance();
       }
-      if (q.select_vars.empty()) return Err("expected projection variables or *");
+      if (q.select.empty()) return Err("expected projection variables or *");
     }
     if (IsKeyword("WHERE")) Advance();
     auto group = ParseGroup();
     if (!group.ok()) return group.status();
     q.where = group.take();
 
-    // Solution modifiers.
+    // Solution modifiers: GROUP BY, HAVING, ORDER BY, LIMIT/OFFSET.
+    if (IsKeyword("GROUP")) {
+      Advance();
+      if (!IsKeyword("BY")) return Err("expected BY after GROUP");
+      Advance();
+      while (Cur().kind == TokenKind::kVar) {
+        q.group_by.push_back(Cur().text);
+        Advance();
+        if (IsPunct(",")) Advance();
+      }
+      if (q.group_by.empty()) return Err("empty GROUP BY");
+    }
+    while (IsKeyword("HAVING") || (!q.having.empty() && IsPunct("("))) {
+      // HAVING (c1) (c2) ... — each bracketed constraint may aggregate.
+      if (IsKeyword("HAVING")) Advance();
+      auto e = ParseBracketedExpr();
+      if (!e.ok()) return e.status();
+      q.having.push_back(e.take());
+    }
     if (IsKeyword("ORDER")) {
       Advance();
       if (!IsKeyword("BY")) return Err("expected BY after ORDER");
@@ -107,6 +144,44 @@ class Parser {
   }
   util::Status Err(const std::string& msg) const {
     return util::Status::Error(msg + " (near offset " + std::to_string(Cur().pos) + ")");
+  }
+
+  bool IsAggKeyword() const {
+    if (Cur().kind != TokenKind::kKeyword) return false;
+    const std::string& t = Cur().text;
+    return t == "COUNT" || t == "SUM" || t == "MIN" || t == "MAX" || t == "AVG";
+  }
+
+  /// Parses `FUNC ( [DISTINCT] (?var | *) )` with the cursor on FUNC.
+  util::Result<Aggregate> ParseAggregate() {
+    Aggregate a;
+    const std::string& name = Cur().text;
+    a.func = name == "COUNT" ? Aggregate::Func::kCount
+             : name == "SUM" ? Aggregate::Func::kSum
+             : name == "MIN" ? Aggregate::Func::kMin
+             : name == "MAX" ? Aggregate::Func::kMax
+                             : Aggregate::Func::kAvg;
+    Advance();
+    if (!IsPunct("(")) return Err("expected ( after " + name);
+    Advance();
+    if (IsKeyword("DISTINCT")) {
+      a.distinct = true;
+      Advance();
+    }
+    if (IsPunct("*")) {
+      if (a.func != Aggregate::Func::kCount)
+        return Err(name + "(*) is not defined; only COUNT takes *");
+      a.star = true;
+      Advance();
+    } else if (Cur().kind == TokenKind::kVar) {
+      a.var = Cur().text;
+      Advance();
+    } else {
+      return Err("aggregate argument must be a variable or *");
+    }
+    if (!IsPunct(")")) return Err("expected ) closing " + name);
+    Advance();
+    return a;
   }
 
   util::Result<GroupPattern> ParseGroup() {
@@ -352,6 +427,13 @@ class Parser {
     if (t.kind == TokenKind::kVar) {
       Advance();
       return FilterExpr::MakeVar(t.text);
+    }
+    if (IsAggKeyword()) {
+      // Aggregate call in an expression — legal in HAVING constraints; the
+      // planner rejects it anywhere else.
+      auto a = ParseAggregate();
+      if (!a.ok()) return a.status();
+      return FilterExpr::MakeAggregate(a.take());
     }
     if (t.kind == TokenKind::kKeyword) {
       static const std::unordered_map<std::string, FilterExpr::Op> kFns = {

@@ -1,13 +1,13 @@
 #include "sparql/query_engine.hpp"
 
 #include <algorithm>
-#include <set>
 #include <unordered_map>
 
 #include "baseline/solvers.hpp"
 #include "baseline/triple_index.hpp"
 #include "graph/data_graph.hpp"
 #include "sparql/filter_eval.hpp"
+#include "sparql/operators.hpp"
 #include "sparql/parser.hpp"
 #include "sparql/turbo_solver.hpp"
 
@@ -29,6 +29,19 @@ void CollectGroupVars(const GroupPattern& g, VarRegistry* vars) {
   for (const GroupPattern& o : g.optionals) CollectGroupVars(o, vars);
   for (const auto& u : g.unions)
     for (const GroupPattern& b : u) CollectGroupVars(b, vars);
+}
+
+/// True if any FILTER anywhere in the group tree contains an aggregate call
+/// (aggregates are only legal in SELECT and HAVING).
+bool GroupHasAggregateFilter(const GroupPattern& g) {
+  for (const FilterExpr& f : g.filters)
+    if (f.ContainsAggregate()) return true;
+  for (const GroupPattern& o : g.optionals)
+    if (GroupHasAggregateFilter(o)) return true;
+  for (const auto& u : g.unions)
+    for (const GroupPattern& b : u)
+      if (GroupHasAggregateFilter(b)) return true;
+  return false;
 }
 
 /// True if every variable of `f` occurs in a triple pattern of `g` (then the
@@ -58,10 +71,21 @@ bool FilterCoveredByBgp(const FilterExpr& f, const GroupPattern& g) {
 
 struct PreparedQuery::Impl {
   SelectQuery query;
-  VarRegistry vars;
+  VarRegistry vars;                    ///< WHERE-scope (pattern) registry
   std::vector<std::string> var_names;  ///< projected names, SELECT order
-  std::vector<int> proj;               ///< projected row indices
-  std::vector<int> order_idx;          ///< ORDER BY key row indices
+  std::vector<int> proj;       ///< projected indices (into vars / post_vars)
+  std::vector<int> order_idx;  ///< ORDER BY key indices (ditto)
+
+  /// Aggregation plan (empty/unused when !aggregated). The grouped output
+  /// schema `post_vars` is [GROUP BY keys..., aggregate columns...]; HAVING
+  /// constraints are rewritten over it (aggregate calls become column
+  /// references, deduplicated against identical SELECT aggregates).
+  bool aggregated = false;
+  std::vector<int> group_key_idx;  ///< base-row indices of the GROUP BY keys
+  std::vector<AggSpec> agg_specs;  ///< one per grouped output column
+  VarRegistry post_vars;
+  std::vector<FilterExpr> having;  ///< rewritten: aggregate-free
+
   /// Per-group pushable filter sets, keyed by group identity (the AST is
   /// owned by this Impl, so the pointers are stable).
   std::unordered_map<const GroupPattern*, std::vector<const FilterExpr*>> pushable;
@@ -83,6 +107,42 @@ struct PreparedQuery::Impl {
     for (const auto& u : g.unions)
       for (const GroupPattern& b : u) PlanGroup(b);
   }
+
+  /// Adds a grouped output column for `agg` (or reuses an identical one)
+  /// and returns its post_vars name. `alias` is empty for HAVING-only
+  /// aggregates, which get hidden (unprojectable) column names.
+  std::string AddAggColumn(const Aggregate& agg, const std::string& alias) {
+    if (alias.empty()) {
+      for (size_t i = 0; i < agg_specs.size(); ++i)
+        if (agg_specs[i].agg == agg)
+          return post_vars.name(static_cast<int>(group_key_idx.size() + i));
+    }
+    std::string name = alias.empty() ? "#agg" + std::to_string(agg_specs.size()) : alias;
+    AggSpec spec;
+    spec.agg = agg;
+    if (!agg.star) spec.arg_idx = vars.GetOrAdd(agg.var);
+    agg_specs.push_back(std::move(spec));
+    post_vars.GetOrAdd(name);
+    return name;
+  }
+
+  /// Rewrites one HAVING expression in place: aggregate calls become
+  /// references to grouped output columns; plain variables must already be
+  /// visible in the grouped schema (keys or aliases).
+  util::Status RewriteHaving(FilterExpr* e) {
+    if (e->op == FilterExpr::Op::kAggregate) {
+      *e = FilterExpr::MakeVar(AddAggColumn(e->agg, ""));
+      return util::Status::Ok();
+    }
+    if (e->op == FilterExpr::Op::kVar || e->op == FilterExpr::Op::kBound) {
+      if (!post_vars.Find(e->var))
+        return util::Status::Error("variable ?" + e->var +
+                                   " in HAVING is neither grouped nor an aggregate");
+    }
+    for (FilterExpr& c : e->children)
+      if (auto st = RewriteHaving(&c); !st.ok()) return st;
+    return util::Status::Ok();
+  }
 };
 
 const SelectQuery& PreparedQuery::query() const { return impl_->query; }
@@ -96,150 +156,89 @@ util::Result<PreparedQuery> PrepareSelect(SelectQuery q) {
   impl->query = std::move(q);
   const SelectQuery& query = impl->query;
 
-  for (const std::string& v : query.select_vars) impl->vars.GetOrAdd(v);
-  CollectGroupVars(query.where, &impl->vars);
-  for (const OrderKey& k : query.order_by)
-    impl->order_idx.push_back(impl->vars.GetOrAdd(k.var));
+  if (GroupHasAggregateFilter(query.where))
+    return util::Status::Error("aggregates are only allowed in SELECT and HAVING");
 
-  if (query.select_vars.empty()) {
-    for (size_t i = 0; i < impl->vars.size(); ++i) {
-      impl->var_names.push_back(impl->vars.name(static_cast<int>(i)));
-      impl->proj.push_back(static_cast<int>(i));
+  impl->aggregated = query.IsAggregated();
+
+  if (!impl->aggregated) {
+    for (const SelectItem& s : query.select) impl->vars.GetOrAdd(s.name);
+    CollectGroupVars(query.where, &impl->vars);
+    for (const OrderKey& k : query.order_by)
+      impl->order_idx.push_back(impl->vars.GetOrAdd(k.var));
+
+    if (query.select.empty()) {
+      for (size_t i = 0; i < impl->vars.size(); ++i) {
+        impl->var_names.push_back(impl->vars.name(static_cast<int>(i)));
+        impl->proj.push_back(static_cast<int>(i));
+      }
+    } else {
+      for (const SelectItem& s : query.select) {
+        impl->var_names.push_back(s.name);
+        impl->proj.push_back(*impl->vars.Find(s.name));
+      }
     }
-  } else {
-    for (const std::string& v : query.select_vars) {
-      impl->var_names.push_back(v);
-      impl->proj.push_back(*impl->vars.Find(v));
-    }
+    impl->PlanGroup(query.where);
+    PreparedQuery prepared;
+    prepared.impl_ = std::move(impl);
+    return prepared;
   }
-  impl->PlanGroup(query.where);
 
+  // ---- Aggregation plan. ----
+  CollectGroupVars(query.where, &impl->vars);
+  if (query.select.empty())
+    return util::Status::Error("SELECT * cannot be combined with GROUP BY/aggregates");
+
+  // Grouped schema, part 1: the GROUP BY keys.
+  for (const std::string& g : query.group_by) {
+    if (impl->post_vars.Find(g))
+      return util::Status::Error("duplicate GROUP BY variable ?" + g);
+    impl->post_vars.GetOrAdd(g);
+    impl->group_key_idx.push_back(impl->vars.GetOrAdd(g));
+  }
+
+  // Part 2: aggregate columns, in SELECT order; plain items must be keys.
+  for (const SelectItem& s : query.select) {
+    if (!s.is_agg) {
+      if (std::find(query.group_by.begin(), query.group_by.end(), s.name) ==
+          query.group_by.end())
+        return util::Status::Error("SELECT variable ?" + s.name +
+                                   " must appear in GROUP BY");
+      impl->var_names.push_back(s.name);
+      impl->proj.push_back(*impl->post_vars.Find(s.name));
+      continue;
+    }
+    if (s.name.empty())
+      return util::Status::Error("aggregate in SELECT needs an AS ?alias");
+    if (impl->post_vars.Find(s.name))
+      return util::Status::Error("duplicate name ?" + s.name + " in SELECT");
+    std::string col = impl->AddAggColumn(s.agg, s.name);
+    impl->var_names.push_back(s.name);
+    impl->proj.push_back(*impl->post_vars.Find(col));
+  }
+
+  // Part 3: HAVING rewrite (may add hidden aggregate columns).
+  impl->having = query.having;
+  for (FilterExpr& h : impl->having)
+    if (auto st = impl->RewriteHaving(&h); !st.ok()) return st;
+
+  // ORDER BY keys live in the grouped schema (keys and aliases).
+  for (const OrderKey& k : query.order_by) {
+    auto idx = impl->post_vars.Find(k.var);
+    if (!idx)
+      return util::Status::Error("ORDER BY variable ?" + k.var +
+                                 " is not visible after grouping");
+    impl->order_idx.push_back(*idx);
+  }
+
+  impl->PlanGroup(query.where);
   PreparedQuery prepared;
   prepared.impl_ = std::move(impl);
   return prepared;
 }
 
 // ---------------------------------------------------------------------------
-// GroupStream: the stop-aware row pipeline over one WHERE group.
-// ---------------------------------------------------------------------------
-
-namespace {
-
-/// Streams solutions of a group graph pattern one row at a time: BGP join,
-/// then UNION blocks, then OPTIONAL left-joins, then group FILTERs, each as
-/// a sink-to-sink operator. Stop requests (EmitResult::kStop) and errors
-/// raised downstream unwind the entire operator chain — including the BGP
-/// solver's enumeration — instead of completing a stage.
-class GroupStream {
- public:
-  GroupStream(const BgpSolver& solver, const PreparedQuery::Impl& p,
-              const EvalControl& control)
-      : solver_(solver), p_(p), control_(control), eval_(solver.dict(), p.vars) {}
-
-  /// Runs the whole WHERE clause for the all-unbound seed row.
-  util::Status Run(const RowSink& sink) {
-    Row seed(p_.vars.size(), kInvalidId);
-    util::Status st = EvalGroup(p_.query.where, seed, sink);
-    if (!st.ok()) return st;
-    return err_;
-  }
-
- private:
-  util::Status EvalGroup(const GroupPattern& g, const Row& input, const RowSink& sink) {
-    return Stage(g, 0, input, sink);
-  }
-
-  /// Forwards `row` through stage `si` of group `g` into `sink`. Stages:
-  /// 0 = BGP, 1..#unions = UNION blocks, then OPTIONAL blocks, then the
-  /// group FILTER + delivery stage.
-  util::Status Stage(const GroupPattern& g, size_t si, const Row& row,
-                     const RowSink& sink) {
-    if (stopped_) return util::Status::Ok();
-    const size_t nu = g.unions.size();
-    const size_t no = g.optionals.size();
-
-    // A sink an upstream producer (solver or sub-group) feeds; routes each
-    // produced row into the next stage and converts errors into a stop.
-    auto next_stage_sink = [&](size_t next) {
-      return [this, &g, next, &sink](const Row& out) -> EmitResult {
-        util::Status inner = Stage(g, next, out, sink);
-        if (!inner.ok()) {
-          err_ = inner;
-          stopped_ = true;
-        }
-        return stopped_ ? EmitResult::kStop : EmitResult::kContinue;
-      };
-    };
-
-    if (si == 0) {
-      // 1. Basic graph pattern join (under the pre-bound row).
-      if (g.triples.empty()) return Stage(g, 1, row, sink);
-      util::Status st = solver_.Evaluate(g.triples, p_.vars, row, p_.PushableFor(g),
-                                         next_stage_sink(1), control_);
-      if (!st.ok()) return st;
-      return err_;
-    }
-
-    if (si <= nu) {
-      // 2. UNION blocks: this row extends through every branch in turn
-      // (concatenated, duplicates preserved).
-      for (const GroupPattern& b : g.unions[si - 1]) {
-        util::Status st = EvalGroup(b, row, next_stage_sink(si + 1));
-        if (!st.ok()) return st;
-        if (stopped_) break;
-      }
-      return err_;
-    }
-
-    if (si <= nu + no) {
-      // 3. OPTIONAL: left-join extension. A failed optional keeps the row
-      // with its variables unbound — emitted once (the paper's
-      // qualify-and-exclude-duplicate behaviour). When the consumer stops
-      // mid-extension the unextended fallback must not fire.
-      const GroupPattern& opt = g.optionals[si - 1 - nu];
-      bool matched = false;
-      auto forward = next_stage_sink(si + 1);
-      util::Status st = EvalGroup(opt, row, [&](const Row& out) -> EmitResult {
-        matched = true;
-        return forward(out);
-      });
-      if (!st.ok()) return st;
-      if (!err_.ok()) return err_;
-      if (!matched && !stopped_) return Stage(g, si + 1, row, sink);
-      return util::Status::Ok();
-    }
-
-    // 4. Group FILTERs scope over the whole group; then deliver.
-    for (const FilterExpr& f : g.filters)
-      if (!eval_.Test(f, row)) return util::Status::Ok();
-    if (sink(row) == EmitResult::kStop) stopped_ = true;
-    return util::Status::Ok();
-  }
-
-  const BgpSolver& solver_;
-  const PreparedQuery::Impl& p_;
-  const EvalControl& control_;
-  FilterEvaluator eval_;
-  bool stopped_ = false;
-  util::Status err_;  ///< first error raised inside a sink
-};
-
-/// Three-way term comparison for ORDER BY (numeric when both sides are
-/// numeric, else lexical; unbound sorts first).
-int CompareTerms(const rdf::Dictionary& dict, TermId a, TermId b) {
-  if (a == b) return 0;
-  if (a == kInvalidId) return -1;
-  if (b == kInvalidId) return 1;
-  auto na = dict.NumericValue(a), nb = dict.NumericValue(b);
-  if (na && nb && *na != *nb) return *na < *nb ? -1 : 1;
-  int c = dict.term(a).lexical.compare(dict.term(b).lexical);
-  return c < 0 ? -1 : (c > 0 ? 1 : 0);
-}
-
-}  // namespace
-
-// ---------------------------------------------------------------------------
-// Cursor: budgeted execution + modifier pushdown over the pipeline.
+// Cursor: plans the operator tree per execution and drains its root.
 // ---------------------------------------------------------------------------
 
 struct Cursor::State {
@@ -253,19 +252,62 @@ struct Cursor::State {
   uint64_t before_modifiers = 0;
   uint64_t peak_buffered = 0;  ///< high-water mark of rows held at once
 
+  /// The physical operator tree of this execution (kept after the run for
+  /// EXPLAIN) and the state it shares.
+  Pipeline pipe;
+  std::shared_ptr<LocalVocab> local_vocab;  ///< computed terms (aggregates)
+  std::unique_ptr<FilterEvaluator> base_eval;  ///< over prepared->vars
+  std::unique_ptr<FilterEvaluator> post_eval;  ///< over post_vars + local
+
   void Run();
+  RowOp* BuildWhereChain(const GroupPattern& g, RowOp* next);
 };
+
+/// Builds the operator chain evaluating group `g`, emitting into `next`:
+/// BgpSource, then UNION blocks, then OPTIONAL left-joins, then the group
+/// FILTERs — the stage order the row pipeline has always used. Sub-groups
+/// recurse, terminating in relays back to their owning operator.
+RowOp* Cursor::State::BuildWhereChain(const GroupPattern& g, RowOp* next) {
+  const PreparedQuery::Impl& p = *prepared;
+  ExecState* st = &pipe.state;
+  RowOp* cur = next;
+  if (!g.filters.empty()) {
+    std::vector<const FilterExpr*> exprs;
+    for (const FilterExpr& f : g.filters) exprs.push_back(&f);
+    cur = pipe.Make<FilterOp>("Filter", *base_eval, std::move(exprs), cur, st);
+  }
+  for (auto it = g.optionals.rbegin(); it != g.optionals.rend(); ++it) {
+    OptionalOp* opt = pipe.Make<OptionalOp>(cur, st);
+    RelayOp* relay = pipe.Make<RelayOp>(
+        [opt](const Row& r) { return opt->ForwardBranchRow(r); }, st);
+    opt->SetBranch(BuildWhereChain(*it, relay));
+    cur = opt;
+  }
+  for (auto it = g.unions.rbegin(); it != g.unions.rend(); ++it) {
+    UnionOp* u = pipe.Make<UnionOp>(it->size(), cur, st);
+    for (const GroupPattern& b : *it) {
+      RelayOp* relay =
+          pipe.Make<RelayOp>([u](const Row& r) { return u->ForwardBranchRow(r); }, st);
+      u->AddBranch(BuildWhereChain(b, relay));
+    }
+    cur = u;
+  }
+  if (!g.triples.empty())
+    cur = pipe.Make<BgpSource>(*solver, p.vars, g.triples, p.PushableFor(g), cur, st);
+  return cur;
+}
 
 void Cursor::State::Run() {
   ran = true;
   const PreparedQuery::Impl& p = *prepared;
   const SelectQuery& q = p.query;
+  const rdf::Dictionary& dict = solver->dict();
+  ExecState* st = &pipe.state;
 
-  EvalControl control;
-  control.cancel = opts.cancel_token;
-  control.deadline = opts.deadline;
-  if (auto st = control.Check(); !st.ok()) {
-    status = st;
+  st->control.cancel = opts.cancel_token;
+  st->control.deadline = opts.deadline;
+  if (auto s = st->control.Check(); !s.ok()) {
+    status = s;
     return;
   }
 
@@ -274,125 +316,93 @@ void Cursor::State::Run() {
   if (q.limit >= 0) limit = std::min(limit, static_cast<uint64_t>(q.limit));
   if (limit == 0) return;  // nothing to deliver: skip enumeration entirely
 
-  GroupStream stream(*solver, p, control);
-
-  // The per-row guard shared by both paths: work budget + periodic
-  // cancellation probe (the solvers check too, but rows can also be born in
-  // executor stages like OPTIONAL fallbacks).
-  auto guard = [&](uint64_t n) -> bool {
-    if (n > opts.row_budget) {
-      status = util::Status::Error("row budget exceeded");
-      return false;
-    }
-    if ((n & 0x3F) == 0) {
-      if (auto st = control.Check(); !st.ok()) {
-        status = st;
-        return false;
-      }
-    }
-    return true;
-  };
-
-  if (q.order_by.empty()) {
-    // Fully streaming: project -> DISTINCT -> OFFSET -> LIMIT, stopping the
-    // enumeration the moment the last deliverable row arrives.
-    std::set<std::vector<TermId>> seen;
-    uint64_t skipped = 0;
-    uint64_t delivered = 0;
-    Row projected;
-    util::Status st = stream.Run([&](const Row& full) -> EmitResult {
-      if (!guard(++before_modifiers)) return EmitResult::kStop;
-      projected.assign(p.proj.size(), kInvalidId);
-      for (size_t i = 0; i < p.proj.size(); ++i) projected[i] = full[p.proj[i]];
-      if (q.distinct && !seen.insert(projected).second) return EmitResult::kContinue;
-      if (skipped < static_cast<uint64_t>(q.offset)) {
-        ++skipped;
-        return EmitResult::kContinue;
-      }
-      rows.push_back(projected);
-      return ++delivered >= limit ? EmitResult::kStop : EmitResult::kContinue;
-    });
-    if (!st.ok() && status.ok()) status = st;
-    peak_buffered = std::max(peak_buffered, static_cast<uint64_t>(rows.size()));
-    return;
+  base_eval = std::make_unique<FilterEvaluator>(dict, p.vars);
+  if (p.aggregated) {
+    local_vocab = std::make_shared<LocalVocab>(static_cast<TermId>(dict.size()));
+    post_eval =
+        std::make_unique<FilterEvaluator>(dict, p.post_vars, local_vocab.get());
   }
 
-  // ORDER BY: the pipeline breaker — buffer full-width rows (keys may be
-  // non-projected), sort at end-of-stream, then apply the modifiers. With a
-  // LIMIT and no DISTINCT the buffer is a bounded top-k heap instead of the
-  // whole solution bag: enumeration still runs to completion (the sort is
-  // post-hoc, so no work is skipped — MatchStats/rows_before_modifiers see
-  // the full count), but memory stays O(offset + limit). DISTINCT keeps the
-  // full buffer: heap eviction could drop rows that deduplication downstream
-  // would have needed.
-  //
-  // An arrival sequence number is the final comparison key, which makes the
-  // heap's selection and the sort order exactly equal to stable_sort over
-  // the full bag — the two paths are row-for-row identical.
-  struct Keyed {
-    Row row;
-    uint64_t seq;
-  };
-  const rdf::Dictionary& dict = solver->dict();
-  auto row_less = [&](const Row& x, uint64_t xseq, const Row& y, uint64_t yseq) {
+  // ---- Build the modifier chain, back to front. ----
+  RowOp* cur = pipe.Make<CollectOp>(&rows, st);
+  cur = pipe.Make<SliceOp>(static_cast<uint64_t>(q.offset), limit, cur, st);
+
+  if (!q.order_by.empty()) {
+    SortKeys keys;
+    keys.dict = &dict;
+    keys.local = local_vocab.get();
     for (size_t i = 0; i < p.order_idx.size(); ++i) {
-      int c = CompareTerms(dict, x[p.order_idx[i]], y[p.order_idx[i]]);
-      if (c != 0) return q.order_by[i].ascending ? c < 0 : c > 0;
+      keys.idx.push_back(p.order_idx[i]);
+      keys.ascending.push_back(q.order_by[i].ascending);
     }
-    return xseq < yseq;
-  };
-  auto keyed_less = [&](const Keyed& x, const Keyed& y) {
-    return row_less(x.row, x.seq, y.row, y.seq);
-  };
+    const bool bounded = limit != kNoBudget;
+    const uint64_t cap = bounded ? limit + static_cast<uint64_t>(q.offset) : 0;
+    auto make_sort = [&](SortKeys k, RowOp* n) -> RowOp* {
+      if (bounded) return pipe.Make<TopKOp>(std::move(k), cap, n, st);
+      return pipe.Make<OrderByOp>(std::move(k), n, st);
+    };
 
-  const bool bounded = limit != kNoBudget && !q.distinct;
-  const uint64_t cap = bounded ? limit + static_cast<uint64_t>(q.offset) : 0;
-  std::vector<Keyed> full_rows;  ///< max-heap of the cap best when bounded
-  util::Status st = stream.Run([&](const Row& full) -> EmitResult {
-    if (!guard(++before_modifiers)) return EmitResult::kStop;
-    if (!bounded) {
-      full_rows.push_back({full, before_modifiers});
-      return EmitResult::kContinue;
+    if (!q.distinct) {
+      // Sort full-width rows (keys may be non-projected), then project.
+      cur = pipe.Make<ProjectOp>(p.proj, cur, st);
+      cur = make_sort(std::move(keys), cur);
+    } else {
+      // DISTINCT + ORDER BY. When every sort key is projected, the key of a
+      // projected row no longer depends on which full-width representative
+      // survives, so deduplication commutes with the (seq-stable) sort:
+      // Project -> Distinct -> TopK keeps the bounded heap that PR 4 had to
+      // forgo. Keys outside the projection fall back to the full sort.
+      SortKeys proj_keys = keys;
+      bool keys_projected = true;
+      for (size_t i = 0; i < keys.idx.size() && keys_projected; ++i) {
+        auto at = std::find(p.proj.begin(), p.proj.end(), keys.idx[i]);
+        if (at == p.proj.end())
+          keys_projected = false;
+        else
+          proj_keys.idx[i] = static_cast<int>(at - p.proj.begin());
+      }
+      if (keys_projected) {
+        cur = make_sort(std::move(proj_keys), cur);
+        cur = pipe.Make<DistinctOp>(cur, st);
+        cur = pipe.Make<ProjectOp>(p.proj, cur, st);
+      } else {
+        // Heap eviction could drop rows the downstream dedup needed, so
+        // this combination keeps the full sort.
+        cur = pipe.Make<DistinctOp>(cur, st);
+        cur = pipe.Make<ProjectOp>(p.proj, cur, st);
+        cur = pipe.Make<OrderByOp>(std::move(keys), cur, st);
+      }
     }
-    if (full_rows.size() < cap) {
-      full_rows.push_back({full, before_modifiers});
-      std::push_heap(full_rows.begin(), full_rows.end(), keyed_less);
-      return EmitResult::kContinue;
-    }
-    // Compare before copying: at steady state most rows lose to the heap
-    // maximum, and rejecting them must not cost a Row allocation.
-    const Keyed& worst = full_rows.front();
-    if (row_less(full, before_modifiers, worst.row, worst.seq)) {
-      std::pop_heap(full_rows.begin(), full_rows.end(), keyed_less);
-      full_rows.back() = Keyed{full, before_modifiers};
-      std::push_heap(full_rows.begin(), full_rows.end(), keyed_less);
-    }
-    return EmitResult::kContinue;
-  });
-  if (!st.ok() && status.ok()) status = st;
-  peak_buffered = std::max(peak_buffered, static_cast<uint64_t>(full_rows.size()));
-  if (!status.ok()) return;
-
-  if (bounded) {
-    std::sort_heap(full_rows.begin(), full_rows.end(), keyed_less);
   } else {
-    std::sort(full_rows.begin(), full_rows.end(), keyed_less);  // seq => stable
+    if (q.distinct) cur = pipe.Make<DistinctOp>(cur, st);
+    cur = pipe.Make<ProjectOp>(p.proj, cur, st);
   }
 
-  std::set<std::vector<TermId>> seen;
-  uint64_t skipped = 0;
-  for (const Keyed& keyed : full_rows) {
-    const Row& full = keyed.row;
-    Row projected(p.proj.size(), kInvalidId);
-    for (size_t i = 0; i < p.proj.size(); ++i) projected[i] = full[p.proj[i]];
-    if (q.distinct && !seen.insert(projected).second) continue;
-    if (skipped < static_cast<uint64_t>(q.offset)) {
-      ++skipped;
-      continue;
+  if (p.aggregated) {
+    if (!p.having.empty()) {
+      std::vector<const FilterExpr*> exprs;
+      for (const FilterExpr& h : p.having) exprs.push_back(&h);
+      cur = pipe.Make<FilterOp>("Having", *post_eval, std::move(exprs), cur, st);
     }
-    rows.push_back(std::move(projected));
-    if (rows.size() >= limit) break;
+    cur = pipe.Make<GroupAggregateOp>(p.group_key_idx, p.agg_specs,
+                                      /*implicit_group=*/q.group_by.empty(), dict,
+                                      local_vocab.get(), cur, st);
   }
+
+  cur = pipe.Make<GuardOp>(opts.row_budget, cur, st);
+  pipe.head = BuildWhereChain(q.where, cur);
+
+  // ---- Drive: one seed row in, Finish flushes the pipeline breakers. ----
+  Row seed(p.vars.size(), kInvalidId);
+  pipe.head->Push(seed);
+  if (st->error.ok()) {
+    // Errors suppress the flush: a budget/cancel trip must not deliver a
+    // sorted/grouped result computed from a truncated enumeration.
+    if (util::Status fst = pipe.head->Finish(); !fst.ok()) st->Fail(std::move(fst));
+  }
+  if (!st->error.ok()) status = st->error;
+  before_modifiers = st->before_modifiers;
+  peak_buffered = st->peak_buffered;
 }
 
 bool Cursor::Next(Row* row) {
@@ -421,6 +431,17 @@ uint64_t Cursor::rows_before_modifiers() const {
 
 uint64_t Cursor::peak_buffered_rows() const {
   return state_ ? state_->peak_buffered : 0;
+}
+
+std::shared_ptr<const LocalVocab> Cursor::local_vocab() const {
+  return state_ ? state_->local_vocab : nullptr;
+}
+
+std::string Cursor::Explain() {
+  if (!state_) return "(no query)\n";
+  if (!state_->ran) state_->Run();
+  if (!state_->pipe.head) return "(not executed: empty LIMIT or pre-run stop)\n";
+  return ExplainChain(state_->pipe.head);
 }
 
 Cursor OpenCursor(const BgpSolver& solver, const PreparedQuery& prepared,
@@ -501,13 +522,13 @@ util::Result<Cursor> QueryEngine::Open(const std::string& text, ExecOptions opts
 }
 
 std::string FormatRow(const std::vector<std::string>& var_names, const Row& row,
-                      const rdf::Dictionary& dict) {
+                      const rdf::Dictionary& dict, const LocalVocab* local) {
   std::string out;
   for (size_t i = 0; i < var_names.size(); ++i) {
     if (i) out += "  ";
     out += "?" + var_names[i] + "=";
-    TermId t = row[i];
-    out += t == kInvalidId ? "UNBOUND" : dict.term(t).ToNTriples();
+    const rdf::Term* t = ResolveTerm(dict, local, row[i]);
+    out += t ? t->ToNTriples() : "UNBOUND";
   }
   return out;
 }

@@ -6,15 +6,21 @@
 //   Row row;
 //   while (cursor.value().Next(&row)) { ... }          // stream rows
 //
-// The layer below is a push-with-backpressure row pipeline (GroupPattern
-// operators -> projection -> DISTINCT -> OFFSET/LIMIT): every operator
-// forwards rows one at a time into a RowSink, and a kStop return unwinds all
-// the way into the TurboHOM++ Matcher's SubgraphSearch (sequential and
-// parallel), so a LIMIT-k query without ORDER BY enumerates only as much of
-// the solution space as k rows require — the paper's "answer within the
-// budget" behaviour rather than materialize-then-truncate. ORDER BY is the
-// one pipeline breaker: it buffers, sorts at end-of-stream, then applies the
-// remaining modifiers.
+// The layer below is a composable physical operator tree (sparql/
+// operators.hpp): Prepare plans the query once, Open instantiates the
+// operator chain — BgpSource / UnionOp / OptionalOp / FilterOp / GuardOp /
+// GroupAggregateOp / ProjectOp / DistinctOp / OrderByOp / TopKOp / SliceOp
+// — and the Cursor drains its root. Rows flow one at a time with a kStop
+// backchannel that unwinds all the way into the TurboHOM++ Matcher's
+// SubgraphSearch (sequential and parallel), so a LIMIT-k query without
+// ORDER BY enumerates only as much of the solution space as k rows require
+// — the paper's "answer within the budget" behaviour rather than
+// materialize-then-truncate. ORDER BY and GROUP BY are the pipeline
+// breakers: ORDER BY + LIMIT keeps a bounded top-k heap (also composed
+// behind DISTINCT when the sort keys are projected), and aggregation
+// (GROUP BY / COUNT / SUM / MIN / MAX / AVG / HAVING) hash-groups before
+// the solution modifiers, materializing computed values in a per-execution
+// LocalVocab.
 //
 // ExecOptions adds the service-side controls on top of the query's own
 // modifiers: a delivered-row cap (limit_budget), a pre-modifier work budget
@@ -37,6 +43,7 @@
 #include "engine/options.hpp"
 #include "rdf/dataset.hpp"
 #include "sparql/ast.hpp"
+#include "sparql/local_vocab.hpp"
 #include "sparql/solver.hpp"
 #include "util/status.hpp"
 
@@ -129,10 +136,24 @@ class Cursor {
   /// on (compare with ResultSet::total_before_modifiers of a full run).
   uint64_t rows_before_modifiers() const;
 
-  /// High-water mark of rows the cursor held at once. For ORDER BY + LIMIT k
-  /// (without DISTINCT) this is bounded by k + OFFSET — the top-k heap —
-  /// while rows_before_modifiers still reports the full enumeration.
+  /// High-water mark of rows the cursor held at once for delivery ordering
+  /// (sort/heap/collect buffers; dedup memos and the group hash table are
+  /// working state, not delivery buffers). For ORDER BY + LIMIT k this is
+  /// bounded by k + OFFSET — the top-k heap, which since the operator
+  /// refactor also composes behind DISTINCT whenever every sort key is
+  /// projected — while rows_before_modifiers still reports the full
+  /// enumeration.
   uint64_t peak_buffered_rows() const;
+
+  /// Terms computed by this execution (aggregate results); row cells with
+  /// ids at or above dict.size() resolve here. Null when the query computes
+  /// nothing. Shared ownership: stays valid as long as someone holds it.
+  std::shared_ptr<const LocalVocab> local_vocab() const;
+
+  /// The executed operator tree with per-operator row counts, one line per
+  /// operator (the `sparql_shell --explain` output). Runs the query first
+  /// if it has not run yet.
+  std::string Explain();
 
  private:
   friend class QueryEngine;
@@ -149,9 +170,10 @@ Cursor OpenCursor(const BgpSolver& solver, const PreparedQuery& prepared,
                   const ExecOptions& opts = {});
 
 /// Renders one streamed row as a human-readable line (terms in N-Triples
-/// form); `var_names` comes from the cursor or prepared query.
+/// form); `var_names` comes from the cursor or prepared query. Pass the
+/// cursor's local_vocab() to resolve computed (aggregate) values.
 std::string FormatRow(const std::vector<std::string>& var_names, const Row& row,
-                      const rdf::Dictionary& dict);
+                      const rdf::Dictionary& dict, const LocalVocab* local = nullptr);
 
 /// Owns a dataset, its derived index structures, and one BgpSolver; or wraps
 /// a caller-owned solver. The facade for everything above the BGP layer.

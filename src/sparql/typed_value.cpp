@@ -1,0 +1,84 @@
+#include "sparql/typed_value.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "rdf/vocabulary.hpp"
+
+namespace turbo::sparql {
+
+namespace {
+
+/// Datatypes that force double evaluation even for integer-shaped lexical
+/// forms ("100"^^xsd:double is a double, not an int).
+bool IsFloatingDatatype(const std::string& dt) {
+  return dt == rdf::vocab::kXsdDouble ||
+         dt == "http://www.w3.org/2001/XMLSchema#decimal" ||
+         dt == "http://www.w3.org/2001/XMLSchema#float";
+}
+
+/// Full-string int64 parse; fails on overflow, fractions, exponents.
+std::optional<int64_t> ParseInt64(const std::string& lex) {
+  if (lex.empty()) return std::nullopt;
+  const char* begin = lex.c_str();
+  // Skip the same leading whitespace strtod tolerates, for consistency.
+  while (*begin == ' ' || *begin == '\t') ++begin;
+  if (*begin == '\0') return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(begin, &end, 10);
+  if (end == begin || errno == ERANGE) return std::nullopt;
+  while (*end == ' ') ++end;
+  if (*end != '\0') return std::nullopt;
+  return static_cast<int64_t>(v);
+}
+
+}  // namespace
+
+std::optional<Numeric> NumericOfTerm(const rdf::Term& t) {
+  auto d = t.NumericValue();
+  if (!d) return std::nullopt;
+  if (!IsFloatingDatatype(t.datatype)) {
+    if (auto i = ParseInt64(t.lexical)) return Numeric::Int(*i);
+  }
+  return Numeric::Dbl(*d);
+}
+
+Numeric NumericAdd(const Numeric& a, const Numeric& b) {
+  if (a.is_int() && b.is_int()) {
+    int64_t sum;
+    if (!__builtin_add_overflow(a.i, b.i, &sum)) return Numeric::Int(sum);
+    // Graceful overflow: fall through to the double domain.
+  }
+  return Numeric::Dbl(a.AsDouble() + b.AsDouble());
+}
+
+Numeric NumericMean(const Numeric& sum, uint64_t count) {
+  return Numeric::Dbl(sum.AsDouble() / static_cast<double>(count));
+}
+
+std::string FormatDouble(double v) {
+  // XSD's special lexical forms ("%g" would print "inf"/"nan", which are
+  // not valid xsd:double; strtod still reads these spellings back).
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v < 0 ? "-INF" : "INF";
+  char buf[40];
+  // Shortest form that round-trips: try increasing precision.
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+rdf::Term NumericToTerm(const Numeric& v) {
+  if (v.is_int())
+    return rdf::Term::TypedLiteral(std::to_string(v.i),
+                                   std::string(rdf::vocab::kXsdInteger));
+  return rdf::Term::TypedLiteral(FormatDouble(v.d), std::string(rdf::vocab::kXsdDouble));
+}
+
+}  // namespace turbo::sparql

@@ -1,0 +1,78 @@
+// Shared typed numeric values for SPARQL evaluation.
+//
+// One place owns the "is this term a number, and which kind" decision —
+// FILTER comparison, aggregate accumulation (SUM / AVG), and the grouped
+// result materialization all coerce through here, so xsd:integer /
+// xsd:decimal / xsd:double literals behave identically everywhere:
+//
+//  * integer-typed (or integer-shaped untyped) literals parse exactly into
+//    int64 and stay exact through SUM until they overflow, at which point
+//    the accumulator promotes to double (the SPARQL-ish graceful overflow
+//    used by most stores, instead of wrapping or erroring);
+//  * decimal / double / float literals (and anything with a fractional or
+//    exponent lexical form) evaluate as double;
+//  * non-numeric terms coerce to "no value" — the caller maps that to its
+//    own error semantics (FILTER: the comparison errors to false; aggregate
+//    accumulation: the aggregate's result becomes unbound).
+//
+// The lexical-form probe itself is rdf::Term::NumericValue (it feeds the
+// Dictionary's cached numeric view); this header adds the typed layer on
+// top without re-parsing more than once.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "rdf/term.hpp"
+
+namespace turbo::sparql {
+
+/// An exact-or-approximate numeric value: int64 while exact, double after
+/// any decimal input or integer overflow.
+struct Numeric {
+  enum class Kind : uint8_t { kInt, kDouble };
+  Kind kind = Kind::kInt;
+  int64_t i = 0;  ///< exact value, when kInt
+  double d = 0;   ///< value, when kDouble
+
+  static Numeric Int(int64_t v) {
+    Numeric n;
+    n.kind = Kind::kInt;
+    n.i = v;
+    return n;
+  }
+  static Numeric Dbl(double v) {
+    Numeric n;
+    n.kind = Kind::kDouble;
+    n.d = v;
+    return n;
+  }
+  bool is_int() const { return kind == Kind::kInt; }
+  double AsDouble() const { return is_int() ? static_cast<double>(i) : d; }
+
+  bool operator==(const Numeric& o) const {
+    return kind == o.kind && (is_int() ? i == o.i : d == o.d);
+  }
+};
+
+/// Typed numeric coercion of a term. nullopt when the term has no numeric
+/// value (non-literal, or a lexical form that is not a number) — the
+/// "error" the caller maps to false (FILTER) or unbound (aggregates).
+std::optional<Numeric> NumericOfTerm(const rdf::Term& t);
+
+/// a + b with integer-overflow promotion to double.
+Numeric NumericAdd(const Numeric& a, const Numeric& b);
+
+/// Average of a sum over `count` values (count > 0): always double — SPARQL
+/// AVG is a dividing aggregate, so exactness ends here.
+Numeric NumericMean(const Numeric& sum, uint64_t count);
+
+/// Materializes a numeric value as an RDF literal: xsd:integer for exact
+/// integers, xsd:double (shortest round-trip form) otherwise.
+rdf::Term NumericToTerm(const Numeric& v);
+
+/// Shortest lexical form that round-trips `v` through strtod.
+std::string FormatDouble(double v);
+
+}  // namespace turbo::sparql

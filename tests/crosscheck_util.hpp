@@ -24,6 +24,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <set>
 #include <string>
@@ -38,6 +39,7 @@
 #include "sparql/ast.hpp"
 #include "sparql/executor.hpp"
 #include "sparql/solver.hpp"
+#include "sparql/typed_value.hpp"
 #include "util/rng.hpp"
 
 namespace turbo::testing::crosscheck {
@@ -516,6 +518,265 @@ inline std::vector<Row> RunExecutor(const sparql::BgpSolver& solver,
   std::vector<Row> rows = std::move(r.value().rows);
   std::sort(rows.begin(), rows.end());
   return rows;
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation fuzz tier: random GROUP BY / aggregate queries differentially
+// checked against a brute-force reference evaluator.
+// ---------------------------------------------------------------------------
+
+/// One rendered output row: each cell is the term's N-Triples form, or
+/// "UNBOUND". String-level comparison sidesteps TermId spaces (aggregate
+/// results live in a per-execution LocalVocab whose ids depend on
+/// evaluation order).
+using RenderedRow = std::vector<std::string>;
+
+struct AggregateFuzzCase {
+  rdf::Dataset ds;
+  sparql::SelectQuery query;  ///< the aggregated query under test
+  sparql::SelectQuery flat;   ///< same WHERE, SELECT * — the reference input
+  std::string description;
+};
+
+/// Random aggregated SELECT over a MakeExecutorFuzzCase base: the WHERE
+/// clause (with its OPTIONAL / FILTER / UNION decorations) gains a numeric
+/// attribute pattern, then GROUP BY over 0-2 base slots, 1-3 aggregates
+/// (COUNT(*) / COUNT / SUM / MIN / MAX / AVG, DISTINCT-inside sometimes,
+/// over numeric and non-numeric arguments), and sometimes a HAVING
+/// constraint — everything the reference evaluator can brute-force.
+inline AggregateFuzzCase MakeAggregateFuzzCase(uint64_t seed) {
+  ExecutorFuzzCase base = MakeExecutorFuzzCase(seed);
+  util::Rng rng(seed ^ 0xA66A66A66ull);
+  AggregateFuzzCase c;
+  c.ds = std::move(base.ds);
+  c.query.where = std::move(base.query.where);
+  sparql::GroupPattern& where = c.query.where;
+  if (where.triples.empty()) return c;  // degenerate; caller skips
+
+  auto var = [](const std::string& n) { return sparql::PatternTerm::Var(n); };
+
+  // A numeric attribute for SUM/AVG arguments: required or OPTIONAL (the
+  // latter mixes unbound values into the aggregation).
+  if (auto val_p = c.ds.dict().FindIri(ValPredIri())) {
+    std::string slot = "v" + std::to_string(rng.Below(2));
+    if (rng.Chance(0.5)) {
+      where.triples.push_back({var(slot), ConstIri(c.ds, *val_p), var("w")});
+    } else {
+      sparql::GroupPattern opt;
+      opt.triples.push_back({var(slot), ConstIri(c.ds, *val_p), var("w")});
+      where.optionals.push_back(std::move(opt));
+    }
+  }
+
+  // Candidate argument variables: the numeric attribute, the base slots
+  // (IRIs: exercises non-numeric SUM -> unbound), and the sometimes-unbound
+  // OPTIONAL variable.
+  std::vector<std::string> args{"w", "v0", "v1"};
+  if (!where.optionals.empty()) args.push_back("o0");
+
+  // GROUP BY 0 (implicit single group), 1, or 2 slots.
+  uint64_t n_keys = rng.Below(3);
+  for (uint64_t i = 0; i < n_keys; ++i) c.query.group_by.push_back("v" + std::to_string(i));
+  for (const std::string& g : c.query.group_by)
+    c.query.select.push_back(sparql::SelectItem::Var(g));
+
+  const uint64_t n_aggs = 1 + rng.Below(3);
+  for (uint64_t i = 0; i < n_aggs; ++i) {
+    sparql::Aggregate a;
+    a.func = static_cast<sparql::Aggregate::Func>(rng.Below(5));
+    a.distinct = rng.Chance(0.3);
+    if (a.func == sparql::Aggregate::Func::kCount && rng.Chance(0.4)) {
+      a.star = true;
+    } else {
+      a.var = args[rng.Below(args.size())];
+    }
+    c.query.select.push_back(sparql::SelectItem::Agg(a, "a" + std::to_string(i)));
+  }
+
+  if (rng.Chance(0.4)) {
+    // HAVING COUNT(*) >= k — kept to a shape the reference can brute-force
+    // without a generic expression evaluator.
+    sparql::Aggregate count_star;
+    count_star.star = true;
+    c.query.having.push_back(sparql::FilterExpr::MakeBinary(
+        sparql::FilterExpr::Op::kGe, sparql::FilterExpr::MakeAggregate(count_star),
+        sparql::FilterExpr::MakeLiteral(rdf::Term::TypedLiteral(
+            std::to_string(1 + rng.Below(3)), "http://www.w3.org/2001/XMLSchema#integer"))));
+  }
+  c.query.distinct = rng.Chance(0.2);
+
+  c.flat.where = c.query.where;  // SELECT * over the same WHERE clause
+
+  c.description = base.description + " group_by=" + std::to_string(n_keys) +
+                  " aggs=" + std::to_string(n_aggs) +
+                  (c.query.having.empty() ? "" : " having") +
+                  (c.query.distinct ? " distinct" : "");
+  for (const sparql::SelectItem& s : c.query.select)
+    if (s.is_agg) c.description += " " + s.agg.ToString();
+  return c;
+}
+
+/// Brute-force reference: aggregates the flat WHERE rows (any trusted
+/// executor run of `c.flat`) per the documented value semantics —
+/// independent loops and maps, sharing only the numeric coercion /
+/// rendering helpers so lexical forms compare equal.
+inline std::vector<RenderedRow> ReferenceAggregate(const AggregateFuzzCase& c,
+                                                   const sparql::ResultSet& flat) {
+  using sparql::Aggregate;
+  using sparql::Numeric;
+  const rdf::Dictionary& dict = c.ds.dict();
+  auto col = [&](const std::string& name) -> int {
+    for (size_t i = 0; i < flat.var_names.size(); ++i)
+      if (flat.var_names[i] == name) return static_cast<int>(i);
+    return -1;
+  };
+  auto render = [&](TermId id) {
+    return id == kInvalidId ? std::string("UNBOUND") : dict.term(id).ToNTriples();
+  };
+
+  // Partition rows into groups (key = rendered group-by cells), preserving
+  // nothing about order — the comparison is sorted-multiset anyway.
+  std::vector<int> key_cols;
+  for (const std::string& g : c.query.group_by) key_cols.push_back(col(g));
+  std::map<std::vector<TermId>, std::vector<const Row*>> groups;
+  for (const Row& r : flat.rows) {
+    std::vector<TermId> key;
+    for (int kc : key_cols) key.push_back(kc >= 0 ? r[kc] : kInvalidId);
+    groups[key].push_back(&r);
+  }
+  if (groups.empty() && c.query.group_by.empty()) groups[{}] = {};  // implicit group
+
+  // Term ordering for MIN/MAX, mirroring sparql::CompareTerms: numeric
+  // terms (NaN demoted) rank below non-numeric terms, numerically among
+  // themselves (lexical tiebreak); non-numeric terms compare lexically.
+  auto term_less = [&](TermId a, TermId b) {
+    auto na = dict.term(a).NumericValue(), nb = dict.term(b).NumericValue();
+    double va = 0, vb = 0;
+    bool ha = na && !std::isnan(*na), hb = nb && !std::isnan(*nb);
+    if (ha) va = *na;
+    if (hb) vb = *nb;
+    if (ha != hb) return ha;
+    if (ha && hb && va != vb) return va < vb;
+    return dict.term(a).lexical < dict.term(b).lexical;
+  };
+
+  std::vector<RenderedRow> out;
+  for (const auto& [key, rows] : groups) {
+    // HAVING: generated constraints are COUNT(*) >= k only.
+    bool keep = true;
+    for (const sparql::FilterExpr& h : c.query.having) {
+      int64_t threshold = std::strtoll(h.children[1].literal.lexical.c_str(), nullptr, 10);
+      if (static_cast<int64_t>(rows.size()) < threshold) keep = false;
+    }
+    if (!keep) continue;
+
+    RenderedRow rendered;
+    for (const sparql::SelectItem& s : c.query.select) {
+      if (!s.is_agg) {
+        int kc = col(s.name);
+        rendered.push_back(render(kc >= 0 && !rows.empty() ? (*rows[0])[kc] : kInvalidId));
+        // Rows in one group share the key cells by construction; use the
+        // key directly when the group is empty (implicit group).
+        if (rows.empty()) rendered.back() = "UNBOUND";
+        continue;
+      }
+      const Aggregate& a = s.agg;
+      int ac = a.star ? -1 : col(a.var);
+      // Collect the contributing values (bound cells), DISTINCT-deduped.
+      std::vector<TermId> values;
+      std::set<TermId> seen;
+      std::set<Row> seen_rows;
+      uint64_t star_count = 0;
+      for (const Row* r : rows) {
+        if (a.star) {
+          if (!a.distinct || seen_rows.insert(*r).second) ++star_count;
+          continue;
+        }
+        TermId v = ac >= 0 ? (*r)[ac] : kInvalidId;
+        if (v == kInvalidId) continue;
+        if (a.distinct && !seen.insert(v).second) continue;
+        values.push_back(v);
+      }
+      switch (a.func) {
+        case Aggregate::Func::kCount: {
+          uint64_t n = a.star ? star_count : values.size();
+          rendered.push_back(
+              sparql::NumericToTerm(Numeric::Int(static_cast<int64_t>(n))).ToNTriples());
+          break;
+        }
+        case Aggregate::Func::kSum:
+        case Aggregate::Func::kAvg: {
+          Numeric sum = Numeric::Int(0);
+          bool error = false;
+          uint64_t n = 0;
+          for (TermId v : values) {
+            auto num = sparql::NumericOfTerm(dict.term(v));
+            if (!num) {
+              error = true;
+              break;
+            }
+            sum = sparql::NumericAdd(sum, *num);
+            ++n;
+          }
+          if (error) {
+            rendered.push_back("UNBOUND");
+          } else if (a.func == Aggregate::Func::kSum) {
+            rendered.push_back(sparql::NumericToTerm(sum).ToNTriples());
+          } else {
+            rendered.push_back(sparql::NumericToTerm(
+                                   n == 0 ? Numeric::Int(0) : sparql::NumericMean(sum, n))
+                                   .ToNTriples());
+          }
+          break;
+        }
+        case Aggregate::Func::kMin:
+        case Aggregate::Func::kMax: {
+          if (values.empty()) {
+            rendered.push_back("UNBOUND");
+            break;
+          }
+          TermId best = values[0];
+          for (TermId v : values) {
+            bool better = a.func == Aggregate::Func::kMin ? term_less(v, best)
+                                                          : term_less(best, v);
+            if (better) best = v;
+          }
+          rendered.push_back(render(best));
+          break;
+        }
+      }
+    }
+    out.push_back(std::move(rendered));
+  }
+  if (c.query.distinct) {
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Runs the aggregated query on `solver` and renders the rows for
+/// comparison with ReferenceAggregate (sorted multiset).
+inline std::vector<RenderedRow> RunAggregated(const sparql::BgpSolver& solver,
+                                              const sparql::SelectQuery& q) {
+  sparql::Executor ex(&solver);
+  auto r = ex.Execute(q);
+  EXPECT_TRUE(r.ok()) << r.message();
+  if (!r.ok()) return {};
+  const sparql::ResultSet& rs = r.value();
+  std::vector<RenderedRow> out;
+  for (const Row& row : rs.rows) {
+    RenderedRow rendered;
+    for (TermId id : row) {
+      const rdf::Term* t =
+          sparql::ResolveTerm(solver.dict(), rs.local_vocab.get(), id);
+      rendered.push_back(t ? t->ToNTriples() : "UNBOUND");
+    }
+    out.push_back(std::move(rendered));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 }  // namespace turbo::testing::crosscheck

@@ -173,6 +173,67 @@ TEST(SolverCrosscheck, MatcherVsBruteForceOnRandomGraphs) {
 // Runs a handful of seeds by default (fast enough for every ctest run);
 // nightly CI scales it up with TURBO_FUZZ_ITERS=150+. Both region-storage
 // modes and a parallel configuration are checked against both baselines.
+// GROUP BY / aggregate tier: random grouped queries (COUNT / SUM / MIN /
+// MAX / AVG, DISTINCT-inside, HAVING) over the 100-500-entity datasets,
+// checked against the brute-force reference evaluator — which aggregates
+// the flat WHERE rows with independent loops — and differentially across
+// all four solvers, both storage modes, and the parallel path. Scaled by
+// $TURBO_FUZZ_ITERS in nightly like the executor tier.
+TEST(SolverCrosscheck, GroupAggregateFuzz) {
+  const uint64_t iters = FuzzItersFromEnv(5);
+  constexpr size_t kRowCap = 50000;  // skip pathological row explosions
+  uint64_t nonempty = 0, skipped = 0;
+  for (uint64_t seed = 2000; seed < 2000 + iters; ++seed) {
+    AggregateFuzzCase c = MakeAggregateFuzzCase(seed);
+    SCOPED_TRACE(c.description);
+    if (c.query.where.triples.empty()) continue;
+
+    baseline::TripleIndex index(c.ds);
+    baseline::SortMergeBgpSolver sort_merge(index, c.ds.dict());
+    baseline::IndexJoinBgpSolver index_join(index, c.ds.dict());
+
+    // The reference input: flat SELECT * rows from a trusted baseline.
+    sparql::Executor flat_ex(&sort_merge);
+    auto flat = flat_ex.Execute(c.flat);
+    ASSERT_TRUE(flat.ok()) << flat.message();
+    if (flat.value().rows.size() > kRowCap) {
+      ++skipped;
+      continue;
+    }
+    const std::vector<RenderedRow> expected = ReferenceAggregate(c, flat.value());
+    if (!expected.empty()) ++nonempty;
+
+    EXPECT_EQ(expected, RunAggregated(sort_merge, c.query)) << "sortmerge";
+    EXPECT_EQ(expected, RunAggregated(index_join, c.query)) << "indexjoin";
+
+    graph::DataGraph direct = graph::DataGraph::Build(c.ds, graph::TransformMode::kDirect);
+    graph::DataGraph typed = graph::DataGraph::Build(c.ds, graph::TransformMode::kTypeAware);
+    for (bool reuse : {true, false}) {
+      MatchOptions o;
+      o.reuse_region_memory = reuse;
+      sparql::TurboBgpSolver turbo_typed(typed, c.ds.dict(), o);
+      EXPECT_EQ(expected, RunAggregated(turbo_typed, c.query))
+          << "type-aware" << DescribeToggles(o);
+      sparql::TurboBgpSolver turbo_direct(direct, c.ds.dict(), o);
+      EXPECT_EQ(expected, RunAggregated(turbo_direct, c.query))
+          << "direct" << DescribeToggles(o);
+    }
+    {
+      MatchOptions o;
+      o.num_threads = 3;
+      sparql::TurboBgpSolver turbo_par(typed, c.ds.dict(), o);
+      EXPECT_EQ(expected, RunAggregated(turbo_par, c.query)) << "parallel type-aware";
+    }
+    if (::testing::Test::HasFailure()) break;
+  }
+  if (!::testing::Test::HasFailure() && skipped < iters) {
+    // Aggregation always answers for the implicit group, and the generator
+    // guarantees a base-BGP witness: a mostly-empty run means the tier
+    // regressed into testing nothing.
+    EXPECT_GE(nonempty, (iters - skipped) / 2);
+  }
+}
+
 TEST(SolverCrosscheck, LargeGraphExecutorFuzz) {
   const uint64_t iters = FuzzItersFromEnv(5);
   constexpr size_t kRowCap = 50000;  // skip pathological row explosions

@@ -82,7 +82,10 @@ TEST(Lexer, RejectsBareWord) { EXPECT_FALSE(Lex("hello world").ok()); }
 TEST(Parser, BasicBgp) {
   auto q = ParseQuery("SELECT ?x ?y WHERE { ?x <http://e/p> ?y . ?y a <http://e/T> . }");
   ASSERT_TRUE(q.ok()) << q.message();
-  EXPECT_EQ(q.value().select_vars, (std::vector<std::string>{"x", "y"}));
+  ASSERT_EQ(q.value().select.size(), 2u);
+  EXPECT_EQ(q.value().select[0].name, "x");
+  EXPECT_EQ(q.value().select[1].name, "y");
+  EXPECT_FALSE(q.value().select[0].is_agg);
   ASSERT_EQ(q.value().where.triples.size(), 2u);
   EXPECT_EQ(q.value().where.triples[1].p.term.lexical,
             "http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
@@ -160,6 +163,56 @@ TEST(Parser, Errors) {
   EXPECT_FALSE(ParseQuery("SELECT ?x { ?x ?p ").ok());
   EXPECT_FALSE(ParseQuery("SELECT ?x WHERE { ?x unknown:p ?o . }").ok());
   EXPECT_FALSE(ParseQuery("SELECT WHERE { ?x ?p ?o . }").ok());
+}
+
+TEST(Parser, AggregatesAndGroupBy) {
+  auto q = ParseQuery(
+      "SELECT ?d (COUNT(DISTINCT ?x) AS ?n) (SUM(?v) AS ?s) WHERE "
+      "{ ?x <http://e/memberOf> ?d . ?x <http://e/val> ?v . } GROUP BY ?d");
+  ASSERT_TRUE(q.ok()) << q.message();
+  const SelectQuery& query = q.value();
+  ASSERT_EQ(query.select.size(), 3u);
+  EXPECT_FALSE(query.select[0].is_agg);
+  ASSERT_TRUE(query.select[1].is_agg);
+  EXPECT_EQ(query.select[1].name, "n");
+  EXPECT_EQ(query.select[1].agg.func, Aggregate::Func::kCount);
+  EXPECT_TRUE(query.select[1].agg.distinct);
+  EXPECT_EQ(query.select[1].agg.var, "x");
+  ASSERT_TRUE(query.select[2].is_agg);
+  EXPECT_EQ(query.select[2].agg.func, Aggregate::Func::kSum);
+  EXPECT_FALSE(query.select[2].agg.distinct);
+  EXPECT_EQ(query.group_by, (std::vector<std::string>{"d"}));
+  EXPECT_TRUE(query.IsAggregated());
+}
+
+TEST(Parser, CountStarAndHaving) {
+  auto q = ParseQuery(
+      "SELECT ?d (COUNT(*) AS ?n) WHERE { ?x <http://e/memberOf> ?d . } "
+      "GROUP BY ?d HAVING(COUNT(*) > 5) (MIN(?x) < 100) ORDER BY DESC(?n) LIMIT 3");
+  ASSERT_TRUE(q.ok()) << q.message();
+  const SelectQuery& query = q.value();
+  ASSERT_TRUE(query.select[1].is_agg);
+  EXPECT_TRUE(query.select[1].agg.star);
+  ASSERT_EQ(query.having.size(), 2u);
+  EXPECT_EQ(query.having[0].op, FilterExpr::Op::kGt);
+  EXPECT_EQ(query.having[0].children[0].op, FilterExpr::Op::kAggregate);
+  EXPECT_TRUE(query.having[0].children[0].agg.star);
+  EXPECT_EQ(query.having[1].children[0].agg.func, Aggregate::Func::kMin);
+  ASSERT_EQ(query.order_by.size(), 1u);
+  EXPECT_EQ(query.order_by[0].var, "n");
+  EXPECT_FALSE(query.order_by[0].ascending);
+  EXPECT_EQ(query.limit, 3);
+}
+
+TEST(Parser, AggregateErrors) {
+  // AS ?alias is mandatory for SELECT aggregates.
+  EXPECT_FALSE(ParseQuery("SELECT (COUNT(?x)) WHERE { ?x ?p ?o . }").ok());
+  // Only COUNT accepts *.
+  EXPECT_FALSE(ParseQuery("SELECT (SUM(*) AS ?s) WHERE { ?x ?p ?o . }").ok());
+  // Aggregate arguments are variables, not expressions.
+  EXPECT_FALSE(ParseQuery("SELECT (SUM(1) AS ?s) WHERE { ?x ?p ?o . }").ok());
+  // Empty GROUP BY.
+  EXPECT_FALSE(ParseQuery("SELECT ?x WHERE { ?x ?p ?o . } GROUP BY").ok());
 }
 
 // ---------------------------------------------------------------------------
