@@ -15,8 +15,11 @@
 //          --threads N (query parallelism), --load-threads N (ingestion
 //          parallelism, 0 = all cores), --skip-bad-lines (tolerate malformed
 //          N-Triples lines), --no-inference, --max-rows N (server-style
-//          delivery cap), --timeout-ms N (per-query deadline), --explain
+//          delivery cap), --timeout-ms N (per-query deadline), --explain,
+//          --stream[=capacity] (constant-memory streaming delivery over a
+//          bounded channel; default capacity 64)
 //          (print the executed operator tree with per-operator row counts).
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -44,6 +47,10 @@ struct QueryLimits {
   uint64_t max_rows = sparql::kNoBudget;
   int64_t timeout_ms = -1;
   bool explain = false;
+  /// 0 = materialized; otherwise stream rows through a bounded channel of
+  /// this capacity (constant-memory delivery, first rows print while the
+  /// enumeration is still running).
+  uint32_t stream_capacity = 0;
 };
 
 void RunQuery(const sparql::QueryEngine& engine, const QueryLimits& limits,
@@ -56,6 +63,10 @@ void RunQuery(const sparql::QueryEngine& engine, const QueryLimits& limits,
   }
   sparql::ExecOptions opts;
   opts.limit_budget = limits.max_rows;
+  if (limits.stream_capacity > 0) {
+    opts.streaming = true;
+    opts.channel_capacity = limits.stream_capacity;
+  }
   if (limits.timeout_ms >= 0)
     opts.deadline =
         std::chrono::steady_clock::now() + std::chrono::milliseconds(limits.timeout_ms);
@@ -103,6 +114,10 @@ int main(int argc, char** argv) {
     else if (arg == "--max-rows") limits.max_rows = std::strtoull(next(), nullptr, 10);
     else if (arg == "--timeout-ms") limits.timeout_ms = std::atoll(next());
     else if (arg == "--explain") limits.explain = true;
+    else if (arg == "--stream") limits.stream_capacity = 64;
+    else if (arg.rfind("--stream=", 0) == 0)
+      limits.stream_capacity =
+          std::max(1u, static_cast<uint32_t>(std::atoi(arg.c_str() + 9)));
     else if (arg == "--direct") direct = true;
     else if (arg == "--skip-bad-lines") skip_bad = true;
     else if (arg == "--no-inference") inference = false;

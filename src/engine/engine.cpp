@@ -432,6 +432,7 @@ class Worker {
         limit_(limit),
         stop_all_(stop_all),
         stream_mu_(stream_mu),
+        batch_size_(std::max<uint32_t>(1, ctx.opt().stream_batch)),
         ar_(*arena),
         iso_(ctx.opt().semantics == MatchSemantics::kIsomorphism) {
     const QueryTree& t = c_.tree;
@@ -446,11 +447,13 @@ class Worker {
 
   bool aborted() const { return aborted_; }
 
-  /// True when the caller's cancel token or deadline has fired. The
-  /// deadline branch pays a steady_clock read, so callers amortize.
+  /// True when the caller's cancel token, abandon flag, or deadline has
+  /// fired. The deadline branch pays a steady_clock read, so callers
+  /// amortize.
   bool ExternalFired() const {
     const MatchOptions& opt = ctx_.opt();
     if (opt.cancel && opt.cancel->load(std::memory_order_relaxed)) return true;
+    if (opt.abandon && opt.abandon->load(std::memory_order_relaxed)) return true;
     return opt.has_deadline() && std::chrono::steady_clock::now() >= opt.deadline;
   }
 
@@ -466,7 +469,8 @@ class Worker {
       return true;
     }
     const MatchOptions& opt = ctx_.opt();
-    bool fired = opt.cancel && opt.cancel->load(std::memory_order_relaxed);
+    bool fired = (opt.cancel && opt.cancel->load(std::memory_order_relaxed)) ||
+                 (opt.abandon && opt.abandon->load(std::memory_order_relaxed));
     if (!fired && opt.has_deadline() && (++search_poll_ & 0xFF) == 0)
       fired = std::chrono::steady_clock::now() >= opt.deadline;
     if (fired) {
@@ -719,22 +723,57 @@ class Worker {
       for (uint32_t i = 0; i < c_.tree.num_nodes(); ++i)
         ar_.sol_buf[c_.tree.node(i).qv] = ar_.m_node[i];
       if (stream_) {
-        bool keep_going;
-        if (stream_mu_) {
-          std::lock_guard<std::mutex> lock(*stream_mu_);
-          keep_going = (*stream_)(ar_.sol_buf);
+        if (stream_mu_ && batch_size_ > 1) {
+          // Per-worker batch handoff: buffer locally and deliver the whole
+          // batch under one acquisition of the delivery mutex, amortizing
+          // per-solution lock traffic across parallel workers. MatchImpl
+          // flushes each worker's tail after the parallel loop joins, so
+          // every limit-accounted row still reaches the callback.
+          pending_.push_back(ar_.sol_buf);
+          if (pending_.size() >= batch_size_) FlushPending();
         } else {
-          keep_going = (*stream_)(ar_.sol_buf);
-        }
-        if (!keep_going) {
-          aborted_ = true;
-          stop_all_->store(true, std::memory_order_relaxed);
+          bool keep_going;
+          if (stream_mu_) {
+            std::lock_guard<std::mutex> lock(*stream_mu_);
+            keep_going = (*stream_)(ar_.sol_buf);
+          } else {
+            keep_going = (*stream_)(ar_.sol_buf);
+          }
+          if (!keep_going) {
+            aborted_ = true;
+            stop_all_->store(true, std::memory_order_relaxed);
+          }
         }
       } else {
         solutions.push_back(ar_.sol_buf);
       }
     }
   }
+
+ public:
+  /// Delivers this worker's buffered solutions (batched parallel streaming
+  /// only). A callback asking to stop drops the rest of the batch and trips
+  /// the run-wide flag.
+  void FlushPending() {
+    if (pending_.empty()) return;
+    bool keep_going = true;
+    {
+      std::lock_guard<std::mutex> lock(*stream_mu_);
+      for (const Solution& s : pending_) {
+        if (!(*stream_)(s)) {
+          keep_going = false;
+          break;
+        }
+      }
+    }
+    pending_.clear();
+    if (!keep_going) {
+      aborted_ = true;
+      stop_all_->store(true, std::memory_order_relaxed);
+    }
+  }
+
+ private:
 
   const Context& ctx_;
   const Compiled& c_;
@@ -745,6 +784,9 @@ class Worker {
   const uint64_t limit_;
   std::atomic<bool>* stop_all_;
   std::mutex* stream_mu_ = nullptr;
+  /// Streaming solutions awaiting a batched FlushPending (parallel only).
+  std::vector<Solution> pending_;
+  const uint32_t batch_size_;
   RegionArena& ar_;   // exclusive to this worker until MatchImpl releases it
   const bool iso_;
   bool aborted_ = false;
@@ -786,6 +828,7 @@ MatchStats MatchImpl(const DataGraph& g, const MatchOptions& options, const Quer
 
   auto externally_cancelled = [&]() {
     if (options.cancel && options.cancel->load(std::memory_order_relaxed)) return true;
+    if (options.abandon && options.abandon->load(std::memory_order_relaxed)) return true;
     return options.has_deadline() && std::chrono::steady_clock::now() >= options.deadline;
   };
 
@@ -858,6 +901,12 @@ MatchStats MatchImpl(const DataGraph& g, const MatchOptions& options, const Quer
       util::ParallelForDynamic(nthreads, c.start_list.size(), options.chunk_size, body);
     else
       util::ParallelForStatic(nthreads, c.start_list.size(), body);
+    // Deliver each worker's buffered tail (batched streaming). Runs after
+    // the join, on this thread, so rows that claimed a limit slot in
+    // global_count are all handed to the callback exactly once.
+    if (stream) {
+      for (auto& w : workers) w->FlushPending();
+    }
     for (auto& w : workers) {
       stats.MergeFrom(w->stats);
       if (w->aborted()) stats.stopped_early = true;

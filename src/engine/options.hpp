@@ -64,6 +64,18 @@ struct MatchOptions {
   /// clock reads off the per-candidate hot path.
   std::chrono::steady_clock::time_point deadline{};
 
+  /// Consumer-detached stop signal: set when the streaming Cursor that
+  /// drives this match is destroyed mid-query. Behaves like `cancel` for the
+  /// enumeration but is reported as an abandonment, not a caller error.
+  const std::atomic<bool>* abandon = nullptr;
+
+  /// Parallel streaming delivery: each worker buffers up to this many
+  /// solutions and hands them to the callback under a single acquisition of
+  /// the delivery mutex, amortizing per-solution lock traffic. 1 delivers
+  /// every solution individually; sequential runs (no mutex) always deliver
+  /// per solution, so result order there is unaffected.
+  uint32_t stream_batch = 32;
+
   bool has_deadline() const { return deadline.time_since_epoch().count() != 0; }
 };
 

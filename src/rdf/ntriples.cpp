@@ -75,7 +75,9 @@ bool ScanTerm(std::string_view line, size_t* pos, TermSlice* out, std::string* e
         closed = true;
         break;
       }
-      if (b == '\t' || b == '\r') needs_canonical = true;
+      // Any raw control character: canonical N-Triples writes these as
+      // ECHAR / \uXXXX escapes, so the raw span is not the canonical form.
+      if (static_cast<unsigned char>(b) < 0x20) needs_canonical = true;
       ++i;
     }
     if (!closed) {

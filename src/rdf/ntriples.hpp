@@ -26,9 +26,9 @@ struct TermSlice {
   std::string_view datatype;  ///< typed literal datatype IRI content
   std::string_view lang;      ///< language tag
   bool has_escapes = false;   ///< literal body contains backslash escapes
-  /// Literal body is not already in canonical escaped form (contains '\\',
-  /// raw tab, or raw CR) — the dictionary key must then be rebuilt via
-  /// Term::ToNTriples instead of using the raw slice.
+  /// Literal body is not already in canonical escaped form (contains '\\'
+  /// or a raw control character) — the dictionary key must then be rebuilt
+  /// via Term::ToNTriples instead of using the raw slice.
   bool needs_canonical_key = false;
   /// The full source span of the term, delimiters included. Unless
   /// needs_canonical_key, this IS the canonical N-Triples serialization

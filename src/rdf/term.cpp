@@ -1,8 +1,55 @@
 #include "rdf/term.hpp"
 
+#include <cstdio>
 #include <cstdlib>
+#include <optional>
 
 namespace turbo::rdf {
+
+namespace {
+
+/// Appends code point `cp` (assumed valid: <= 0x10FFFF, not a surrogate)
+/// UTF-8 encoded.
+void AppendUtf8(uint32_t cp, std::string* out) {
+  if (cp < 0x80) {
+    *out += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    *out += static_cast<char>(0xC0 | (cp >> 6));
+    *out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else if (cp < 0x10000) {
+    *out += static_cast<char>(0xE0 | (cp >> 12));
+    *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    *out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else {
+    *out += static_cast<char>(0xF0 | (cp >> 18));
+    *out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+    *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    *out += static_cast<char>(0x80 | (cp & 0x3F));
+  }
+}
+
+/// Parses exactly `n` hex digits of s starting at `i`; nullopt when the
+/// input is too short or any digit is not hex.
+std::optional<uint32_t> ParseHex(std::string_view s, size_t i, size_t n) {
+  if (i + n > s.size()) return std::nullopt;
+  uint32_t v = 0;
+  for (size_t k = 0; k < n; ++k) {
+    char c = s[i + k];
+    uint32_t d;
+    if (c >= '0' && c <= '9')
+      d = c - '0';
+    else if (c >= 'a' && c <= 'f')
+      d = 10 + (c - 'a');
+    else if (c >= 'A' && c <= 'F')
+      d = 10 + (c - 'A');
+    else
+      return std::nullopt;
+    v = (v << 4) | d;
+  }
+  return v;
+}
+
+}  // namespace
 
 std::string EscapeNTriples(std::string_view s) {
   std::string out;
@@ -14,7 +61,19 @@ std::string EscapeNTriples(std::string_view s) {
       case '\n': out += "\\n"; break;
       case '\r': out += "\\r"; break;
       case '\t': out += "\\t"; break;
-      default: out += c;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        // Remaining C0 controls have no ECHAR; the spec's way to write them
+        // is a \uXXXX numeric escape. Bytes >= 0x20 (including multi-byte
+        // UTF-8 sequences) pass through untouched.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04X", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
     }
   }
   return out;
@@ -24,18 +83,45 @@ std::string UnescapeNTriples(std::string_view s) {
   std::string out;
   out.reserve(s.size());
   for (size_t i = 0; i < s.size(); ++i) {
-    if (s[i] == '\\' && i + 1 < s.size()) {
-      ++i;
-      switch (s[i]) {
-        case '\\': out += '\\'; break;
-        case '"': out += '"'; break;
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        default: out += s[i];
-      }
-    } else {
+    if (s[i] != '\\' || i + 1 >= s.size()) {
       out += s[i];
+      continue;
+    }
+    char e = s[i + 1];
+    switch (e) {
+      case '\\': out += '\\'; ++i; break;
+      case '"': out += '"'; ++i; break;
+      case '\'': out += '\''; ++i; break;
+      case 'n': out += '\n'; ++i; break;
+      case 'r': out += '\r'; ++i; break;
+      case 't': out += '\t'; ++i; break;
+      case 'b': out += '\b'; ++i; break;
+      case 'f': out += '\f'; ++i; break;
+      case 'u':
+      case 'U': {
+        // UCHAR: \uXXXX or \UXXXXXXXX, UTF-8-encoded into the lexical form.
+        const size_t ndigits = e == 'u' ? 4 : 8;
+        std::optional<uint32_t> cp = ParseHex(s, i + 2, ndigits);
+        if (!cp) {
+          // Malformed (truncated or non-hex digits): keep the sequence
+          // verbatim rather than guessing — the '\\' goes out here and the
+          // following chars flow through the loop untouched.
+          out += s[i];
+          break;
+        }
+        if (*cp > 0x10FFFF || (*cp >= 0xD800 && *cp <= 0xDFFF)) {
+          // Out of range / lone surrogate: not encodable; replace.
+          AppendUtf8(0xFFFD, &out);
+        } else {
+          AppendUtf8(*cp, &out);
+        }
+        i += 1 + ndigits;
+        break;
+      }
+      default:
+        // Unknown escape: historical behaviour, drop the backslash.
+        out += e;
+        ++i;
     }
   }
   return out;

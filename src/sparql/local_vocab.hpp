@@ -5,14 +5,18 @@
 // values flow through the same Row = vector<TermId> pipeline as stored
 // terms. Resolution helpers below pick the right table per id.
 //
-// One LocalVocab lives per cursor execution (single-threaded); the Cursor /
-// ResultSet share ownership so delivered rows stay resolvable after the
-// pipeline is gone.
+// One LocalVocab lives per cursor execution; the Cursor / ResultSet share
+// ownership so delivered rows stay resolvable after the pipeline is gone.
+// Streaming cursors intern on the producer thread while the consumer
+// resolves already-delivered rows, so Intern/Find/Numeric synchronize on an
+// internal mutex; deques keep term references stable across growth, so a
+// pointer returned by Find stays valid for the vocab's lifetime.
 #pragma once
 
+#include <deque>
+#include <mutex>
 #include <string>
 #include <unordered_map>
-#include <vector>
 
 #include "rdf/dictionary.hpp"
 #include "rdf/term.hpp"
@@ -38,6 +42,7 @@ class LocalVocab {
     key += t.datatype;
     key += '\n';
     key += t.lang;
+    std::lock_guard<std::mutex> lock(mu_);
     auto [it, added] =
         index_.try_emplace(std::move(key), base_ + static_cast<TermId>(terms_.size()));
     if (added) {
@@ -50,7 +55,9 @@ class LocalVocab {
   }
 
   /// The term for a local id; nullptr if `id` is not in this vocab's range.
+  /// The pointer stays valid while the vocab lives (deque storage).
   const rdf::Term* Find(TermId id) const {
+    std::lock_guard<std::mutex> lock(mu_);
     if (id < base_ || id >= base_ + terms_.size()) return nullptr;
     return &terms_[id - base_];
   }
@@ -58,17 +65,22 @@ class LocalVocab {
   /// Cached numeric value for a local id (nullopt if out of range or
   /// non-numeric).
   std::optional<double> Numeric(TermId id) const {
+    std::lock_guard<std::mutex> lock(mu_);
     if (id < base_ || id >= base_ + numeric_.size()) return std::nullopt;
     return numeric_[id - base_];
   }
 
   TermId base() const { return base_; }
-  size_t size() const { return terms_.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return terms_.size();
+  }
 
  private:
   TermId base_;
-  std::vector<rdf::Term> terms_;
-  std::vector<std::optional<double>> numeric_;
+  mutable std::mutex mu_;
+  std::deque<rdf::Term> terms_;
+  std::deque<std::optional<double>> numeric_;
   std::unordered_map<std::string, TermId> index_;  ///< composite value key -> id
 };
 

@@ -48,7 +48,8 @@ EmitResult BgpSource::DoPush(const Row& row) {
       },
       state()->control);
   if (!st.ok()) {
-    state()->Fail(std::move(st));
+    state()->Fail(std::move(st),
+                  CauseOf(state()->control, StopCause::kProducerFailed));
     return EmitResult::kStop;
   }
   return downstream_stopped ? EmitResult::kStop : EmitResult::kContinue;

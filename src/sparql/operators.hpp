@@ -53,6 +53,7 @@
 #include "sparql/local_vocab.hpp"
 #include "sparql/solver.hpp"
 #include "sparql/typed_value.hpp"
+#include "util/channel.hpp"
 #include "util/status.hpp"
 
 namespace turbo::sparql {
@@ -66,15 +67,23 @@ int CompareTerms(const rdf::Dictionary& dict, const LocalVocab* local, TermId a,
                  TermId b);
 
 /// State shared by every operator of one execution: the cancellation
-/// surface, the first error raised, and the cursor-visible counters.
+/// surface, the first error raised (with its machine-readable cause), and
+/// the cursor-visible counters.
 struct ExecState {
   EvalControl control;
   util::Status error;
+  StopCause cause = StopCause::kNone;  ///< why `error` was raised
   uint64_t before_modifiers = 0;  ///< rows that reached the modifier stage
   uint64_t peak_buffered = 0;     ///< high-water mark of any operator buffer
+                                  ///< (delivery channel added by the cursor)
 
-  void Fail(util::Status st) {
-    if (error.ok()) error = std::move(st);
+  /// Records the first error and its classification; later failures are
+  /// ignored (the first stop is the one the cursor reports).
+  void Fail(util::Status st, StopCause why) {
+    if (error.ok()) {
+      error = std::move(st);
+      cause = why;
+    }
   }
   void NoteBuffered(uint64_t n) {
     if (n > peak_buffered) peak_buffered = n;
@@ -132,7 +141,8 @@ class RowOp {
     for (const auto& item : range) {
       if ((++flushed & 0x3F) == 0) {
         if (util::Status st = state_->control.Check(); !st.ok()) {
-          state_->Fail(std::move(st));
+          state_->Fail(std::move(st),
+                       CauseOf(state_->control, StopCause::kProducerFailed));
           return;
         }
       }
@@ -292,12 +302,14 @@ class GuardOp final : public RowOp {
   EmitResult DoPush(const Row& row) override {
     uint64_t n = ++state()->before_modifiers;
     if (n > row_budget_) {
-      state()->Fail(util::Status::Error("row budget exceeded"));
+      state()->Fail(util::Status::Error("row budget exceeded"),
+                    StopCause::kRowBudget);
       return EmitResult::kStop;
     }
     if ((n & 0x3F) == 0) {
       if (util::Status st = state()->control.Check(); !st.ok()) {
-        state()->Fail(std::move(st));
+        state()->Fail(std::move(st),
+                      CauseOf(state()->control, StopCause::kProducerFailed));
         return EmitResult::kStop;
       }
     }
@@ -533,6 +545,36 @@ class CollectOp final : public RowOp {
 
  private:
   std::vector<Row>* out_;
+};
+
+/// Root sink for streaming cursors: hands each delivered row to the bounded
+/// delivery channel, blocking (with timeout-aware waits) while the consumer
+/// lags. A channel closed by the consumer — the cursor was abandoned — reads
+/// as a plain kStop, the same unwind LIMIT pushdown uses, so teardown
+/// terminates the subgraph search itself rather than just the delivery. An
+/// aborted push (cancel/deadline/abandon fired while blocked) records the
+/// control's error before stopping.
+class ChannelSink final : public RowOp {
+ public:
+  ChannelSink(util::Channel<Row>* channel, ExecState* state)
+      : RowOp("ChannelSink{cap=" + std::to_string(channel->capacity()) + "}",
+              nullptr, state),
+        channel_(channel) {}
+
+  EmitResult DoPush(const Row& row) override {
+    auto op = channel_->Push(row, [this] {
+      const EvalControl& c = state()->control;
+      return c.abandoned() || c.cancelled() || c.expired();
+    });
+    if (op == util::Channel<Row>::Op::kOk) return EmitResult::kContinue;
+    if (op == util::Channel<Row>::Op::kAborted)
+      state()->Fail(state()->control.Check(),
+                    CauseOf(state()->control, StopCause::kProducerFailed));
+    return EmitResult::kStop;
+  }
+
+ private:
+  util::Channel<Row>* channel_;
 };
 
 }  // namespace turbo::sparql

@@ -1,6 +1,7 @@
 #include "sparql/query_engine.hpp"
 
 #include <algorithm>
+#include <thread>
 #include <unordered_map>
 
 #include "baseline/solvers.hpp"
@@ -246,11 +247,13 @@ struct Cursor::State {
   std::shared_ptr<const PreparedQuery::Impl> prepared;
   ExecOptions opts;
   util::Status status;
+  StopCause cause = StopCause::kNone;  ///< classification of `status`
   std::vector<Row> rows;  ///< projected rows that passed every modifier
   size_t pos = 0;
   bool ran = false;
   uint64_t before_modifiers = 0;
   uint64_t peak_buffered = 0;  ///< high-water mark of rows held at once
+  uint64_t channel_peak = 0;   ///< delivery channel's own high-water mark
 
   /// The physical operator tree of this execution (kept after the run for
   /// EXPLAIN) and the state it shares.
@@ -259,9 +262,41 @@ struct Cursor::State {
   std::unique_ptr<FilterEvaluator> base_eval;  ///< over prepared->vars
   std::unique_ptr<FilterEvaluator> post_eval;  ///< over post_vars + local
 
-  void Run();
+  // Streaming delivery (ExecOptions::streaming): the pipeline runs on
+  // `producer`, whose ChannelSink root pushes delivered rows into the
+  // bounded `channel`; Next() pops at the consumer's pace. `abandoned` is
+  // wired into the pipeline's EvalControl (and down into MatchOptions), so
+  // setting it unwinds the enumeration like a cancel — teardown stops the
+  // search itself, not just the delivery. The plain (non-atomic) members
+  // above are written by the producer only before it signals completion and
+  // read by the consumer only after joining it, so they need no locking.
+  std::unique_ptr<util::Channel<Row>> channel;
+  std::thread producer;
+  std::atomic<bool> abandoned{false};
+  std::atomic<bool> producer_done{false};
+  bool stream_ended = false;  ///< consumer-side: status/counters settled
+
+  ~State();
+  void Run();             // materialized execution (sink = CollectOp)
+  void StartStreaming();  // create the channel, spawn the producer
+  void ProducerMain();
+  void RunPipeline(bool streaming);
+  /// Joins the producer and settles status/cause/counters. A non-Ok
+  /// `consumer_status` (the consumer's own cancel/deadline trip) takes
+  /// precedence over whatever the producer recorded.
+  void Settle(util::Status consumer_status, StopCause consumer_cause);
   RowOp* BuildWhereChain(const GroupPattern& g, RowOp* next);
 };
+
+Cursor::State::~State() {
+  if (producer.joinable()) {
+    // Cursor abandoned mid-stream: stop the enumeration, discard whatever
+    // is buffered, and join before the pipeline's memory goes away.
+    abandoned.store(true, std::memory_order_relaxed);
+    channel->CloseConsumer();
+    producer.join();
+  }
+}
 
 /// Builds the operator chain evaluating group `g`, emitting into `next`:
 /// BgpSource, then UNION blocks, then OPTIONAL left-joins, then the group
@@ -299,6 +334,69 @@ RowOp* Cursor::State::BuildWhereChain(const GroupPattern& g, RowOp* next) {
 
 void Cursor::State::Run() {
   ran = true;
+  RunPipeline(/*streaming=*/false);
+  const ExecState& st = pipe.state;
+  if (!st.error.ok()) {
+    status = st.error;
+    cause = st.cause;
+  }
+  before_modifiers = st.before_modifiers;
+  peak_buffered = st.peak_buffered;
+}
+
+void Cursor::State::StartStreaming() {
+  ran = true;
+  channel = std::make_unique<util::Channel<Row>>(opts.channel_capacity);
+  // Streaming aggregation interns computed terms on the producer while the
+  // consumer resolves already-delivered rows, so the shared vocab must
+  // exist before the thread starts (LocalVocab itself synchronizes the
+  // concurrent intern/resolve).
+  if (prepared->aggregated)
+    local_vocab =
+        std::make_shared<LocalVocab>(static_cast<TermId>(solver->dict().size()));
+  producer = std::thread([this] { ProducerMain(); });
+}
+
+void Cursor::State::ProducerMain() {
+  // The library reports failures through Status, but a producer thread must
+  // not let anything escape — an exception here would terminate the
+  // process. It becomes a kProducerFailed status with the original message.
+  try {
+    RunPipeline(/*streaming=*/true);
+  } catch (const std::exception& e) {
+    pipe.state.Fail(util::Status::Error(std::string("producer failed: ") + e.what()),
+                    StopCause::kProducerFailed);
+  } catch (...) {
+    pipe.state.Fail(util::Status::Error("producer failed: unknown exception"),
+                    StopCause::kProducerFailed);
+  }
+  producer_done.store(true, std::memory_order_release);
+  channel->CloseProducer();
+}
+
+void Cursor::State::Settle(util::Status consumer_status, StopCause consumer_cause) {
+  if (stream_ended) return;
+  // Stop a still-running producer (it sees the abandon flag or the closed
+  // channel) and join; after the join the pipeline's members are plainly
+  // readable from this thread. On the normal end-of-stream path the
+  // producer has already finished, so the abandon store is a no-op.
+  abandoned.store(true, std::memory_order_relaxed);
+  channel->CloseConsumer();
+  if (producer.joinable()) producer.join();
+  if (!consumer_status.ok()) {
+    status = std::move(consumer_status);
+    cause = consumer_cause;
+  } else if (!pipe.state.error.ok()) {
+    status = pipe.state.error;
+    cause = pipe.state.cause;
+  }
+  before_modifiers = pipe.state.before_modifiers;
+  channel_peak = channel->peak_size();
+  peak_buffered = pipe.state.peak_buffered + channel_peak;
+  stream_ended = true;
+}
+
+void Cursor::State::RunPipeline(bool streaming) {
   const PreparedQuery::Impl& p = *prepared;
   const SelectQuery& q = p.query;
   const rdf::Dictionary& dict = solver->dict();
@@ -306,8 +404,9 @@ void Cursor::State::Run() {
 
   st->control.cancel = opts.cancel_token;
   st->control.deadline = opts.deadline;
+  if (streaming) st->control.abandon = &abandoned;
   if (auto s = st->control.Check(); !s.ok()) {
-    status = s;
+    st->Fail(std::move(s), CauseOf(st->control, StopCause::kProducerFailed));
     return;
   }
 
@@ -318,13 +417,17 @@ void Cursor::State::Run() {
 
   base_eval = std::make_unique<FilterEvaluator>(dict, p.vars);
   if (p.aggregated) {
-    local_vocab = std::make_shared<LocalVocab>(static_cast<TermId>(dict.size()));
+    // Streaming pre-creates the vocab before the producer thread starts.
+    if (!local_vocab)
+      local_vocab = std::make_shared<LocalVocab>(static_cast<TermId>(dict.size()));
     post_eval =
         std::make_unique<FilterEvaluator>(dict, p.post_vars, local_vocab.get());
   }
 
   // ---- Build the modifier chain, back to front. ----
-  RowOp* cur = pipe.Make<CollectOp>(&rows, st);
+  RowOp* cur = streaming
+                   ? static_cast<RowOp*>(pipe.Make<ChannelSink>(channel.get(), st))
+                   : static_cast<RowOp*>(pipe.Make<CollectOp>(&rows, st));
   cur = pipe.Make<SliceOp>(static_cast<uint64_t>(q.offset), limit, cur, st);
 
   if (!q.order_by.empty()) {
@@ -398,20 +501,41 @@ void Cursor::State::Run() {
   if (st->error.ok()) {
     // Errors suppress the flush: a budget/cancel trip must not deliver a
     // sorted/grouped result computed from a truncated enumeration.
-    if (util::Status fst = pipe.head->Finish(); !fst.ok()) st->Fail(std::move(fst));
+    if (util::Status fst = pipe.head->Finish(); !fst.ok())
+      st->Fail(std::move(fst), CauseOf(st->control, StopCause::kProducerFailed));
   }
-  if (!st->error.ok()) status = st->error;
-  before_modifiers = st->before_modifiers;
-  peak_buffered = st->peak_buffered;
 }
 
 bool Cursor::Next(Row* row) {
   if (!state_) return false;
-  if (!state_->ran) state_->Run();
-  if (state_->pos >= state_->rows.size()) return false;
+  State& s = *state_;
+  if (!s.ran) {
+    if (s.opts.streaming)
+      s.StartStreaming();
+    else
+      s.Run();
+  }
+  if (s.opts.streaming) {
+    if (s.stream_ended) return false;
+    // The consumer observes its own cancel/deadline while blocked on an
+    // empty channel — the producer may be wedged deep in a pipeline breaker
+    // where no row will ever arrive to wake us.
+    EvalControl consumer;
+    consumer.cancel = s.opts.cancel_token;
+    consumer.deadline = s.opts.deadline;
+    auto op = s.channel->Pop(
+        row, [&consumer] { return consumer.cancelled() || consumer.expired(); });
+    if (op == util::Channel<Row>::Op::kOk) return true;
+    if (op == util::Channel<Row>::Op::kAborted)
+      s.Settle(consumer.Check(), CauseOf(consumer, StopCause::kCancelled));
+    else
+      s.Settle(util::Status::Ok(), StopCause::kNone);
+    return false;
+  }
+  if (s.pos >= s.rows.size()) return false;
   // The read position only advances, so hand the buffered row over instead
   // of copying it — delivery-bound queries pay one allocation per row less.
-  *row = std::move(state_->rows[state_->pos++]);
+  *row = std::move(s.rows[s.pos++]);
   return true;
 }
 
@@ -433,15 +557,35 @@ uint64_t Cursor::peak_buffered_rows() const {
   return state_ ? state_->peak_buffered : 0;
 }
 
+uint64_t Cursor::peak_channel_rows() const {
+  return state_ ? state_->channel_peak : 0;
+}
+
+StopCause Cursor::stop_cause() const {
+  return state_ ? state_->cause : StopCause::kNone;
+}
+
 std::shared_ptr<const LocalVocab> Cursor::local_vocab() const {
   return state_ ? state_->local_vocab : nullptr;
 }
 
 std::string Cursor::Explain() {
   if (!state_) return "(no query)\n";
-  if (!state_->ran) state_->Run();
-  if (!state_->pipe.head) return "(not executed: empty LIMIT or pre-run stop)\n";
-  return ExplainChain(state_->pipe.head);
+  State& s = *state_;
+  if (!s.ran) {
+    if (s.opts.streaming)
+      s.StartStreaming();
+    else
+      s.Run();
+  }
+  // A still-running streaming producer is mutating the per-operator counts;
+  // report in-progress instead of racing it. producer_done is a release
+  // store after the pipeline's last write, so once observed the tree is
+  // stable even before Settle runs.
+  if (s.opts.streaming && !s.producer_done.load(std::memory_order_acquire))
+    return "(streaming execution in progress; Explain settles at end of stream)\n";
+  if (!s.pipe.head) return "(not executed: empty LIMIT or pre-run stop)\n";
+  return ExplainChain(s.pipe.head);
 }
 
 Cursor OpenCursor(const BgpSolver& solver, const PreparedQuery& prepared,

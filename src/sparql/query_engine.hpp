@@ -79,6 +79,16 @@ struct ExecOptions {
   /// Cooperative cancel token owned by the caller; set it from any thread to
   /// stop execution with status "query cancelled".
   const std::atomic<bool>* cancel_token = nullptr;
+  /// Run the operator pipeline on a producer thread that hands rows to the
+  /// consumer through a bounded channel: Next() returns as soon as one row
+  /// exists, the execution holds at most `channel_capacity` delivered rows
+  /// in flight (plus any sort/group operator buffers), and destroying the
+  /// cursor tears the enumeration down. When false (the default) the cursor
+  /// materializes the delivered set on first use, exactly as before.
+  bool streaming = false;
+  /// Delivery-channel capacity (rows in flight) for streaming mode; a full
+  /// channel blocks the producer (backpressure). Clamped to >= 1.
+  uint32_t channel_capacity = 64;
 };
 
 /// A parsed + planned SELECT query, reusable across Open calls (and across
@@ -111,22 +121,41 @@ util::Result<PreparedQuery> PrepareSelect(SelectQuery q);
 /// A streaming result handle. Next() delivers projected rows in the same
 /// order Executor::Execute would return them; status() reports how the
 /// stream ended (Ok for completion, LIMIT, or budget-satisfied stops; an
-/// error for cancellation / deadline / row-budget violations — any rows
-/// already delivered remain valid).
+/// error for cancellation / deadline / row-budget violations or a
+/// producer-side failure — any rows already delivered remain valid), and
+/// stop_cause() classifies the stop machine-readably.
 ///
-/// The cursor runs the row pipeline on first use and retains only the rows
-/// the modifiers let through (bounded by LIMIT/limit_budget when present).
-/// It must not outlive the solver/engine it was opened on.
+/// In materialized mode (the default) the cursor runs the row pipeline on
+/// first use and retains only the rows the modifiers let through (bounded
+/// by LIMIT/limit_budget when present). With ExecOptions::streaming the
+/// pipeline runs on a producer thread feeding a bounded channel; Next()
+/// pops at the consumer's pace, and teardown is clean: the destructor
+/// signals the producer, drains the channel, and joins the thread, so
+/// abandoning a cursor mid-stream terminates the subgraph search itself.
+/// The cursor must not outlive the solver/engine it was opened on.
 class Cursor {
  public:
   Cursor() = default;
 
   /// Advances to the next row. Returns false at end-of-stream (check
-  /// status() to distinguish completion from an error).
+  /// status() to distinguish completion from an error). In streaming mode
+  /// this blocks until a row is available, the stream ends, or the caller's
+  /// cancel/deadline fires (the waits are timeout-aware on both channel
+  /// ends).
   bool Next(Row* row);
 
   /// How the stream ended so far; Ok while rows are still flowing.
+  /// Producer-side errors (solver failures, exceptions on the producer
+  /// thread) surface here with their original message once Next() has
+  /// returned false.
   const util::Status& status() const;
+
+  /// Why the stream stopped: kNone while flowing or after a clean end
+  /// (LIMIT counts as clean), kRowBudget / kCancelled / kDeadline for the
+  /// caller-imposed stops, kAbandoned after mid-stream teardown, and
+  /// kProducerFailed when the producer side failed on its own — the
+  /// distinction status() strings alone could not carry.
+  StopCause stop_cause() const;
 
   /// Projected variable names (row columns), in SELECT order.
   const std::vector<std::string>& var_names() const;
@@ -137,13 +166,21 @@ class Cursor {
   uint64_t rows_before_modifiers() const;
 
   /// High-water mark of rows the cursor held at once for delivery ordering
-  /// (sort/heap/collect buffers; dedup memos and the group hash table are
-  /// working state, not delivery buffers). For ORDER BY + LIMIT k this is
-  /// bounded by k + OFFSET — the top-k heap, which since the operator
-  /// refactor also composes behind DISTINCT whenever every sort key is
-  /// projected — while rows_before_modifiers still reports the full
-  /// enumeration.
+  /// (sort/heap/collect buffers plus, in streaming mode, the delivery
+  /// channel; dedup memos and the group hash table are working state, not
+  /// delivery buffers). For ORDER BY + LIMIT k this is bounded by k +
+  /// OFFSET — the top-k heap, which since the operator refactor also
+  /// composes behind DISTINCT whenever every sort key is projected — while
+  /// rows_before_modifiers still reports the full enumeration. A streaming
+  /// cursor with no sort/group stage is bounded by channel_capacity
+  /// regardless of result size. Settles at end-of-stream (streaming
+  /// counters read 0 until the stream ends).
   uint64_t peak_buffered_rows() const;
+
+  /// The delivery channel's own high-water mark (streaming mode; 0 in
+  /// materialized mode), already included in peak_buffered_rows(). Settles
+  /// at end-of-stream.
+  uint64_t peak_channel_rows() const;
 
   /// Terms computed by this execution (aggregate results); row cells with
   /// ids at or above dict.size() resolve here. Null when the query computes
@@ -152,7 +189,9 @@ class Cursor {
 
   /// The executed operator tree with per-operator row counts, one line per
   /// operator (the `sparql_shell --explain` output). Runs the query first
-  /// if it has not run yet.
+  /// if it has not run yet. While a streaming producer is still running the
+  /// counts are in flux, so this returns a placeholder until the stream
+  /// ends.
   std::string Explain();
 
  private:

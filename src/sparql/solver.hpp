@@ -70,21 +70,50 @@ using RowSink = std::function<EmitResult(const Row&)>;
 struct EvalControl {
   const std::atomic<bool>* cancel = nullptr;          ///< cooperative cancel token
   std::chrono::steady_clock::time_point deadline{};   ///< epoch default = none
+  /// Consumer-detached signal: set when the streaming Cursor driving this
+  /// evaluation is torn down mid-stream. Kept distinct from `cancel` so
+  /// status reporting can tell an abandoned cursor from a user cancel.
+  const std::atomic<bool>* abandon = nullptr;
 
   bool has_deadline() const { return deadline.time_since_epoch().count() != 0; }
   bool cancelled() const {
     return cancel && cancel->load(std::memory_order_relaxed);
+  }
+  bool abandoned() const {
+    return abandon && abandon->load(std::memory_order_relaxed);
   }
   bool expired() const {
     return has_deadline() && std::chrono::steady_clock::now() >= deadline;
   }
   /// Ok, or the error a solver must return when a signal has fired.
   util::Status Check() const {
+    if (abandoned()) return util::Status::Error("cursor abandoned");
     if (cancelled()) return util::Status::Error("query cancelled");
     if (expired()) return util::Status::Error("deadline exceeded");
     return util::Status::Ok();
   }
 };
+
+/// Machine-readable classification of why an execution stopped before a
+/// natural end-of-stream. status() carries the human message; this answers
+/// "was that a budget I imposed, or did the producer side fail?".
+enum class StopCause : uint8_t {
+  kNone,            ///< still flowing, or completed (LIMIT counts as normal)
+  kRowBudget,       ///< ExecOptions::row_budget tripped
+  kCancelled,       ///< caller's cancel token fired
+  kDeadline,        ///< caller's deadline expired
+  kAbandoned,       ///< streaming cursor destroyed mid-stream
+  kProducerFailed,  ///< solver/pipeline raised an error of its own
+};
+
+/// Maps a tripped EvalControl to its cause; `fallback` is used when no
+/// control signal fired (i.e. the producer itself failed).
+inline StopCause CauseOf(const EvalControl& control, StopCause fallback) {
+  if (control.abandoned()) return StopCause::kAbandoned;
+  if (control.cancelled()) return StopCause::kCancelled;
+  if (control.expired()) return StopCause::kDeadline;
+  return fallback;
+}
 
 class BgpSolver {
  public:

@@ -361,6 +361,7 @@ util::Status TurboBgpSolver::EvaluateOne(const std::vector<TriplePattern>& bgp,
   engine::MatchOptions mopts = options_;
   mopts.cancel = control.cancel;
   mopts.deadline = control.deadline;
+  mopts.abandon = control.abandon;
 
   // ---- Row assembly: resolve pending type-variable and predicate-variable
   // bindings, then run the schema join and emit. A kStop propagates back to

@@ -1,0 +1,130 @@
+// Bounded MPSC channel for producer/consumer row delivery.
+//
+// The streaming cursor runs the operator pipeline on a producer thread and
+// pops delivered rows at the consumer's pace; this channel is the handoff.
+// Both ends block on condition variables, but every wait is sliced so a
+// caller-supplied abort predicate (cancel token, deadline, abandoned cursor)
+// is observed even while the producer is parked on a full channel or the
+// consumer on an empty one — no external signal ever has to wake the
+// condvar for the stop to be noticed.
+//
+// Protocol:
+//   - producer: Push(...) until done or aborted, then CloseProducer().
+//   - consumer: Pop(...) until kClosed, or CloseConsumer() to walk away —
+//     that drops any buffered rows and turns every subsequent Push into
+//     kClosed, which the pipeline treats like a LIMIT-style kStop.
+//
+// Multiple producers are safe (parallel solver workers each reach the
+// ChannelSink under the engine's delivery mutex today, but the channel does
+// not rely on that); there must be at most one consumer.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace turbo::util {
+
+template <typename T>
+class Channel {
+ public:
+  enum class Op : uint8_t {
+    kOk,       ///< item transferred
+    kClosed,   ///< Push: consumer walked away; Pop: producer done and empty
+    kAborted,  ///< the abort predicate fired while blocked
+  };
+
+  explicit Channel(size_t capacity) : cap_(capacity == 0 ? 1 : capacity) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Blocks while the channel is full. `abort()` is polled every wait slice;
+  /// returning true abandons the push. The item is consumed only on kOk.
+  template <typename AbortFn>
+  Op Push(T item, AbortFn&& abort) {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+      if (consumer_closed_) return Op::kClosed;
+      if (items_.size() < cap_) break;
+      if (abort()) return Op::kAborted;
+      not_full_.wait_for(lock, kWaitSlice);
+    }
+    items_.push_back(std::move(item));
+    if (items_.size() > peak_) peak_ = items_.size();
+    lock.unlock();
+    not_empty_.notify_one();
+    return Op::kOk;
+  }
+
+  /// Blocks while the channel is empty and the producer side is still open.
+  /// kClosed means end-of-stream: every pushed item has been popped.
+  template <typename AbortFn>
+  Op Pop(T* out, AbortFn&& abort) {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+      if (!items_.empty()) break;
+      if (producer_closed_) return Op::kClosed;
+      if (abort()) return Op::kAborted;
+      not_empty_.wait_for(lock, kWaitSlice);
+    }
+    *out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return Op::kOk;
+  }
+
+  /// End of stream: the consumer drains what is buffered, then sees kClosed.
+  void CloseProducer() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      producer_closed_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+  /// Consumer walks away: buffered rows are dropped and blocked producers
+  /// wake with kClosed. Pairs with the cursor's teardown path.
+  void CloseConsumer() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      consumer_closed_ = true;
+      items_.clear();
+    }
+    not_full_.notify_all();
+  }
+
+  size_t capacity() const { return cap_; }
+
+  /// High-water mark of buffered items, for peak_buffered_rows() accounting.
+  uint64_t peak_size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return peak_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  // Short enough that deadlines are observed promptly, long enough that an
+  // idle blocked end costs nothing measurable.
+  static constexpr std::chrono::milliseconds kWaitSlice{2};
+
+  const size_t cap_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  uint64_t peak_ = 0;
+  bool producer_closed_ = false;
+  bool consumer_closed_ = false;
+};
+
+}  // namespace turbo::util

@@ -38,6 +38,7 @@
 #include "rdf/vocabulary.hpp"
 #include "sparql/ast.hpp"
 #include "sparql/executor.hpp"
+#include "sparql/query_engine.hpp"
 #include "sparql/solver.hpp"
 #include "sparql/typed_value.hpp"
 #include "util/rng.hpp"
@@ -520,6 +521,30 @@ inline std::vector<Row> RunExecutor(const sparql::BgpSolver& solver,
   return rows;
 }
 
+/// Drains the streaming-cursor delivery path (producer thread + bounded
+/// channel) over the same query and returns the sorted row bag — the
+/// differential twin of RunExecutor for streaming mode. Tight capacities
+/// (1, 2) keep the producer blocked on backpressure for most of the run,
+/// which is exactly the window where delivery bugs hide.
+inline std::vector<Row> RunStreamingCursor(const sparql::BgpSolver& solver,
+                                           const sparql::SelectQuery& q,
+                                           uint32_t channel_capacity) {
+  auto prepared = sparql::PrepareSelect(q);
+  EXPECT_TRUE(prepared.ok()) << prepared.message();
+  if (!prepared.ok()) return {};
+  sparql::ExecOptions opts;
+  opts.streaming = true;
+  opts.channel_capacity = channel_capacity;
+  sparql::Cursor cursor = sparql::OpenCursor(solver, prepared.value(), opts);
+  std::vector<Row> rows;
+  Row row;
+  while (cursor.Next(&row)) rows.push_back(row);
+  EXPECT_TRUE(cursor.status().ok()) << cursor.status().message();
+  EXPECT_LE(cursor.peak_channel_rows(), std::max(channel_capacity, 1u));
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
 // ---------------------------------------------------------------------------
 // Aggregation fuzz tier: random GROUP BY / aggregate queries differentially
 // checked against a brute-force reference evaluator.
@@ -775,6 +800,35 @@ inline std::vector<RenderedRow> RunAggregated(const sparql::BgpSolver& solver,
     }
     out.push_back(std::move(rendered));
   }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Streaming twin of RunAggregated: drains a streaming cursor and resolves
+/// aggregate values through the cursor's shared LocalVocab while the
+/// producer thread may still be interning into it.
+inline std::vector<RenderedRow> RunAggregatedStreaming(
+    const sparql::BgpSolver& solver, const sparql::SelectQuery& q,
+    uint32_t channel_capacity) {
+  auto prepared = sparql::PrepareSelect(q);
+  EXPECT_TRUE(prepared.ok()) << prepared.message();
+  if (!prepared.ok()) return {};
+  sparql::ExecOptions opts;
+  opts.streaming = true;
+  opts.channel_capacity = channel_capacity;
+  sparql::Cursor cursor = sparql::OpenCursor(solver, prepared.value(), opts);
+  std::vector<RenderedRow> out;
+  Row row;
+  while (cursor.Next(&row)) {
+    RenderedRow rendered;
+    for (TermId id : row) {
+      const rdf::Term* t =
+          sparql::ResolveTerm(solver.dict(), cursor.local_vocab().get(), id);
+      rendered.push_back(t ? t->ToNTriples() : "UNBOUND");
+    }
+    out.push_back(std::move(rendered));
+  }
+  EXPECT_TRUE(cursor.status().ok()) << cursor.status().message();
   std::sort(out.begin(), out.end());
   return out;
 }

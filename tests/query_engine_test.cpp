@@ -107,7 +107,9 @@ class CursorVsExecute : public ::testing::Test {
         index_(ds_) {}
 
   /// Drains the cursor and the compat Execute over the same solver and
-  /// expects identical rows in identical order.
+  /// expects identical rows in identical order — then repeats with
+  /// streaming (producer-thread) cursors at tight and loose channel
+  /// capacities, which must also match row-for-row.
   void CheckIdentity(const BgpSolver& solver, const std::string& text) {
     Executor ex(&solver);
     auto materialized = ex.Execute(text);
@@ -115,6 +117,14 @@ class CursorVsExecute : public ::testing::Test {
     QueryEngine engine(&solver);
     std::vector<Row> streamed = OpenAndDrain(engine, text);
     EXPECT_EQ(materialized.value().rows, streamed) << text;
+    for (uint32_t capacity : {1u, 64u}) {
+      ExecOptions opts;
+      opts.streaming = true;
+      opts.channel_capacity = capacity;
+      std::vector<Row> live = OpenAndDrain(engine, text, opts);
+      EXPECT_EQ(materialized.value().rows, live)
+          << text << " (streaming, capacity " << capacity << ")";
+    }
   }
 
   rdf::Dataset ds_;

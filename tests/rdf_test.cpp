@@ -41,6 +41,65 @@ TEST(Term, EscapeRoundTrip) {
   EXPECT_EQ(UnescapeNTriples(EscapeNTriples(nasty)), nasty);
 }
 
+TEST(Term, EscapeRoundTripEcharAndControls) {
+  // The full ECHAR set plus C0 controls that only \uXXXX can carry.
+  std::string nasty = "g\bh\fi\x01j\x1Fk";
+  std::string escaped = EscapeNTriples(nasty);
+  EXPECT_EQ(escaped, "g\\bh\\fi\\u0001j\\u001Fk");
+  EXPECT_EQ(UnescapeNTriples(escaped), nasty);
+}
+
+TEST(Term, UnescapeUcharShortForm) {
+  EXPECT_EQ(UnescapeNTriples("\\u0041"), "A");
+  // 2-byte and 3-byte UTF-8 encodings.
+  EXPECT_EQ(UnescapeNTriples("\\u00E9"), "\xC3\xA9");          // é
+  EXPECT_EQ(UnescapeNTriples("caf\\u00E9"), "caf\xC3\xA9");
+  EXPECT_EQ(UnescapeNTriples("\\u20AC"), "\xE2\x82\xAC");      // €
+}
+
+TEST(Term, UnescapeUcharLongForm) {
+  EXPECT_EQ(UnescapeNTriples("\\U00000041"), "A");
+  // Astral plane needs the 8-digit form: U+1F600.
+  EXPECT_EQ(UnescapeNTriples("\\U0001F600"), "\xF0\x9F\x98\x80");
+}
+
+TEST(Term, UnescapeUcharRoundTripsThroughRawUtf8) {
+  // Decoding produces raw UTF-8, which Escape leaves untouched; a second
+  // decode is a no-op — the lexical form is stable.
+  std::string decoded = UnescapeNTriples("snowman \\u2603 and \\U0001F600");
+  EXPECT_EQ(decoded, "snowman \xE2\x98\x83 and \xF0\x9F\x98\x80");
+  EXPECT_EQ(UnescapeNTriples(EscapeNTriples(decoded)), decoded);
+}
+
+TEST(Term, UnescapeMalformedUcharKeptVerbatim) {
+  // Truncated or non-hex sequences must not be silently mangled.
+  EXPECT_EQ(UnescapeNTriples("\\u00"), "\\u00");
+  EXPECT_EQ(UnescapeNTriples("\\u12G4"), "\\u12G4");
+  EXPECT_EQ(UnescapeNTriples("\\U0001F6"), "\\U0001F6");
+  EXPECT_EQ(UnescapeNTriples("x\\u"), "x\\u");
+  // A trailing lone backslash also survives.
+  EXPECT_EQ(UnescapeNTriples("x\\"), "x\\");
+}
+
+TEST(Term, UnescapeInvalidCodePointsBecomeReplacement) {
+  // Lone surrogates and beyond-Unicode values cannot be UTF-8-encoded.
+  EXPECT_EQ(UnescapeNTriples("\\uD800"), "\xEF\xBF\xBD");
+  EXPECT_EQ(UnescapeNTriples("\\U00110000"), "\xEF\xBF\xBD");
+}
+
+TEST(NTriples, UcharEscapesUnifyWithRawUtf8Spelling) {
+  // "é" and a raw é are the same literal; both spellings must intern
+  // to one dictionary id.
+  Dataset ds;
+  auto st = ParseNTriplesString(
+      "<http://x/s> <http://x/p> \"caf\\u00E9\" .\n"
+      "<http://x/t> <http://x/p> \"caf\xC3\xA9\" .\n",
+      &ds);
+  ASSERT_TRUE(st.ok()) << st.message();
+  EXPECT_EQ(ds.triples()[0].o, ds.triples()[1].o);
+  EXPECT_EQ(ds.dict().term(ds.triples()[0].o).lexical, "caf\xC3\xA9");
+}
+
 TEST(Term, NumericValueInteger) {
   EXPECT_EQ(Term::Literal("42").NumericValue(), 42.0);
 }

@@ -205,6 +205,11 @@ TEST(SolverCrosscheck, GroupAggregateFuzz) {
 
     EXPECT_EQ(expected, RunAggregated(sort_merge, c.query)) << "sortmerge";
     EXPECT_EQ(expected, RunAggregated(index_join, c.query)) << "indexjoin";
+    // Streaming delivery of aggregated rows: computed values resolve through
+    // the cursor's shared LocalVocab while the producer may still intern.
+    const uint32_t kCaps[] = {1, 2, 64};
+    EXPECT_EQ(expected, RunAggregatedStreaming(sort_merge, c.query, kCaps[seed % 3]))
+        << "streaming sortmerge cap=" << kCaps[seed % 3];
 
     graph::DataGraph direct = graph::DataGraph::Build(c.ds, graph::TransformMode::kDirect);
     graph::DataGraph typed = graph::DataGraph::Build(c.ds, graph::TransformMode::kTypeAware);
@@ -255,6 +260,14 @@ TEST(SolverCrosscheck, LargeGraphExecutorFuzz) {
     if (!reference.empty()) ++nonempty;
     EXPECT_EQ(reference, RunExecutor(index_join, c.query)) << "baselines disagree";
 
+    // Streaming-cursor delivery (producer thread + bounded channel) must be
+    // row-for-row identical to materialized execution; tiny capacities keep
+    // the producer parked on backpressure for most of the drain.
+    const uint32_t kCaps[] = {1, 2, 64};
+    const uint32_t cap = kCaps[seed % 3];
+    EXPECT_EQ(reference, RunStreamingCursor(sort_merge, c.query, cap))
+        << "streaming sortmerge cap=" << cap;
+
     graph::DataGraph direct = graph::DataGraph::Build(c.ds, graph::TransformMode::kDirect);
     graph::DataGraph typed = graph::DataGraph::Build(c.ds, graph::TransformMode::kTypeAware);
 
@@ -264,6 +277,8 @@ TEST(SolverCrosscheck, LargeGraphExecutorFuzz) {
       sparql::TurboBgpSolver turbo_typed(typed, c.ds.dict(), o);
       EXPECT_EQ(reference, RunExecutor(turbo_typed, c.query))
           << "type-aware" << DescribeToggles(o);
+      EXPECT_EQ(reference, RunStreamingCursor(turbo_typed, c.query, cap))
+          << "streaming type-aware cap=" << cap << DescribeToggles(o);
       sparql::TurboBgpSolver turbo_direct(direct, c.ds.dict(), o);
       EXPECT_EQ(reference, RunExecutor(turbo_direct, c.query))
           << "direct" << DescribeToggles(o);
@@ -285,6 +300,10 @@ TEST(SolverCrosscheck, LargeGraphExecutorFuzz) {
       o.num_threads = 3;
       sparql::TurboBgpSolver turbo_par(typed, c.ds.dict(), o);
       EXPECT_EQ(reference, RunExecutor(turbo_par, c.query)) << "parallel type-aware";
+      // Parallel workers batch rows into the delivery channel; the sorted
+      // bag must still match exactly.
+      EXPECT_EQ(reference, RunStreamingCursor(turbo_par, c.query, cap))
+          << "streaming parallel cap=" << cap;
     }
     if (::testing::Test::HasFailure()) break;
   }

@@ -115,6 +115,23 @@ TEST(Turtle, ErrorsCarryLineNumbers) {
   EXPECT_NE(st.message().find("line 3"), std::string::npos);
 }
 
+TEST(Turtle, UcharEscapesDecodeToUtf8) {
+  Dataset ds = Parse(
+      "<http://e/s> <http://e/p> \"caf\\u00E9\" .\n"
+      "<http://e/s> <http://e/q> \"\\U0001F600\" .");
+  EXPECT_TRUE(Has(ds, Term::Iri("http://e/s"), Term::Iri("http://e/p"),
+                  Term::Literal("caf\xC3\xA9")));
+  EXPECT_TRUE(Has(ds, Term::Iri("http://e/s"), Term::Iri("http://e/q"),
+                  Term::Literal("\xF0\x9F\x98\x80")));
+}
+
+TEST(Turtle, MalformedUcharEscapeKeptVerbatim) {
+  // Not-actually-hex sequences survive lexically instead of being mangled.
+  Dataset ds = Parse("<http://e/s> <http://e/p> \"bad \\u12G4 esc\" .");
+  EXPECT_TRUE(Has(ds, Term::Iri("http://e/s"), Term::Iri("http://e/p"),
+                  Term::Literal("bad \\u12G4 esc")));
+}
+
 TEST(Turtle, RoundTripAgainstNTriplesSemantics) {
   // The same graph expressed in Turtle and N-Triples must produce identical
   // triple sets.

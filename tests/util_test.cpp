@@ -1,9 +1,11 @@
-// Unit tests for util/: sorted-set kernels, RNG, parallel-for.
+// Unit tests for util/: sorted-set kernels, RNG, parallel-for, channel.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 
+#include "util/channel.hpp"
 #include "util/rng.hpp"
 #include "util/sorted.hpp"
 #include "util/thread_pool.hpp"
@@ -171,6 +173,98 @@ TEST(ParallelFor, SequentialFallback) {
 
 TEST(ParallelFor, ZeroTotalIsNoop) {
   ParallelForDynamic(4, 0, 8, [&](uint64_t, uint64_t, uint32_t) { FAIL(); });
+}
+
+using IntChannel = Channel<int>;
+constexpr auto kNeverAbort = [] { return false; };
+
+TEST(Channel, FifoOrderWithinCapacity) {
+  IntChannel ch(4);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(ch.Push(i, kNeverAbort), IntChannel::Op::kOk);
+  EXPECT_EQ(ch.size(), 4u);
+  int v;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(ch.Pop(&v, kNeverAbort), IntChannel::Op::kOk);
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_EQ(ch.peak_size(), 4u);
+}
+
+TEST(Channel, ZeroCapacityClampsToOne) {
+  IntChannel ch(0);
+  EXPECT_EQ(ch.capacity(), 1u);
+}
+
+TEST(Channel, CloseProducerDrainsThenCloses) {
+  IntChannel ch(8);
+  ch.Push(1, kNeverAbort);
+  ch.Push(2, kNeverAbort);
+  ch.CloseProducer();
+  int v;
+  EXPECT_EQ(ch.Pop(&v, kNeverAbort), IntChannel::Op::kOk);
+  EXPECT_EQ(v, 1);
+  EXPECT_EQ(ch.Pop(&v, kNeverAbort), IntChannel::Op::kOk);
+  EXPECT_EQ(v, 2);
+  EXPECT_EQ(ch.Pop(&v, kNeverAbort), IntChannel::Op::kClosed);
+}
+
+TEST(Channel, BackpressureBoundsBuffering) {
+  // A fast producer against a slow consumer never holds more than capacity.
+  IntChannel ch(3);
+  constexpr int kTotal = 50;
+  std::thread producer([&] {
+    for (int i = 0; i < kTotal; ++i) ASSERT_EQ(ch.Push(i, kNeverAbort), IntChannel::Op::kOk);
+    ch.CloseProducer();
+  });
+  std::vector<int> got;
+  int v;
+  while (ch.Pop(&v, kNeverAbort) == IntChannel::Op::kOk) {
+    got.push_back(v);
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  producer.join();
+  ASSERT_EQ(got.size(), static_cast<size_t>(kTotal));
+  for (int i = 0; i < kTotal; ++i) EXPECT_EQ(got[i], i);
+  EXPECT_LE(ch.peak_size(), 3u);
+}
+
+TEST(Channel, AbortWakesBlockedPush) {
+  IntChannel ch(1);
+  ASSERT_EQ(ch.Push(0, kNeverAbort), IntChannel::Op::kOk);
+  std::atomic<bool> abort{false};
+  std::thread trip([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    abort.store(true);
+  });
+  // Full channel, nobody popping: only the abort predicate can end this.
+  EXPECT_EQ(ch.Push(1, [&] { return abort.load(); }), IntChannel::Op::kAborted);
+  trip.join();
+}
+
+TEST(Channel, AbortWakesBlockedPop) {
+  IntChannel ch(1);
+  std::atomic<bool> abort{false};
+  std::thread trip([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    abort.store(true);
+  });
+  int v;
+  EXPECT_EQ(ch.Pop(&v, [&] { return abort.load(); }), IntChannel::Op::kAborted);
+  trip.join();
+}
+
+TEST(Channel, CloseConsumerWakesAndRejectsProducers) {
+  IntChannel ch(1);
+  ASSERT_EQ(ch.Push(0, kNeverAbort), IntChannel::Op::kOk);
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ch.CloseConsumer();
+  });
+  EXPECT_EQ(ch.Push(1, kNeverAbort), IntChannel::Op::kClosed);
+  closer.join();
+  // Buffered items were discarded; further pushes fail immediately.
+  EXPECT_EQ(ch.size(), 0u);
+  EXPECT_EQ(ch.Push(2, kNeverAbort), IntChannel::Op::kClosed);
 }
 
 }  // namespace
