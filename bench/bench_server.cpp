@@ -1,0 +1,255 @@
+// HTTP endpoint load driver: an in-process SparqlServer over one engine
+// holding LUBM + BSBM side by side, hammered by keep-alive client threads
+// with a mixed query workload. Measures what a service operator would ask
+// of the endpoint:
+//   * sustained QPS over the whole mixed run,
+//   * per-query latency p50/p99 and time-to-first-byte p50 (TTFB tracks the
+//     cursor's first row through the chunked encoder, not query completion),
+//   * plan-cache hit rate (after warmup every request should hit: misses ==
+//     number of distinct queries in the mix).
+//
+// With BENCH_JSON=<path> the run emits the machine-tagged report consumed
+// by bench/compare_results.py; bench/results/server.json is the checked-in
+// reference-VM baseline. Per-query `rows` and the plan-cache counters are
+// machine-independent — the nightly workflow gates on them exactly; the
+// latency metrics are same-machine comparisons only.
+//
+// Knobs: BENCH_CLIENTS (client threads, default 4), BENCH_SERVER_REQS
+// (requests per client, default 24), BENCH_WORKERS (server pool, default 8).
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench_common.hpp"
+#include "bench_json.hpp"
+#include "server/http.hpp"
+#include "server/sparql_server.hpp"
+#include "sparql/query_engine.hpp"
+#include "util/common.hpp"
+#include "workload/bsbm.hpp"
+#include "workload/lubm.hpp"
+
+using namespace turbo;
+
+namespace {
+
+int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v && *v ? std::atoi(v) : fallback;
+}
+
+/// Appends every triple of `src` into `dst`, re-interning terms — the two
+/// generators use disjoint vocabularies, so the union graph answers both
+/// query families unchanged (closures are already materialized; no further
+/// inference runs over the merge).
+void MergeInto(rdf::Dataset* dst, const rdf::Dataset& src) {
+  for (const rdf::Triple& t : src.triples())
+    dst->Add(src.dict().term(t.s), src.dict().term(t.p), src.dict().term(t.o));
+}
+
+struct QuerySpec {
+  std::string name;
+  std::string text;
+};
+
+struct Sample {
+  double total_ms;
+  double ttfb_ms;
+};
+
+double Quantile(std::vector<double> v, double q) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  size_t idx = static_cast<size_t>(q * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+std::string UrlEncode(const std::string& s) {
+  std::string out;
+  char buf[8];
+  for (unsigned char c : s) {
+    if (std::isalnum(c) || c == '-' || c == '_' || c == '.' || c == '~') {
+      out += static_cast<char>(c);
+    } else {
+      std::snprintf(buf, sizeof buf, "%%%02X", c);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+/// TSV body → delivered row count (header line excluded; a trailing
+/// "# stopped" marker would be a workload bug, so it is counted loudly).
+uint64_t TsvRows(const std::string& body) {
+  uint64_t lines = static_cast<uint64_t>(std::count(body.begin(), body.end(), '\n'));
+  return lines == 0 ? 0 : lines - 1;
+}
+
+}  // namespace
+
+int main() {
+  const int clients = EnvInt("BENCH_CLIENTS", 4);
+  const int reqs_per_client = EnvInt("BENCH_SERVER_REQS", 24);
+  const int workers = EnvInt("BENCH_WORKERS", 8);
+
+  util::WallTimer prep;
+  workload::LubmConfig lubm_cfg;
+  lubm_cfg.num_universities = 1;
+  rdf::Dataset ds = workload::GenerateLubmClosed(lubm_cfg);
+  workload::BsbmConfig bsbm_cfg;
+  bsbm_cfg.num_products = 1000;
+  bsbm_cfg.num_reviewers = 500;
+  MergeInto(&ds, workload::GenerateBsbmClosed(bsbm_cfg));
+  std::printf("[dataset: %zu triples (LUBM1 + BSBM), prep %.1fs]\n", ds.size(),
+              prep.ElapsedSeconds());
+  sparql::QueryEngine engine(std::move(ds));
+
+  // The mix: three queries per family, spanning point lookups and
+  // solution-heavy streams. Indices are 1-based into the paper query lists.
+  auto lubm = workload::LubmQueries();
+  auto bsbm = workload::BsbmQueries();
+  std::vector<QuerySpec> mix = {
+      {"LUBM/Q1", lubm[0]},  {"LUBM/Q4", lubm[3]},  {"LUBM/Q14", lubm[13]},
+      {"BSBM/Q1", bsbm[0]},  {"BSBM/Q5", bsbm[4]},  {"BSBM/Q8", bsbm[7]},
+  };
+
+  server::ServerConfig server_config;
+  server_config.workers = workers;
+  server_config.queue_depth = clients * 2;
+  server::SparqlServer srv(&engine, server_config);
+  if (auto st = srv.Start(); !st.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", st.message().c_str());
+    return 1;
+  }
+
+  // Warmup: one request per distinct query primes the plan cache (these are
+  // the only misses the whole run should see) and records reference rows.
+  std::vector<uint64_t> rows(mix.size(), 0);
+  for (size_t i = 0; i < mix.size(); ++i) {
+    server::HttpResponse resp;
+    auto st = server::HttpGet(
+        srv.port(), "/sparql?format=tsv&query=" + UrlEncode(mix[i].text), &resp);
+    if (!st.ok() || resp.status != 200) {
+      std::fprintf(stderr, "%s failed: %s (status %d): %s\n", mix[i].name.c_str(),
+                   st.message().c_str(), resp.status, resp.body.c_str());
+      return 1;
+    }
+    rows[i] = TsvRows(resp.body);
+  }
+
+  // Timed run: each client thread drives one keep-alive connection through
+  // the mix round-robin, offset per thread so queries interleave.
+  std::vector<std::vector<Sample>> samples(mix.size());
+  std::mutex samples_mu;
+  std::atomic<int> failures{0};
+  util::WallTimer run;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      int fd = server::DialLocal(srv.port());
+      if (fd < 0) {
+        failures.fetch_add(reqs_per_client);
+        return;
+      }
+      std::string leftover;
+      std::vector<std::vector<Sample>> local(mix.size());
+      for (int r = 0; r < reqs_per_client; ++r) {
+        size_t qi = static_cast<size_t>(c + r) % mix.size();
+        util::WallTimer t;
+        server::HttpResponse resp;
+        if (!server::WriteHttpRequest(
+                 fd, "GET", "/sparql?format=tsv&query=" + UrlEncode(mix[qi].text))
+                 .ok() ||
+            !server::WaitForResponseByte(fd, &leftover)) {
+          failures.fetch_add(1);
+          break;
+        }
+        double ttfb = t.ElapsedMillis();
+        if (!server::ReadHttpResponse(fd, &resp, &leftover).ok() ||
+            resp.status != 200 || TsvRows(resp.body) != rows[qi]) {
+          failures.fetch_add(1);
+          continue;
+        }
+        local[qi].push_back({t.ElapsedMillis(), ttfb});
+      }
+      ::close(fd);
+      std::lock_guard<std::mutex> lock(samples_mu);
+      for (size_t i = 0; i < mix.size(); ++i)
+        samples[i].insert(samples[i].end(), local[i].begin(), local[i].end());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  double wall_s = run.ElapsedSeconds();
+  server::ServerStats stats = srv.stats();
+  srv.Stop();
+
+  uint64_t total_requests = 0;
+  for (const auto& s : samples) total_requests += s.size();
+  double qps = wall_s > 0 ? static_cast<double>(total_requests) / wall_s : 0;
+
+  bench::BenchReport report;
+  report.bench = "bench_server";
+  report.machine = bench::MachineTag();
+  report.config["clients"] = std::to_string(clients);
+  report.config["reqs_per_client"] = std::to_string(reqs_per_client);
+  report.config["workers"] = std::to_string(workers);
+
+  bench::PrintHeader("HTTP endpoint: mixed LUBM+BSBM load, " +
+                     std::to_string(clients) + " clients");
+  bench::PrintRow("query", {"rows", "p50 ms", "p99 ms", "ttfb p50", "count"});
+  std::vector<double> all_total;
+  for (size_t i = 0; i < mix.size(); ++i) {
+    std::vector<double> total, ttfb;
+    for (const Sample& s : samples[i]) {
+      total.push_back(s.total_ms);
+      ttfb.push_back(s.ttfb_ms);
+      all_total.push_back(s.total_ms);
+    }
+    double p50 = Quantile(total, 0.5), p99 = Quantile(total, 0.99);
+    double ttfb50 = Quantile(ttfb, 0.5);
+    bench::PrintRow(mix[i].name,
+                    {bench::Num(rows[i]), bench::Ms(p50), bench::Ms(p99),
+                     bench::Ms(ttfb50), bench::Num(samples[i].size())});
+    report.results.push_back(
+        {mix[i].name,
+         {{"rows", static_cast<double>(rows[i])},
+          {"p50_ms", p50},
+          {"p99_ms", p99},
+          {"ttfb_p50_ms", ttfb50},
+          {"count", static_cast<double>(samples[i].size())}}});
+  }
+  double hit_rate =
+      stats.plan_cache_hits + stats.plan_cache_misses > 0
+          ? static_cast<double>(stats.plan_cache_hits) /
+                static_cast<double>(stats.plan_cache_hits + stats.plan_cache_misses)
+          : 0;
+  std::printf("\noverall: %.1f req/s, p50 %.2f ms, p99 %.2f ms over %llu requests "
+              "(%d failures)\nplan cache: %llu hits / %llu misses (%.1f%% hit)\n",
+              qps, Quantile(all_total, 0.5), Quantile(all_total, 0.99),
+              static_cast<unsigned long long>(total_requests), failures.load(),
+              static_cast<unsigned long long>(stats.plan_cache_hits),
+              static_cast<unsigned long long>(stats.plan_cache_misses),
+              100 * hit_rate);
+  report.results.push_back({"overall",
+                            {{"qps", qps},
+                             {"p50_ms", Quantile(all_total, 0.5)},
+                             {"p99_ms", Quantile(all_total, 0.99)},
+                             {"requests", static_cast<double>(total_requests)},
+                             {"failures", static_cast<double>(failures.load())}}});
+  report.results.push_back(
+      {"plan_cache",
+       {{"hits", static_cast<double>(stats.plan_cache_hits)},
+        {"misses", static_cast<double>(stats.plan_cache_misses)},
+        {"hit_rate", hit_rate}}});
+  bench::MaybeWriteJson(report);
+  return failures.load() == 0 ? 0 : 1;
+}

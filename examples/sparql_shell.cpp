@@ -84,10 +84,19 @@ void RunQuery(const sparql::QueryEngine& engine, const QueryLimits& limits,
     ++rows;
   }
   if (!cursor.value().status().ok()) {
-    std::fprintf(stderr, "error: %s\n", cursor.value().status().message().c_str());
+    // A deadline / cancel trip surfaces here: name the cause so a scripted
+    // caller can tell "--timeout-ms fired" from a genuine solver failure.
+    std::fprintf(stderr, "error: %s (stop cause: %s; %zu rows delivered)\n",
+                 cursor.value().status().message().c_str(),
+                 sparql::ToString(cursor.value().stop_cause()), rows);
     return;
   }
   std::printf("-- %zu rows in %.2f ms\n", rows, t.ElapsedMillis());
+  if (cursor.value().stop_cause() != sparql::StopCause::kNone)
+    // Ok status but a tripped budget: the stream ended early, not at the
+    // natural end of results — say so instead of passing off as complete.
+    std::fprintf(stderr, "-- stopped early (%s): results above are partial\n",
+                 sparql::ToString(cursor.value().stop_cause()));
   if (limits.explain)
     std::fprintf(stderr, "-- plan (per-operator rows):\n%s",
                  cursor.value().Explain().c_str());

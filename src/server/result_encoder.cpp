@@ -1,0 +1,138 @@
+#include "server/result_encoder.hpp"
+
+#include <cstdio>
+
+#include "rdf/term.hpp"
+
+namespace turbo::server {
+namespace {
+
+using sparql::StopCause;
+
+class JsonEncoder final : public ResultEncoder {
+ public:
+  const char* content_type() const override {
+    return "application/sparql-results+json";
+  }
+
+  std::string Header(const std::vector<std::string>& vars) override {
+    std::string out = "{\"head\":{\"vars\":[";
+    for (size_t i = 0; i < vars.size(); ++i) {
+      if (i) out += ',';
+      out += '"' + JsonEscape(vars[i]) + '"';
+    }
+    out += "]},\"results\":{\"bindings\":[\n";
+    return out;
+  }
+
+  std::string EncodeRow(const std::vector<std::string>& vars, const sparql::Row& row,
+                        const rdf::Dictionary& dict,
+                        const sparql::LocalVocab* local) override {
+    std::string out;
+    if (first_) {
+      first_ = false;
+    } else {
+      out += ",\n";
+    }
+    out += '{';
+    bool any = false;
+    for (size_t i = 0; i < vars.size() && i < row.size(); ++i) {
+      if (row[i] == kInvalidId) continue;  // unbound: the var is omitted
+      const rdf::Term* t = sparql::ResolveTerm(dict, local, row[i]);
+      if (!t) continue;
+      if (any) out += ',';
+      any = true;
+      out += '"' + JsonEscape(vars[i]) + "\":{\"type\":\"";
+      switch (t->kind) {
+        case rdf::TermKind::kIri: out += "uri"; break;
+        case rdf::TermKind::kLiteral: out += "literal"; break;
+        case rdf::TermKind::kBlank: out += "bnode"; break;
+      }
+      out += "\",\"value\":\"" + JsonEscape(t->lexical) + '"';
+      if (!t->datatype.empty())
+        out += ",\"datatype\":\"" + JsonEscape(t->datatype) + '"';
+      if (!t->lang.empty()) out += ",\"xml:lang\":\"" + JsonEscape(t->lang) + '"';
+      out += '}';
+    }
+    out += '}';
+    return out;
+  }
+
+  std::string Footer(StopCause cause) override {
+    std::string out = "\n]}";
+    if (cause != StopCause::kNone)
+      out += ",\"stopped\":\"" + std::string(sparql::ToString(cause)) + '"';
+    out += "}\n";
+    return out;
+  }
+
+ private:
+  bool first_ = true;
+};
+
+class TsvEncoder final : public ResultEncoder {
+ public:
+  const char* content_type() const override { return "text/tab-separated-values"; }
+
+  std::string Header(const std::vector<std::string>& vars) override {
+    std::string out;
+    for (size_t i = 0; i < vars.size(); ++i) {
+      if (i) out += '\t';
+      out += '?' + vars[i];
+    }
+    out += '\n';
+    return out;
+  }
+
+  std::string EncodeRow(const std::vector<std::string>& vars, const sparql::Row& row,
+                        const rdf::Dictionary& dict,
+                        const sparql::LocalVocab* local) override {
+    std::string out;
+    for (size_t i = 0; i < vars.size() && i < row.size(); ++i) {
+      if (i) out += '\t';
+      if (row[i] == kInvalidId) continue;  // unbound: empty field
+      const rdf::Term* t = sparql::ResolveTerm(dict, local, row[i]);
+      if (t) out += t->ToNTriples();
+    }
+    out += '\n';
+    return out;
+  }
+
+  std::string Footer(StopCause cause) override {
+    if (cause == StopCause::kNone) return {};
+    return std::string("# stopped: ") + sparql::ToString(cause) + '\n';
+  }
+};
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<ResultEncoder> MakeResultEncoder(const std::string& format) {
+  if (format == "json") return std::make_unique<JsonEncoder>();
+  if (format == "tsv") return std::make_unique<TsvEncoder>();
+  return nullptr;
+}
+
+}  // namespace turbo::server

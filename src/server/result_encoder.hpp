@@ -1,0 +1,41 @@
+// Streamed SPARQL result encoders: emit Header / one fragment per row /
+// Footer strings the server hands to the chunked response writer, so a
+// result is encoded row-by-row as the cursor delivers — never materialized.
+//
+// Two formats: SPARQL 1.1 JSON results (application/sparql-results+json) and
+// TSV (text/tab-separated-values). When the stream stops early (deadline,
+// row budget, cancel) the footer carries an in-body marker — a "stopped"
+// member in JSON, a "# stopped: <cause>" comment line in TSV — because the
+// status line and headers are long gone by then.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rdf/dictionary.hpp"
+#include "sparql/local_vocab.hpp"
+#include "sparql/solver.hpp"
+
+namespace turbo::server {
+
+class ResultEncoder {
+ public:
+  virtual ~ResultEncoder() = default;
+
+  virtual const char* content_type() const = 0;
+  virtual std::string Header(const std::vector<std::string>& vars) = 0;
+  virtual std::string EncodeRow(const std::vector<std::string>& vars,
+                                const sparql::Row& row, const rdf::Dictionary& dict,
+                                const sparql::LocalVocab* local) = 0;
+  /// `cause` is kNone for a clean end of stream.
+  virtual std::string Footer(sparql::StopCause cause) = 0;
+};
+
+/// `format` is "json" or "tsv"; anything else returns null.
+std::unique_ptr<ResultEncoder> MakeResultEncoder(const std::string& format);
+
+/// Escapes for a JSON string literal (no surrounding quotes).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace turbo::server

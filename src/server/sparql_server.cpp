@@ -1,0 +1,378 @@
+#include "server/sparql_server.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "server/http.hpp"
+#include "server/result_encoder.hpp"
+
+namespace turbo::server {
+namespace {
+
+/// Accepted connections awaiting a worker. Unlike util::Channel this hands
+/// rejected/undrained fds back to the caller — sockets must be closed, not
+/// silently dropped. Admission counts idle workers: a connection is accepted
+/// when a worker is waiting for it OR the wait queue has room, so
+/// queue_depth = 0 means "serve up to `workers` connections, queue none".
+class ConnQueue {
+ public:
+  explicit ConnQueue(size_t cap) : cap_(cap) {}
+
+  /// False when saturated or closed — the acceptor answers 503 and closes.
+  bool TryPush(int fd) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || fds_.size() >= cap_ + idle_) return false;
+    fds_.push_back(fd);
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks for the next connection; -1 once closed and drained.
+  int Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++idle_;
+    ready_.wait(lock, [this] { return closed_ || !fds_.empty(); });
+    --idle_;
+    if (fds_.empty()) return -1;
+    int fd = fds_.front();
+    fds_.pop_front();
+    return fd;
+  }
+
+  /// Closes the queue and returns any connections nobody will serve.
+  std::vector<int> CloseAndDrain() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    std::vector<int> rest(fds_.begin(), fds_.end());
+    fds_.clear();
+    ready_.notify_all();
+    return rest;
+  }
+
+ private:
+  const size_t cap_;
+  std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<int> fds_;
+  size_t idle_ = 0;  ///< workers parked in Pop, ready to take a connection
+  bool closed_ = false;
+};
+
+uint64_t ParseU64(const std::string& s, uint64_t fallback) {
+  if (s.empty()) return fallback;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  return end == s.c_str() ? fallback : v;
+}
+
+}  // namespace
+
+struct SparqlServer::Impl {
+  const sparql::QueryEngine* engine;
+  ServerConfig config;
+  PlanCache plan_cache;
+  ConnQueue queue;
+
+  int listen_fd = -1;
+  uint16_t bound_port = 0;
+  std::thread acceptor;
+  std::vector<std::thread> workers;
+  std::atomic<bool> stopping{false};
+  bool started = false;
+
+  // Connections currently owned by workers, so Stop() can shut them down
+  // under a blocked read/write.
+  std::mutex conns_mu;
+  std::unordered_set<int> live_conns;
+
+  std::atomic<uint64_t> requests{0};
+  std::atomic<uint64_t> rejected_overload{0};
+  std::atomic<uint64_t> bad_requests{0};
+  std::atomic<uint32_t> in_flight{0};
+
+  Impl(const sparql::QueryEngine* e, ServerConfig c)
+      : engine(e),
+        config(c),
+        plan_cache(c.plan_cache_capacity),
+        queue(static_cast<size_t>(c.queue_depth < 0 ? 0 : c.queue_depth)) {}
+
+  void AcceptLoop() {
+    for (;;) {
+      int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        return;  // listener closed: Stop() is in progress
+      }
+      // Chunk frames are small writes; without TCP_NODELAY, Nagle + delayed
+      // ACK turns every response tail into a ~40ms stall.
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      if (stopping.load() || !queue.TryPush(fd)) {
+        // Admission control: never let connections queue unbounded — tell
+        // the client to back off now, while the answer is still cheap.
+        rejected_overload.fetch_add(1, std::memory_order_relaxed);
+        HttpResponseWriter w(fd);
+        w.WriteSimple(503, "text/plain", "server overloaded\n", {}, /*keep_alive=*/false);
+        ::close(fd);
+      }
+    }
+  }
+
+  void WorkerLoop() {
+    for (;;) {
+      int fd = queue.Pop();
+      if (fd < 0) return;
+      {
+        std::lock_guard<std::mutex> lock(conns_mu);
+        live_conns.insert(fd);
+      }
+      ServeConnection(fd);
+      {
+        std::lock_guard<std::mutex> lock(conns_mu);
+        live_conns.erase(fd);
+      }
+      ::close(fd);
+    }
+  }
+
+  void ServeConnection(int fd) {
+    std::string leftover;
+    while (!stopping.load()) {
+      HttpRequest req;
+      util::Status st = ReadHttpRequest(fd, &req, &leftover);
+      if (!st.ok()) {
+        if (st.message() != "connection closed") {
+          bad_requests.fetch_add(1, std::memory_order_relaxed);
+          HttpResponseWriter(fd).WriteSimple(400, "text/plain", st.message() + "\n", {},
+                                             false);
+        }
+        return;
+      }
+      in_flight.fetch_add(1, std::memory_order_relaxed);
+      bool keep = Dispatch(fd, req);
+      in_flight.fetch_sub(1, std::memory_order_relaxed);
+      if (!keep) return;
+    }
+  }
+
+  /// Returns whether the connection survives for another request.
+  bool Dispatch(int fd, const HttpRequest& req) {
+    bool keep_alive = req.header("connection") != "close";
+    HttpResponseWriter w(fd);
+    if (req.path == "/stats") {
+      ServerStats s = Snapshot();
+      std::string body =
+          "{\"requests\":" + std::to_string(s.requests) +
+          ",\"rejected_overload\":" + std::to_string(s.rejected_overload) +
+          ",\"bad_requests\":" + std::to_string(s.bad_requests) +
+          ",\"plan_cache\":{\"hits\":" + std::to_string(s.plan_cache_hits) +
+          ",\"misses\":" + std::to_string(s.plan_cache_misses) +
+          ",\"size\":" + std::to_string(plan_cache.size()) +
+          "},\"in_flight\":" + std::to_string(s.in_flight) + "}\n";
+      return w.WriteSimple(200, "application/json", body, {}, keep_alive) && keep_alive;
+    }
+    if (req.path != "/sparql") {
+      bad_requests.fetch_add(1, std::memory_order_relaxed);
+      return w.WriteSimple(404, "text/plain", "not found\n", {}, keep_alive) && keep_alive;
+    }
+    if (req.method != "GET" && req.method != "POST") {
+      bad_requests.fetch_add(1, std::memory_order_relaxed);
+      return w.WriteSimple(405, "text/plain", "use GET or POST\n", {}, keep_alive) &&
+             keep_alive;
+    }
+    return HandleQuery(&w, req, keep_alive) && keep_alive;
+  }
+
+  bool HandleQuery(HttpResponseWriter* w, const HttpRequest& req, bool keep_alive) {
+    requests.fetch_add(1, std::memory_order_relaxed);
+    std::string query = req.param("query");
+    if (query.empty() &&
+        req.header("content-type").find("application/sparql-query") != std::string::npos)
+      query = req.body;
+    if (query.empty()) {
+      bad_requests.fetch_add(1, std::memory_order_relaxed);
+      return w->WriteSimple(400, "text/plain", "missing query\n", {}, keep_alive);
+    }
+
+    // Per-request execution controls, clamped to the server-wide caps.
+    sparql::ExecOptions opts;
+    opts.streaming = req.param("stream") != "0";
+    opts.channel_capacity = static_cast<uint32_t>(ParseU64(
+        !req.param("capacity").empty() ? req.param("capacity")
+                                       : req.header("x-channel-capacity"),
+        config.default_channel_capacity));
+    opts.limit_budget = ParseU64(req.param("limit"), sparql::kNoBudget);
+    opts.row_budget = std::min(
+        config.max_row_budget,
+        ParseU64(!req.param("budget").empty() ? req.param("budget")
+                                              : req.header("x-row-budget"),
+                 sparql::kNoBudget));
+    uint64_t timeout_ms =
+        ParseU64(!req.param("timeout-ms").empty() ? req.param("timeout-ms")
+                                                  : req.header("x-timeout-ms"),
+                 config.default_timeout_ms);
+    if (timeout_ms > 0)
+      opts.deadline =
+          std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+
+    std::string format = req.param("format");
+    if (format.empty())
+      format = req.header("accept").find("tab-separated") != std::string::npos ? "tsv"
+                                                                               : "json";
+    std::unique_ptr<ResultEncoder> enc = MakeResultEncoder(format);
+    if (!enc) {
+      bad_requests.fetch_add(1, std::memory_order_relaxed);
+      return w->WriteSimple(400, "text/plain", "unknown format (json|tsv)\n", {},
+                            keep_alive);
+    }
+
+    PlanCache::Lookup looked = plan_cache.Get(*engine, query);
+    const char* cache_state = looked.hit ? "hit" : "miss";
+    if (!looked.plan.ok()) {
+      bad_requests.fetch_add(1, std::memory_order_relaxed);
+      return w->WriteSimple(400, "text/plain",
+                            "parse error: " + looked.plan.message() + "\n",
+                            {{"X-Plan-Cache", cache_state}}, keep_alive);
+    }
+    auto cursor = engine->Open(looked.plan.value(), opts);
+    if (!cursor.ok())
+      return w->WriteSimple(500, "text/plain", cursor.message() + "\n",
+                            {{"X-Plan-Cache", cache_state}}, keep_alive);
+    sparql::Cursor& cur = cursor.value();
+
+    // First Next before the status line commits: an early failure still
+    // gets a real status code instead of a 200 that trails off.
+    sparql::Row row;
+    bool has_row = cur.Next(&row);
+    if (!has_row && !cur.status().ok()) {
+      int code = cur.stop_cause() == sparql::StopCause::kDeadline ? 408 : 500;
+      return w->WriteSimple(code, "text/plain",
+                            cur.status().message() + " (stop cause: " +
+                                sparql::ToString(cur.stop_cause()) + ")\n",
+                            {{"X-Plan-Cache", cache_state}}, keep_alive);
+    }
+
+    if (!w->BeginChunked(200, enc->content_type(), {{"X-Plan-Cache", cache_state}},
+                         "X-Stop-Cause", keep_alive))
+      return false;
+    const std::vector<std::string>& vars = cur.var_names();
+    std::shared_ptr<const sparql::LocalVocab> vocab = cur.local_vocab();
+    const rdf::Dictionary& dict = engine->dict();
+
+    std::string buf = enc->Header(vars);
+    // The first row flushes immediately (time-to-first-byte tracks the
+    // cursor, not the batch); after that, batch up to ~8KB per chunk.
+    bool first_flush = true;
+    while (has_row) {
+      buf += enc->EncodeRow(vars, row, dict, vocab.get());
+      if (first_flush || buf.size() >= 8192) {
+        first_flush = false;
+        if (!w->Chunk(buf)) return false;  // client gone: abandon the cursor
+        buf.clear();
+      }
+      has_row = cur.Next(&row);
+    }
+    sparql::StopCause cause = cur.stop_cause();
+    buf += enc->Footer(cause);
+    if (!w->Chunk(buf)) return false;
+    return w->EndChunked({{"X-Stop-Cause", sparql::ToString(cause)}});
+  }
+
+  ServerStats Snapshot() const {
+    ServerStats s;
+    s.requests = requests.load(std::memory_order_relaxed);
+    s.rejected_overload = rejected_overload.load(std::memory_order_relaxed);
+    s.bad_requests = bad_requests.load(std::memory_order_relaxed);
+    s.plan_cache_hits = plan_cache.hits();
+    s.plan_cache_misses = plan_cache.misses();
+    s.in_flight = in_flight.load(std::memory_order_relaxed);
+    return s;
+  }
+};
+
+SparqlServer::SparqlServer(const sparql::QueryEngine* engine, ServerConfig config)
+    : impl_(std::make_unique<Impl>(engine, config)) {}
+
+SparqlServer::~SparqlServer() { Stop(); }
+
+util::Status SparqlServer::Start() {
+  Impl& s = *impl_;
+  s.listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (s.listen_fd < 0) return util::Status::Error("socket failed");
+  int one = 1;
+  ::setsockopt(s.listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(s.config.port);
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  if (::bind(s.listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(s.listen_fd);
+    s.listen_fd = -1;
+    return util::Status::Error(std::string("bind: ") + std::strerror(errno));
+  }
+  if (::listen(s.listen_fd, 64) != 0) {
+    ::close(s.listen_fd);
+    s.listen_fd = -1;
+    return util::Status::Error(std::string("listen: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(s.listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  s.bound_port = ntohs(addr.sin_port);
+
+  int workers = s.config.workers < 1 ? 1 : s.config.workers;
+  s.workers.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i)
+    s.workers.emplace_back([this] { impl_->WorkerLoop(); });
+  s.acceptor = std::thread([this] { impl_->AcceptLoop(); });
+  s.started = true;
+  return util::Status::Ok();
+}
+
+void SparqlServer::Stop() {
+  Impl& s = *impl_;
+  if (!s.started) return;  // idempotent (sequential calls; not a race-safe API)
+  s.started = false;
+  s.stopping.store(true);
+  // shutdown() fails the blocked accept() and the acceptor exits; it must go
+  // first so no new connections arrive below. The fd is closed only after
+  // the join — the acceptor re-reads listen_fd each iteration, so clearing
+  // it while that thread is live would race (and closing early could let a
+  // recycled fd number reach accept()).
+  if (s.listen_fd >= 0) ::shutdown(s.listen_fd, SHUT_RDWR);
+  if (s.acceptor.joinable()) s.acceptor.join();
+  if (s.listen_fd >= 0) {
+    ::close(s.listen_fd);
+    s.listen_fd = -1;
+  }
+  for (int fd : s.queue.CloseAndDrain()) ::close(fd);  // nobody will serve these
+  {
+    // Kick workers out of blocked reads/writes on live connections. The fd
+    // stays open (the worker closes it) — shutdown only fails the I/O.
+    std::lock_guard<std::mutex> lock(s.conns_mu);
+    for (int fd : s.live_conns) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& t : s.workers)
+    if (t.joinable()) t.join();
+  s.workers.clear();
+}
+
+uint16_t SparqlServer::port() const { return impl_->bound_port; }
+
+ServerStats SparqlServer::stats() const { return impl_->Snapshot(); }
+
+}  // namespace turbo::server

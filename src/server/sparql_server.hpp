@@ -1,0 +1,92 @@
+// SparqlServer: an HTTP SPARQL-protocol endpoint over one shared
+// QueryEngine — the service front-end the streaming query API was built
+// for. Zero external dependencies: raw POSIX sockets (server/http.hpp), a
+// bounded worker pool, and the engine's own concurrency contract (any
+// number of cursors in flight over one engine).
+//
+// Protocol surface:
+//   GET  /sparql?query=...      — query via query string
+//   POST /sparql                — form-urlencoded `query=` or a raw
+//                                 application/sparql-query body
+//   GET  /stats                 — JSON counters (requests, overload 503s,
+//                                 plan-cache hits/misses, in-flight gauge)
+//
+// Per-request execution controls (query parameters, with X- header
+// equivalents): `limit` (delivered-row cap), `budget` / X-Row-Budget
+// (pre-modifier row budget), `timeout-ms` / X-Timeout-Ms (deadline),
+// `capacity` / X-Channel-Capacity (streaming channel), `format` = json|tsv
+// (or Accept: text/tab-separated-values). Results stream with chunked
+// transfer encoding, one fragment per delivered row, so time-to-first-byte
+// tracks the cursor's first Next — not query completion.
+//
+// Status mapping: the first Next runs BEFORE the status line is committed,
+// so early failures get real codes — 400 parse error (parser message in the
+// body), 408 deadline before the first row, 500 other producer failures,
+// 503 admission-control overload. Stops after streaming has begun are
+// reported in-body (encoder footer) and in an X-Stop-Cause trailer.
+//
+// Threading: an acceptor thread hands accepted connections to a bounded
+// pool of workers; each connection is owned by one worker for its keep-alive
+// lifetime (thread-per-connection with a bounded pool). When the pool and
+// the wait queue are both full, the acceptor answers 503 immediately rather
+// than letting connections queue unbounded. A client that disconnects
+// mid-stream fails the next chunk write; the worker abandons the cursor,
+// which tears down the producer thread (no leak — the server tests assert
+// this).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "server/plan_cache.hpp"
+#include "sparql/query_engine.hpp"
+#include "util/status.hpp"
+
+namespace turbo::server {
+
+struct ServerConfig {
+  uint16_t port = 0;   ///< 0 = any free port (read it back via port())
+  int workers = 4;     ///< connection-serving threads (max concurrent conns)
+  int queue_depth = 16;  ///< accepted connections awaiting a free worker
+  size_t plan_cache_capacity = 64;
+  /// Server-wide defaults, applied when a request names no tighter value.
+  uint64_t default_timeout_ms = 0;  ///< 0 = no deadline
+  uint64_t max_row_budget = sparql::kNoBudget;
+  uint32_t default_channel_capacity = 64;
+};
+
+struct ServerStats {
+  uint64_t requests = 0;           ///< /sparql requests fully dispatched
+  uint64_t rejected_overload = 0;  ///< fast 503s from admission control
+  uint64_t bad_requests = 0;       ///< 400s (malformed HTTP or query)
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
+  uint32_t in_flight = 0;  ///< requests being served right now
+};
+
+class SparqlServer {
+ public:
+  /// The engine must outlive the server.
+  SparqlServer(const sparql::QueryEngine* engine, ServerConfig config);
+  ~SparqlServer();  ///< calls Stop()
+
+  SparqlServer(const SparqlServer&) = delete;
+  SparqlServer& operator=(const SparqlServer&) = delete;
+
+  /// Binds, listens, and spawns the acceptor + worker threads.
+  util::Status Start();
+  /// Stops accepting, shuts down live connections, joins all threads.
+  /// Idempotent.
+  void Stop();
+
+  /// The bound port (valid after Start).
+  uint16_t port() const;
+  ServerStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace turbo::server

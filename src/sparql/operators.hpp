@@ -172,9 +172,15 @@ struct Pipeline {
   }
 };
 
+/// Snapshot of per-operator (rows_in, rows_out) counts keyed by operator,
+/// for rendering an EXPLAIN of a tree whose live counters are still being
+/// mutated on another thread (the streaming cursor's mid-stream snapshot).
+using ExplainCounts = std::unordered_map<const RowOp*, std::pair<uint64_t, uint64_t>>;
+
 /// Renders the chain starting at `head` as an indented tree with per-
-/// operator row counts (EXPLAIN).
-std::string ExplainChain(const RowOp* head);
+/// operator row counts (EXPLAIN). With `counts`, the snapshot values are
+/// rendered instead of the operators' live counters.
+std::string ExplainChain(const RowOp* head, const ExplainCounts* counts = nullptr);
 
 // ---------------------------------------------------------------------------
 // Pattern-matching operators (the WHERE clause).
@@ -548,24 +554,43 @@ class CollectOp final : public RowOp {
 };
 
 /// Root sink for streaming cursors: hands each delivered row to the bounded
-/// delivery channel, blocking (with timeout-aware waits) while the consumer
-/// lags. A channel closed by the consumer — the cursor was abandoned — reads
-/// as a plain kStop, the same unwind LIMIT pushdown uses, so teardown
-/// terminates the subgraph search itself rather than just the delivery. An
-/// aborted push (cancel/deadline/abandon fired while blocked) records the
-/// control's error before stopping.
+/// delivery channel, blocking while the consumer lags. A channel closed by
+/// the consumer — the cursor was abandoned — reads as a plain kStop, the
+/// same unwind LIMIT pushdown uses, so teardown terminates the subgraph
+/// search itself rather than just the delivery.
+///
+/// The wait flavour depends on the execution's abort sources: a cancel token
+/// or deadline has no condvar hookup, so its presence forces the channel's
+/// sliced, polling wait (an aborted push records the control's error before
+/// stopping). With neither present the sink blocks in the channel's plain
+/// untimed wait — abandonment is always paired with CloseConsumer, which
+/// wakes it — so an abort-free stream never takes a spurious timed wakeup.
+///
+/// `on_deliver` (optional) runs on the producer thread once per row, just
+/// before the row is handed to the channel — the cursor's hook for
+/// publishing a consistent mid-stream EXPLAIN snapshot.
 class ChannelSink final : public RowOp {
  public:
-  ChannelSink(util::Channel<Row>* channel, ExecState* state)
+  ChannelSink(util::Channel<Row>* channel, std::function<void()> on_deliver,
+              ExecState* state)
       : RowOp("ChannelSink{cap=" + std::to_string(channel->capacity()) + "}",
               nullptr, state),
-        channel_(channel) {}
+        channel_(channel),
+        on_deliver_(std::move(on_deliver)) {}
 
   EmitResult DoPush(const Row& row) override {
-    auto op = channel_->Push(row, [this] {
-      const EvalControl& c = state()->control;
-      return c.abandoned() || c.cancelled() || c.expired();
-    });
+    // Snapshot before the push: once the consumer has popped row k, the
+    // published snapshot is guaranteed to cover at least k delivered rows.
+    if (on_deliver_) on_deliver_();
+    const EvalControl& c = state()->control;
+    const bool needs_probe = c.cancel != nullptr || c.has_deadline();
+    auto op = needs_probe
+                  ? channel_->Push(row,
+                                   [&c] {
+                                     return c.abandoned() || c.cancelled() ||
+                                            c.expired();
+                                   })
+                  : channel_->Push(row);
     if (op == util::Channel<Row>::Op::kOk) return EmitResult::kContinue;
     if (op == util::Channel<Row>::Op::kAborted)
       state()->Fail(state()->control.Check(),
@@ -575,6 +600,7 @@ class ChannelSink final : public RowOp {
 
  private:
   util::Channel<Row>* channel_;
+  std::function<void()> on_deliver_;
 };
 
 }  // namespace turbo::sparql

@@ -276,10 +276,20 @@ struct Cursor::State {
   std::atomic<bool> producer_done{false};
   bool stream_ended = false;  ///< consumer-side: status/counters settled
 
+  // Mid-stream EXPLAIN snapshot: the producer publishes a copy of every
+  // operator's (rows_in, rows_out) pair — in pipe.ops order — under
+  // explain_mu just before each row is handed to the delivery channel.
+  // Publishing happens strictly after the operator tree is built, so a
+  // consumer that observes a non-empty snapshot under the same mutex may
+  // also walk the (by then immutable) tree structure.
+  std::mutex explain_mu;
+  std::vector<std::pair<uint64_t, uint64_t>> explain_snapshot;
+
   ~State();
   void Run();             // materialized execution (sink = CollectOp)
   void StartStreaming();  // create the channel, spawn the producer
   void ProducerMain();
+  void PublishExplainSnapshot();
   void RunPipeline(bool streaming);
   /// Joins the producer and settles status/cause/counters. A non-Ok
   /// `consumer_status` (the consumer's own cancel/deadline trip) takes
@@ -357,6 +367,13 @@ void Cursor::State::StartStreaming() {
   producer = std::thread([this] { ProducerMain(); });
 }
 
+void Cursor::State::PublishExplainSnapshot() {
+  std::lock_guard<std::mutex> lock(explain_mu);
+  explain_snapshot.resize(pipe.ops.size());
+  for (size_t i = 0; i < pipe.ops.size(); ++i)
+    explain_snapshot[i] = {pipe.ops[i]->rows_in(), pipe.ops[i]->rows_out()};
+}
+
 void Cursor::State::ProducerMain() {
   // The library reports failures through Status, but a producer thread must
   // not let anything escape — an exception here would terminate the
@@ -425,9 +442,11 @@ void Cursor::State::RunPipeline(bool streaming) {
   }
 
   // ---- Build the modifier chain, back to front. ----
-  RowOp* cur = streaming
-                   ? static_cast<RowOp*>(pipe.Make<ChannelSink>(channel.get(), st))
-                   : static_cast<RowOp*>(pipe.Make<CollectOp>(&rows, st));
+  RowOp* cur =
+      streaming
+          ? static_cast<RowOp*>(pipe.Make<ChannelSink>(
+                channel.get(), [this] { PublishExplainSnapshot(); }, st))
+          : static_cast<RowOp*>(pipe.Make<CollectOp>(&rows, st));
   cur = pipe.Make<SliceOp>(static_cast<uint64_t>(q.offset), limit, cur, st);
 
   if (!q.order_by.empty()) {
@@ -519,12 +538,18 @@ bool Cursor::Next(Row* row) {
     if (s.stream_ended) return false;
     // The consumer observes its own cancel/deadline while blocked on an
     // empty channel — the producer may be wedged deep in a pipeline breaker
-    // where no row will ever arrive to wake us.
+    // where no row will ever arrive to wake us. Without either abort source
+    // the wait is plain and untimed: every event that can end it (a row
+    // arriving, the producer closing) notifies the channel's condvar.
     EvalControl consumer;
     consumer.cancel = s.opts.cancel_token;
     consumer.deadline = s.opts.deadline;
-    auto op = s.channel->Pop(
-        row, [&consumer] { return consumer.cancelled() || consumer.expired(); });
+    const bool needs_probe = consumer.cancel != nullptr || consumer.has_deadline();
+    auto op = needs_probe
+                  ? s.channel->Pop(row, [&consumer] {
+                      return consumer.cancelled() || consumer.expired();
+                    })
+                  : s.channel->Pop(row);
     if (op == util::Channel<Row>::Op::kOk) return true;
     if (op == util::Channel<Row>::Op::kAborted)
       s.Settle(consumer.Check(), CauseOf(consumer, StopCause::kCancelled));
@@ -578,12 +603,24 @@ std::string Cursor::Explain() {
     else
       s.Run();
   }
-  // A still-running streaming producer is mutating the per-operator counts;
-  // report in-progress instead of racing it. producer_done is a release
-  // store after the pipeline's last write, so once observed the tree is
-  // stable even before Settle runs.
-  if (s.opts.streaming && !s.producer_done.load(std::memory_order_acquire))
-    return "(streaming execution in progress; Explain settles at end of stream)\n";
+  // A still-running streaming producer is mutating the per-operator counts,
+  // so never render the live tree mid-stream. Instead render the snapshot
+  // the producer publishes at every delivery boundary: a mutually consistent
+  // copy of all counters taken just before a row was handed to the channel.
+  // producer_done is a release store after the pipeline's last write, so
+  // once observed the live tree is stable even before Settle runs.
+  if (s.opts.streaming && !s.producer_done.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(s.explain_mu);
+    if (s.explain_snapshot.empty())
+      return "(streaming execution in progress; no rows delivered yet)\n";
+    // A non-empty snapshot was published under explain_mu after the tree
+    // was fully built, so walking the structure here is race-free.
+    ExplainCounts counts;
+    for (size_t i = 0; i < s.pipe.ops.size() && i < s.explain_snapshot.size(); ++i)
+      counts[s.pipe.ops[i].get()] = s.explain_snapshot[i];
+    return "(streaming snapshot at last delivered row; counts still advancing)\n" +
+           ExplainChain(s.pipe.head, &counts);
+  }
   if (!s.pipe.head) return "(not executed: empty LIMIT or pre-run stop)\n";
   return ExplainChain(s.pipe.head);
 }

@@ -189,9 +189,12 @@ class Cursor {
 
   /// The executed operator tree with per-operator row counts, one line per
   /// operator (the `sparql_shell --explain` output). Runs the query first
-  /// if it has not run yet. While a streaming producer is still running the
-  /// counts are in flux, so this returns a placeholder until the stream
-  /// ends.
+  /// if it has not run yet. While a streaming producer is still running,
+  /// this renders the stable snapshot the producer publishes at every
+  /// delivery boundary — a mutually consistent copy of all counters as of
+  /// the last row handed to the delivery channel (prefixed with a note that
+  /// counts are still advancing) — and the final counts once the stream
+  /// ends or the producer has finished.
   std::string Explain();
 
  private:
@@ -216,6 +219,18 @@ std::string FormatRow(const std::vector<std::string>& var_names, const Row& row,
 
 /// Owns a dataset, its derived index structures, and one BgpSolver; or wraps
 /// a caller-owned solver. The facade for everything above the BGP layer.
+///
+/// Thread-safety contract (enforced — the HTTP endpoint and the concurrent-
+/// cursor torture test drive it, and the TSan CI job checks it): one engine
+/// may serve any number of threads concurrently. Prepare() and Open() are
+/// const and touch only immutable or internally synchronized state; a
+/// PreparedQuery is immutable after Prepare and shareable across threads;
+/// each Cursor is single-consumer but any number of cursors (materialized,
+/// streaming, or abandoned mid-stream) may be in flight over the same
+/// engine at once — the solvers' shared mutable state (the RegionArena
+/// pool, the cumulative MatchStats) is mutex-protected. The only
+/// non-thread-safe surface is TurboBgpSolver::mutable_options(), which must
+/// not be called while cursors are open.
 class QueryEngine {
  public:
   enum class SolverKind : uint8_t {

@@ -106,6 +106,20 @@ enum class StopCause : uint8_t {
   kProducerFailed,  ///< solver/pipeline raised an error of its own
 };
 
+/// Short stable name for a StopCause — what `sparql_shell` prints to stderr
+/// and the HTTP endpoint sends in its X-Stop-Cause header.
+inline const char* ToString(StopCause cause) {
+  switch (cause) {
+    case StopCause::kNone: return "none";
+    case StopCause::kRowBudget: return "row budget";
+    case StopCause::kCancelled: return "cancelled";
+    case StopCause::kDeadline: return "deadline";
+    case StopCause::kAbandoned: return "abandoned";
+    case StopCause::kProducerFailed: return "producer failed";
+  }
+  return "unknown";
+}
+
 /// Maps a tripped EvalControl to its cause; `fallback` is used when no
 /// control signal fired (i.e. the producer itself failed).
 inline StopCause CauseOf(const EvalControl& control, StopCause fallback) {

@@ -426,7 +426,7 @@ util::Status TurboBgpSolver::EvaluateOne(const std::vector<TriplePattern>& bgp,
           if (emit_mapping() == EmitResult::kStop) sink_stopped = true;
           return !sink_stopped;
         });
-    last_stats_.MergeFrom(stats);
+    MergeStats(stats);
     // Surface a cancel/deadline error only when it actually cut the
     // enumeration short — a signal that trips after completion (or after
     // the sink's own kStop) must not retroactively spoil a full answer.
@@ -458,7 +458,7 @@ util::Status TurboBgpSolver::EvaluateOne(const std::vector<TriplePattern>& bgp,
       engine::Matcher matcher(g_, mopts, &arena_pool_);
       engine::MatchStats stats;
       comp_solutions[c] = matcher.FindAll(sub, &stats);
-      last_stats_.MergeFrom(stats);
+      MergeStats(stats);
       // FindAll has no sink, so an early stop here can only mean the
       // cancel/deadline fired mid-enumeration.
       if (stats.stopped_early)

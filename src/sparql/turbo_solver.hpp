@@ -9,6 +9,8 @@
 // adjacency lists (Definition 2's Me).
 #pragma once
 
+#include <mutex>
+
 #include "engine/engine.hpp"
 #include "graph/data_graph.hpp"
 #include "sparql/solver.hpp"
@@ -31,10 +33,19 @@ class TurboBgpSolver : public BgpSolver {
   engine::MatchOptions& mutable_options() { return options_; }
   const engine::MatchOptions& options() const { return options_; }
 
-  /// Cumulative engine statistics across Evaluate calls. (Stats are mutable
-  /// bookkeeping, so resetting through a const facade pointer is fine.)
-  const engine::MatchStats& last_stats() const { return last_stats_; }
-  void ResetStats() const { last_stats_ = {}; }
+  /// Cumulative engine statistics across Evaluate calls, as a snapshot —
+  /// concurrent cursors over one shared solver merge into the accumulator
+  /// under a lock, so returning a reference would hand out a torn read.
+  /// (Stats are mutable bookkeeping, so resetting through a const facade
+  /// pointer is fine.)
+  engine::MatchStats last_stats() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return last_stats_;
+  }
+  void ResetStats() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    last_stats_ = {};
+  }
 
   /// RegionArena pool shared by every Matcher this solver spawns, so
   /// candidate-region memory is reused across Evaluate calls (the executor
@@ -47,10 +58,16 @@ class TurboBgpSolver : public BgpSolver {
                            const Row& bound, const std::vector<const FilterExpr*>& pushable,
                            const RowSink& emit, const EvalControl& control) const;
 
+  void MergeStats(const engine::MatchStats& stats) const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    last_stats_.MergeFrom(stats);
+  }
+
   const graph::DataGraph& g_;
   const rdf::Dictionary& dict_;
   engine::MatchOptions options_;
-  mutable engine::MatchStats last_stats_;
+  mutable std::mutex stats_mu_;
+  mutable engine::MatchStats last_stats_;  ///< guarded by stats_mu_
   mutable engine::ArenaPool arena_pool_;
 };
 

@@ -2,17 +2,24 @@
 //
 // The streaming cursor runs the operator pipeline on a producer thread and
 // pops delivered rows at the consumer's pace; this channel is the handoff.
-// Both ends block on condition variables, but every wait is sliced so a
-// caller-supplied abort predicate (cancel token, deadline, abandoned cursor)
-// is observed even while the producer is parked on a full channel or the
-// consumer on an empty one — no external signal ever has to wake the
-// condvar for the stop to be noticed.
+// Both ends block on condition variables. A caller that has an abort source
+// the channel cannot see (a cancel token or a deadline — nothing ever
+// notifies the condvar for those) passes an abort predicate, and the wait is
+// sliced so the predicate is polled even while the producer is parked on a
+// full channel or the consumer on an empty one. A caller with no such
+// source uses the predicate-free overloads, which block in a plain
+// untimed wait: every event that can end the wait (an item arriving, either
+// end closing) notifies the condvar, so timed polling would be pure wasted
+// wakeups. timed_wait_slices() counts the sliced waits so tests can assert
+// the abort-free path never spuriously wakes.
 //
 // Protocol:
 //   - producer: Push(...) until done or aborted, then CloseProducer().
 //   - consumer: Pop(...) until kClosed, or CloseConsumer() to walk away —
 //     that drops any buffered rows and turns every subsequent Push into
 //     kClosed, which the pipeline treats like a LIMIT-style kStop.
+//     CloseConsumer also wakes a producer blocked in an untimed Push, which
+//     is why cursor abandonment needs no timed probe.
 //
 // Multiple producers are safe (parallel solver workers each reach the
 // ChannelSink under the engine's delivery mutex today, but the channel does
@@ -52,12 +59,22 @@ class Channel {
       if (consumer_closed_) return Op::kClosed;
       if (items_.size() < cap_) break;
       if (abort()) return Op::kAborted;
+      ++timed_wait_slices_;
       not_full_.wait_for(lock, kWaitSlice);
     }
-    items_.push_back(std::move(item));
-    if (items_.size() > peak_) peak_ = items_.size();
-    lock.unlock();
-    not_empty_.notify_one();
+    DoPush(std::move(item), &lock);
+    return Op::kOk;
+  }
+
+  /// Abort-free push: blocks untimed while the channel is full. Only a
+  /// consumer event can end the wait (space freed by Pop, or CloseConsumer),
+  /// and both notify — no polling, no spurious timed wakeups.
+  Op Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return consumer_closed_ || items_.size() < cap_; });
+    if (consumer_closed_) return Op::kClosed;
+    DoPush(std::move(item), &lock);
     return Op::kOk;
   }
 
@@ -70,12 +87,20 @@ class Channel {
       if (!items_.empty()) break;
       if (producer_closed_) return Op::kClosed;
       if (abort()) return Op::kAborted;
+      ++timed_wait_slices_;
       not_empty_.wait_for(lock, kWaitSlice);
     }
-    *out = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
+    DoPop(out, &lock);
+    return Op::kOk;
+  }
+
+  /// Abort-free pop: blocks untimed until an item arrives or the producer
+  /// closes — both producer events notify, so no timed polling is needed.
+  Op Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return producer_closed_ || !items_.empty(); });
+    if (items_.empty()) return Op::kClosed;
+    DoPop(out, &lock);
     return Op::kOk;
   }
 
@@ -107,6 +132,13 @@ class Channel {
     return peak_;
   }
 
+  /// Number of sliced (timed) waits taken so far. Zero on the abort-free
+  /// Push/Pop overloads by construction — the busy-wakeup regression guard.
+  uint64_t timed_wait_slices() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return timed_wait_slices_;
+  }
+
   size_t size() const {
     std::lock_guard<std::mutex> lock(mu_);
     return items_.size();
@@ -117,12 +149,27 @@ class Channel {
   // idle blocked end costs nothing measurable.
   static constexpr std::chrono::milliseconds kWaitSlice{2};
 
+  void DoPush(T item, std::unique_lock<std::mutex>* lock) {
+    items_.push_back(std::move(item));
+    if (items_.size() > peak_) peak_ = items_.size();
+    lock->unlock();
+    not_empty_.notify_one();
+  }
+
+  void DoPop(T* out, std::unique_lock<std::mutex>* lock) {
+    *out = std::move(items_.front());
+    items_.pop_front();
+    lock->unlock();
+    not_full_.notify_one();
+  }
+
   const size_t cap_;
   mutable std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
   std::deque<T> items_;
   uint64_t peak_ = 0;
+  uint64_t timed_wait_slices_ = 0;
   bool producer_closed_ = false;
   bool consumer_closed_ = false;
 };

@@ -1,0 +1,442 @@
+// HTTP SPARQL endpoint tests, all over an in-process SparqlServer on an
+// ephemeral port:
+//  * protocol: JSON/TSV result encoding matches Executor::Execute row for
+//    row; X-Plan-Cache miss-then-hit with identical rows; malformed queries
+//    get a 400 whose body carries the parse error; per-request deadline maps
+//    to 408 before the first row and an in-body stop marker after it;
+//  * admission control: a saturated worker pool answers 503 immediately and
+//    recovers once the pool drains;
+//  * teardown: a client that disconnects mid-stream abandons the cursor and
+//    stops the producer (no leaked producer thread — Stop() joins
+//    everything, and the suite runs under ASan/TSan in CI);
+//  * scale: 64 concurrent in-flight streaming requests over one shared
+//    engine, every response row-identical to the materialized reference.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/http.hpp"
+#include "server/result_encoder.hpp"
+#include "server/sparql_server.hpp"
+#include "sparql/executor.hpp"
+#include "sparql/query_engine.hpp"
+#include "workload/lubm.hpp"
+
+namespace turbo::server {
+namespace {
+
+using sparql::QueryEngine;
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+const char* const kProfessorQuery =
+    "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#> "
+    "SELECT ?x ?y WHERE { ?x a ub:FullProfessor . ?x ub:worksFor ?y . }";
+
+/// One shared LUBM(1) engine + server for the protocol tests (building the
+/// engine dominates the suite's runtime, so it is paid once).
+class ServerProtocolTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload::LubmConfig cfg;
+    cfg.num_universities = 1;
+    engine_ = new QueryEngine(workload::GenerateLubmClosed(cfg));
+    ServerConfig config;
+    config.workers = 4;
+    server_ = new SparqlServer(engine_, config);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+  static void TearDownTestSuite() {
+    delete server_;
+    server_ = nullptr;
+    delete engine_;
+    engine_ = nullptr;
+  }
+
+  static std::string UrlEncode(const std::string& s) {
+    std::string out;
+    char buf[8];
+    for (unsigned char c : s) {
+      if (std::isalnum(c)) {
+        out += static_cast<char>(c);
+      } else {
+        std::snprintf(buf, sizeof buf, "%%%02X", c);
+        out += buf;
+      }
+    }
+    return out;
+  }
+
+  static HttpResponse Get(const std::string& target) {
+    HttpResponse resp;
+    auto st = HttpGet(server_->port(), target, &resp);
+    EXPECT_TRUE(st.ok()) << st.message();
+    return resp;
+  }
+
+  /// The materialized reference for `query`, rendered through the same
+  /// encoder — byte-for-byte what a complete streamed body must equal.
+  static std::string Reference(const std::string& query, const std::string& format) {
+    sparql::Executor ex(&engine_->solver());
+    auto rs = ex.Execute(query);
+    EXPECT_TRUE(rs.ok()) << rs.message();
+    auto enc = MakeResultEncoder(format);
+    std::string out = enc->Header(rs.value().var_names);
+    for (const auto& row : rs.value().rows)
+      out += enc->EncodeRow(rs.value().var_names, row, engine_->dict(),
+                            rs.value().local_vocab.get());
+    out += enc->Footer(sparql::StopCause::kNone);
+    return out;
+  }
+
+  static QueryEngine* engine_;
+  static SparqlServer* server_;
+};
+
+QueryEngine* ServerProtocolTest::engine_ = nullptr;
+SparqlServer* ServerProtocolTest::server_ = nullptr;
+
+TEST_F(ServerProtocolTest, TsvBodyMatchesMaterializedReference) {
+  HttpResponse resp = Get("/sparql?format=tsv&query=" + UrlEncode(kProfessorQuery));
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.headers["content-type"], "text/tab-separated-values");
+  EXPECT_EQ(resp.headers["x-stop-cause"], "none");
+  EXPECT_EQ(resp.body, Reference(kProfessorQuery, "tsv"));
+  EXPECT_GT(std::count(resp.body.begin(), resp.body.end(), '\n'), 10);
+}
+
+TEST_F(ServerProtocolTest, JsonBodyMatchesMaterializedReference) {
+  HttpResponse resp = Get("/sparql?query=" + UrlEncode(kProfessorQuery));
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.headers["content-type"], "application/sparql-results+json");
+  EXPECT_EQ(resp.body, Reference(kProfessorQuery, "json"));
+}
+
+TEST_F(ServerProtocolTest, PostFormAndRawBodyBothWork) {
+  int fd = DialLocal(server_->port());
+  ASSERT_GE(fd, 0);
+  std::string leftover;
+  HttpResponse resp;
+  ASSERT_TRUE(WriteHttpRequest(fd, "POST", "/sparql?format=tsv",
+                               {{"Content-Type", "application/x-www-form-urlencoded"}},
+                               "query=" + UrlEncode(kProfessorQuery))
+                  .ok());
+  ASSERT_TRUE(ReadHttpResponse(fd, &resp, &leftover).ok());
+  EXPECT_EQ(resp.status, 200);
+  std::string form_body = resp.body;
+  // Keep-alive: the raw-body POST rides the same connection.
+  ASSERT_TRUE(WriteHttpRequest(fd, "POST", "/sparql?format=tsv",
+                               {{"Content-Type", "application/sparql-query"}},
+                               kProfessorQuery)
+                  .ok());
+  ASSERT_TRUE(ReadHttpResponse(fd, &resp, &leftover).ok());
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.body, form_body);
+  ::close(fd);
+}
+
+TEST_F(ServerProtocolTest, PlanCacheMissThenHitWithIdenticalRows) {
+  // A query text unique to this test: first sight must miss, the exact
+  // reformatted text must hit (whitespace-normalized key) with equal rows.
+  std::string q =
+      "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#> "
+      "SELECT ?d WHERE { ?d a ub:Department . } LIMIT 9";
+  std::string reformatted =
+      "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\n  "
+      "SELECT ?d\nWHERE  { ?d a ub:Department . }\tLIMIT 9";
+  HttpResponse miss = Get("/sparql?format=tsv&query=" + UrlEncode(q));
+  HttpResponse hit = Get("/sparql?format=tsv&query=" + UrlEncode(reformatted));
+  EXPECT_EQ(miss.status, 200);
+  EXPECT_EQ(hit.status, 200);
+  EXPECT_EQ(miss.headers["x-plan-cache"], "miss");
+  EXPECT_EQ(hit.headers["x-plan-cache"], "hit");
+  EXPECT_EQ(miss.body, hit.body);
+}
+
+TEST_F(ServerProtocolTest, MalformedQueryGets400WithParseError) {
+  HttpResponse resp = Get("/sparql?query=" + UrlEncode("SELECT WHERE {{{"));
+  EXPECT_EQ(resp.status, 400);
+  EXPECT_NE(resp.body.find("parse error"), std::string::npos) << resp.body;
+  HttpResponse missing = Get("/sparql");
+  EXPECT_EQ(missing.status, 400);
+  EXPECT_NE(missing.body.find("missing query"), std::string::npos);
+}
+
+TEST_F(ServerProtocolTest, UnknownPathAndMethod) {
+  HttpResponse resp = Get("/nope");
+  EXPECT_EQ(resp.status, 404);
+  int fd = DialLocal(server_->port());
+  ASSERT_GE(fd, 0);
+  std::string leftover;
+  ASSERT_TRUE(WriteHttpRequest(fd, "DELETE", "/sparql").ok());
+  ASSERT_TRUE(ReadHttpResponse(fd, &resp, &leftover).ok());
+  EXPECT_EQ(resp.status, 405);
+  ::close(fd);
+}
+
+TEST_F(ServerProtocolTest, StatsEndpointCounts) {
+  HttpResponse resp = Get("/stats");
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_NE(resp.body.find("\"plan_cache\""), std::string::npos);
+  EXPECT_NE(resp.body.find("\"requests\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic-solver servers: deterministic control over producer behaviour.
+// ---------------------------------------------------------------------------
+
+/// Emits `total` width-1 rows; optionally blocks at a gate until the test
+/// releases it (honouring control, so abandoned cursors still terminate).
+class GateSolver final : public sparql::BgpSolver {
+ public:
+  GateSolver(const rdf::Dictionary& dict, uint64_t total, bool gated)
+      : dict_(dict), total_(total), gated_(gated) {}
+
+  util::Status Evaluate(const std::vector<sparql::TriplePattern>&,
+                        const sparql::VarRegistry&, const sparql::Row&,
+                        const std::vector<const sparql::FilterExpr*>&,
+                        const sparql::RowSink& emit,
+                        const sparql::EvalControl& control) const override {
+    util::Status st = Run(emit, control);
+    finished_.fetch_add(1, std::memory_order_relaxed);
+    return st;
+  }
+  const rdf::Dictionary& dict() const override { return dict_; }
+
+  /// Blocks until `n` Evaluate calls are waiting at the gate.
+  void WaitForActive(int n) const {
+    std::unique_lock<std::mutex> lock(mu_);
+    entered_.wait(lock, [&] { return active_ >= n; });
+  }
+  void Release() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    released_ = true;
+    released_cv_.notify_all();
+  }
+  /// Evaluate calls that have returned — however the enumeration ended
+  /// (completion, downstream kStop, abandon/cancel/deadline trip).
+  uint64_t finished() const { return finished_.load(std::memory_order_relaxed); }
+
+ private:
+  util::Status Run(const sparql::RowSink& emit,
+                   const sparql::EvalControl& control) const {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ++active_;
+      entered_.notify_all();
+      while (gated_ && !released_) {
+        if (auto st = control.Check(); !st.ok()) {
+          --active_;
+          return st;
+        }
+        released_cv_.wait_for(lock, milliseconds(2));
+      }
+      --active_;
+    }
+    sparql::Row r(2, 0);
+    const TermId n = static_cast<TermId>(dict_.size());
+    for (uint64_t i = 0; i < total_; ++i) {
+      if (auto st = control.Check(); !st.ok()) return st;
+      r[0] = static_cast<TermId>(i % n);
+      r[1] = static_cast<TermId>((i + 1) % n);
+      if (emit(r) == sparql::EmitResult::kStop) return util::Status::Ok();
+    }
+    return util::Status::Ok();
+  }
+
+  const rdf::Dictionary& dict_;
+  const uint64_t total_;
+  const bool gated_;
+  mutable std::mutex mu_;
+  mutable std::condition_variable entered_, released_cv_;
+  mutable int active_ = 0;
+  mutable bool released_ = false;
+  mutable std::atomic<uint64_t> finished_{0};
+};
+
+rdf::Dataset TinyData() {
+  rdf::Dataset ds;
+  for (int i = 0; i < 8; ++i)
+    ds.Add(rdf::Term::Iri("http://x/s" + std::to_string(i)),
+           rdf::Term::Iri("http://x/p"),
+           rdf::Term::Iri("http://x/o" + std::to_string(i)));
+  return ds;
+}
+
+const char* const kPairQuery = "SELECT ?s ?o WHERE { ?s <http://x/p> ?o . }";
+
+TEST(ServerAdmission, SaturatedPoolAnswers503ThenRecovers) {
+  rdf::Dataset ds = TinyData();
+  GateSolver solver(ds.dict(), 4, /*gated=*/true);
+  QueryEngine engine(&solver);
+  ServerConfig config;
+  config.workers = 1;
+  config.queue_depth = 0;  // one in flight, zero waiting: the tightest pool
+  SparqlServer server(&engine, config);
+  ASSERT_TRUE(server.Start().ok());
+
+  // First request occupies the only worker, held at the solver gate.
+  int fd = DialLocal(server.port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(
+      WriteHttpRequest(fd, "GET", "/sparql?format=tsv&query=" +
+                                      std::string("SELECT%20?s%20?o%20WHERE%20%7B%20"
+                                                  "?s%20%3Chttp://x/p%3E%20?o%20.%20%7D"))
+          .ok());
+  solver.WaitForActive(1);
+
+  // Saturated: the acceptor must reject instantly, not queue.
+  HttpResponse rejected;
+  ASSERT_TRUE(HttpGet(server.port(), "/stats", &rejected).ok());
+  EXPECT_EQ(rejected.status, 503);
+  EXPECT_GE(server.stats().rejected_overload, 1u);
+
+  solver.Release();
+  HttpResponse first;
+  std::string leftover;
+  ASSERT_TRUE(ReadHttpResponse(fd, &first, &leftover).ok());
+  EXPECT_EQ(first.status, 200);
+  ::close(fd);
+
+  // Worker freed: served again (retry while the worker re-parks).
+  HttpResponse again;
+  for (int i = 0; i < 200; ++i) {
+    if (HttpGet(server.port(), "/stats", &again).ok() && again.status == 200) break;
+    std::this_thread::sleep_for(milliseconds(5));
+  }
+  EXPECT_EQ(again.status, 200);
+  server.Stop();
+}
+
+TEST(ServerTeardown, MidStreamDisconnectAbandonsCursor) {
+  rdf::Dataset ds = TinyData();
+  // Far more rows than any socket buffer holds, so the worker is guaranteed
+  // to still be streaming when the client vanishes.
+  GateSolver solver(ds.dict(), 50'000'000, /*gated=*/false);
+  QueryEngine engine(&solver);
+  SparqlServer server(&engine, ServerConfig{});
+  ASSERT_TRUE(server.Start().ok());
+
+  int fd = DialLocal(server.port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(
+      WriteHttpRequest(fd, "GET", "/sparql?format=tsv&capacity=4&query=" +
+                                      std::string("SELECT%20?s%20?o%20WHERE%20%7B%20"
+                                                  "?s%20%3Chttp://x/p%3E%20?o%20.%20%7D"))
+          .ok());
+  // Read a little of the stream, then vanish.
+  std::string leftover;
+  ASSERT_TRUE(WaitForResponseByte(fd, &leftover));
+  ::close(fd);
+
+  // The next chunk write fails, the worker abandons the cursor, and cursor
+  // teardown propagates kStop / abandon into the solver enumeration — the
+  // producer's Evaluate must return long before its 50M rows are done.
+  steady_clock::time_point deadline = steady_clock::now() + std::chrono::seconds(30);
+  while (solver.finished() == 0 && steady_clock::now() < deadline)
+    std::this_thread::sleep_for(milliseconds(5));
+  EXPECT_EQ(solver.finished(), 1u);
+  server.Stop();  // joins acceptor + workers: nothing may still be running
+}
+
+TEST(ServerScale, SixtyFourConcurrentStreamingRequests) {
+  rdf::Dataset ds = TinyData();
+  constexpr int kClients = 64;
+  constexpr uint64_t kRows = 300;
+  GateSolver solver(ds.dict(), kRows, /*gated=*/true);
+  QueryEngine engine(&solver);
+  ServerConfig config;
+  config.workers = kClients + 4;
+  config.queue_depth = kClients;
+  SparqlServer server(&engine, config);
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::string target =
+      "/sparql?format=tsv&capacity=2&query=SELECT%20?s%20?o%20WHERE%20%7B%20"
+      "?s%20%3Chttp://x/p%3E%20?o%20.%20%7D";
+  std::vector<int> fds(kClients, -1);
+  for (int i = 0; i < kClients; ++i) {
+    fds[i] = DialLocal(server.port());
+    ASSERT_GE(fds[i], 0);
+    ASSERT_TRUE(WriteHttpRequest(fds[i], "GET", target).ok());
+  }
+  // All 64 producers held at the gate at once: 64 streaming cursors are in
+  // flight over one shared engine, each on its own worker thread.
+  solver.WaitForActive(kClients);
+  solver.Release();
+
+  // Row-for-row parity: every body equals the materialized reference.
+  sparql::Executor ex(&engine.solver());
+  auto prepared = engine.Prepare(kPairQuery);
+  ASSERT_TRUE(prepared.ok());
+  std::string expected;
+  {
+    auto enc = MakeResultEncoder("tsv");
+    auto rs = ex.Execute(kPairQuery);
+    ASSERT_TRUE(rs.ok());
+    ASSERT_EQ(rs.value().rows.size(), kRows);
+    expected = enc->Header(rs.value().var_names);
+    for (const auto& row : rs.value().rows)
+      expected += enc->EncodeRow(rs.value().var_names, row, engine.dict(),
+                                 rs.value().local_vocab.get());
+    expected += enc->Footer(sparql::StopCause::kNone);
+  }
+  for (int i = 0; i < kClients; ++i) {
+    HttpResponse resp;
+    std::string leftover;
+    ASSERT_TRUE(ReadHttpResponse(fds[i], &resp, &leftover).ok()) << "client " << i;
+    EXPECT_EQ(resp.status, 200) << "client " << i;
+    EXPECT_EQ(resp.body, expected) << "client " << i;
+    ::close(fds[i]);
+  }
+  server.Stop();
+}
+
+TEST(ServerDeadline, DeadlineBeforeFirstRowIs408MidStreamIsMarker) {
+  rdf::Dataset ds = TinyData();
+  GateSolver gated(ds.dict(), 8, /*gated=*/true);  // never released: deadline wins
+  QueryEngine engine(&gated);
+  SparqlServer server(&engine, ServerConfig{});
+  ASSERT_TRUE(server.Start().ok());
+  HttpResponse resp;
+  ASSERT_TRUE(HttpGet(server.port(),
+                      "/sparql?timeout-ms=50&query=SELECT%20?s%20?o%20WHERE%20%7B%20"
+                      "?s%20%3Chttp://x/p%3E%20?o%20.%20%7D",
+                      &resp)
+                  .ok());
+  EXPECT_EQ(resp.status, 408);
+  EXPECT_NE(resp.body.find("deadline"), std::string::npos) << resp.body;
+  server.Stop();
+}
+
+TEST(ServerLimits, RowBudgetStopCarriesInBodyMarkerAndTrailer) {
+  rdf::Dataset ds = TinyData();
+  GateSolver solver(ds.dict(), 100'000, /*gated=*/false);
+  QueryEngine engine(&solver);
+  SparqlServer server(&engine, ServerConfig{});
+  ASSERT_TRUE(server.Start().ok());
+  HttpResponse resp;
+  ASSERT_TRUE(HttpGet(server.port(),
+                      "/sparql?format=tsv&budget=100&query=SELECT%20?s%20?o%20WHERE%20"
+                      "%7B%20?s%20%3Chttp://x/p%3E%20?o%20.%20%7D",
+                      &resp)
+                  .ok());
+  EXPECT_EQ(resp.status, 200);  // the stream had already begun
+  EXPECT_NE(resp.body.find("# stopped: row budget"), std::string::npos) << resp.body;
+  EXPECT_EQ(resp.headers["x-stop-cause"], "row budget");  // chunked trailer
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace turbo::server

@@ -392,19 +392,41 @@ TEST(StreamingStatus, CancelTokenUnblocksTheConsumer) {
   EXPECT_EQ(cursor.value().stop_cause(), StopCause::kCancelled);
 }
 
-TEST(StreamingStatus, ExplainReportsInProgressThenSettles) {
+TEST(StreamingStatus, ExplainSnapshotsMidStreamThenSettles) {
   rdf::Dataset ds = TinyData();
   CountingSolver solver(ds.dict(), 100000);
   QueryEngine engine(&solver);
   auto cursor = engine.Open(kPairQuery, Streaming(1));
   ASSERT_TRUE(cursor.ok());
   Row row;
+  uint64_t drained = 0;
   ASSERT_TRUE(cursor.value().Next(&row));
-  EXPECT_NE(cursor.value().Explain().find("in progress"), std::string::npos);
-  while (cursor.value().Next(&row)) {
-  }
+  ++drained;
+  // Mid-stream: a stable snapshot taken at a delivery boundary, with real
+  // per-operator counts covering at least every row the consumer has seen.
+  std::string mid = cursor.value().Explain();
+  EXPECT_NE(mid.find("streaming snapshot"), std::string::npos) << mid;
+  EXPECT_NE(mid.find("ChannelSink"), std::string::npos) << mid;
+  EXPECT_EQ(mid.find("in=0 out=0"), std::string::npos) << mid;
+  while (cursor.value().Next(&row)) ++drained;
+  // Settled: the live counters, which must account for every delivered row.
   std::string plan = cursor.value().Explain();
+  EXPECT_EQ(plan.find("streaming snapshot"), std::string::npos) << plan;
   EXPECT_NE(plan.find("ChannelSink"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("out=" + std::to_string(drained)), std::string::npos) << plan;
+}
+
+TEST(StreamingStatus, ExplainBeforeFirstRowSaysNoRowsYet) {
+  rdf::Dataset ds = TinyData();
+  StallingSolver solver(ds.dict());
+  QueryEngine engine(&solver);
+  auto cursor = engine.Open(kPairQuery, Streaming(1));
+  ASSERT_TRUE(cursor.ok());
+  // Producer is alive but nothing has reached the channel: no snapshot
+  // exists yet, and Explain must say so rather than render zero counts.
+  // (Cursor destruction abandons the stalled producer and joins it.)
+  EXPECT_NE(cursor.value().Explain().find("no rows delivered yet"),
+            std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

@@ -267,5 +267,68 @@ TEST(Channel, CloseConsumerWakesAndRejectsProducers) {
   EXPECT_EQ(ch.Push(2, kNeverAbort), IntChannel::Op::kClosed);
 }
 
+TEST(Channel, AbortFreeBlockingPopTakesNoTimedSlices) {
+  // The untimed overloads must park on the condvar, not poll: a consumer
+  // blocked for ~100ms with no abort probe would previously spin dozens of
+  // 2ms wait_for slices; now it takes zero.
+  IntChannel ch(1);
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    ASSERT_EQ(ch.Push(42, kNeverAbort), IntChannel::Op::kOk);
+    ch.CloseProducer();
+  });
+  int v;
+  EXPECT_EQ(ch.Pop(&v), IntChannel::Op::kOk);
+  EXPECT_EQ(v, 42);
+  EXPECT_EQ(ch.Pop(&v), IntChannel::Op::kClosed);
+  producer.join();
+  EXPECT_EQ(ch.timed_wait_slices(), 0u);
+}
+
+TEST(Channel, AbortFreeBlockingPushTakesNoTimedSlices) {
+  IntChannel ch(1);
+  ASSERT_EQ(ch.Push(0), IntChannel::Op::kOk);
+  std::thread consumer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    int v;
+    ASSERT_EQ(ch.Pop(&v), IntChannel::Op::kOk);
+    ASSERT_EQ(ch.Pop(&v), IntChannel::Op::kOk);
+  });
+  // Channel full: the untimed push blocks until the consumer drains, with
+  // no timed polling in between.
+  EXPECT_EQ(ch.Push(1), IntChannel::Op::kOk);
+  consumer.join();
+  EXPECT_EQ(ch.timed_wait_slices(), 0u);
+}
+
+TEST(Channel, CloseConsumerWakesUntimedPush) {
+  // Abandonment must not depend on a polling probe: CloseConsumer alone has
+  // to wake a producer parked in the untimed Push.
+  IntChannel ch(1);
+  ASSERT_EQ(ch.Push(0), IntChannel::Op::kOk);
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ch.CloseConsumer();
+  });
+  EXPECT_EQ(ch.Push(1), IntChannel::Op::kClosed);
+  closer.join();
+  EXPECT_EQ(ch.timed_wait_slices(), 0u);
+}
+
+TEST(Channel, TimedOverloadsStillCountSlices) {
+  // The probing overloads remain available for cancel/deadline paths — and
+  // observably slice their waits (this is what the counter is for).
+  IntChannel ch(1);
+  std::atomic<bool> abort{false};
+  std::thread trip([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    abort.store(true);
+  });
+  int v;
+  EXPECT_EQ(ch.Pop(&v, [&] { return abort.load(); }), IntChannel::Op::kAborted);
+  trip.join();
+  EXPECT_GE(ch.timed_wait_slices(), 1u);
+}
+
 }  // namespace
 }  // namespace turbo::util
