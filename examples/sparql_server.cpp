@@ -8,8 +8,11 @@
 // Data loading mirrors sparql_shell (--nt / --ttl / --snap / --lubm, with
 // --engine / --threads / --no-inference); serving knobs are --port (0 picks
 // a free port, printed on stderr), --workers, --queue-depth,
-// --default-timeout-ms, --max-row-budget, --plan-cache. Runs until SIGINT /
-// SIGTERM, then drains and exits cleanly.
+// --default-timeout-ms, --max-row-budget, --plan-cache. The engine is
+// wrapped in a LiveStore, so POST /update (INSERT DATA / DELETE DATA) works
+// out of the box and query responses carry X-Epoch; --compact-threshold N
+// enables background compaction once the delta reaches N entries. Runs
+// until SIGINT / SIGTERM, then drains and exits cleanly.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -21,6 +24,7 @@
 #include "rdf/snapshot.hpp"
 #include "server/sparql_server.hpp"
 #include "sparql/query_engine.hpp"
+#include "store/live_store.hpp"
 #include "util/common.hpp"
 #include "workload/lubm.hpp"
 
@@ -40,6 +44,7 @@ int main(int argc, char** argv) {
   using namespace turbo;
   std::string nt_path, ttl_path, snap_path, engine_name = "turbo";
   uint32_t lubm = 0, threads = 1, load_threads = 0;
+  size_t compact_threshold = 0;
   bool direct = false, inference = true;
   server::ServerConfig server_config;
   for (int i = 1; i < argc; ++i) {
@@ -62,6 +67,8 @@ int main(int argc, char** argv) {
       server_config.default_timeout_ms = std::strtoull(next(), nullptr, 10);
     else if (arg == "--max-row-budget")
       server_config.max_row_budget = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--compact-threshold")
+      compact_threshold = std::strtoull(next(), nullptr, 10);
     else return Fail("unknown argument '" + arg + "'");
   }
   if (nt_path.empty() && ttl_path.empty() && snap_path.empty() && lubm == 0)
@@ -104,12 +111,20 @@ int main(int argc, char** argv) {
   } else {
     return Fail("unknown engine '" + engine_name + "'");
   }
-  sparql::QueryEngine engine(std::move(ds), config);
+  store::LiveStore::Config store_config;
+  store_config.engine = config;
+  store_config.compact_threshold = compact_threshold;
+  store::LiveStore live(std::move(ds), store_config);
 
-  server::SparqlServer srv(&engine, server_config);
+  server::SparqlServer srv(&live, server_config);
   if (auto st = srv.Start(); !st.ok()) return Fail(st.message());
-  std::fprintf(stderr, "serving on http://127.0.0.1:%u/sparql (%d workers)\n",
-               srv.port(), server_config.workers);
+  std::fprintf(stderr,
+               "serving on http://127.0.0.1:%u/sparql (%d workers; POST /update "
+               "enabled%s)\n",
+               srv.port(), server_config.workers,
+               compact_threshold
+                   ? (", compaction at " + std::to_string(compact_threshold)).c_str()
+                   : "");
 
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
@@ -120,13 +135,18 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "shutting down\n");
   srv.Stop();
   server::ServerStats stats = srv.stats();
+  store::LiveStore::Stats ls = live.stats();
   std::fprintf(stderr,
                "served %llu requests (%llu overload rejections, %llu bad, "
-               "plan cache %llu/%llu hit/miss)\n",
+               "plan cache %llu/%llu hit/miss, %llu updates -> epoch %llu, "
+               "%llu compactions)\n",
                static_cast<unsigned long long>(stats.requests),
                static_cast<unsigned long long>(stats.rejected_overload),
                static_cast<unsigned long long>(stats.bad_requests),
                static_cast<unsigned long long>(stats.plan_cache_hits),
-               static_cast<unsigned long long>(stats.plan_cache_misses));
+               static_cast<unsigned long long>(stats.plan_cache_misses),
+               static_cast<unsigned long long>(stats.updates),
+               static_cast<unsigned long long>(ls.epoch),
+               static_cast<unsigned long long>(ls.compactions));
   return 0;
 }

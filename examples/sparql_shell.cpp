@@ -19,18 +19,27 @@
 //          --stream[=capacity] (constant-memory streaming delivery over a
 //          bounded channel; default capacity 64)
 //          (print the executed operator tree with per-operator row counts).
+//
+// Live updates: the engine is wrapped in a LiveStore, so data is mutable
+// without reloading. `--update 'INSERT DATA { ... }'` applies a batch before
+// the query/REPL starts; in the REPL, lines whose first keyword is INSERT or
+// DELETE are routed to SPARQL Update (reporting the new epoch and delta
+// size), and `compact` folds the delta into a fresh base engine.
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "rdf/loader.hpp"
 #include "rdf/reasoner.hpp"
 #include "rdf/snapshot.hpp"
 #include "sparql/query_engine.hpp"
+#include "store/live_store.hpp"
 #include "util/timer.hpp"
 #include "workload/lubm.hpp"
 
@@ -53,10 +62,10 @@ struct QueryLimits {
   uint32_t stream_capacity = 0;
 };
 
-void RunQuery(const sparql::QueryEngine& engine, const QueryLimits& limits,
+void RunQuery(const store::LiveStore& store, const QueryLimits& limits,
               const std::string& query) {
   util::WallTimer t;
-  auto prepared = engine.Prepare(query);
+  auto prepared = store.Prepare(query);
   if (!prepared.ok()) {
     std::fprintf(stderr, "error: %s\n", prepared.message().c_str());
     return;
@@ -70,7 +79,10 @@ void RunQuery(const sparql::QueryEngine& engine, const QueryLimits& limits,
   if (limits.timeout_ms >= 0)
     opts.deadline =
         std::chrono::steady_clock::now() + std::chrono::milliseconds(limits.timeout_ms);
-  auto cursor = engine.Open(prepared.value(), opts);
+  // Pin the epoch explicitly so row formatting reads the same dictionary the
+  // cursor executes over, even if an update lands mid-stream.
+  std::shared_ptr<const store::LiveStore::Snapshot> snap = store.snapshot();
+  auto cursor = store::LiveStore::OpenAt(snap, prepared.value(), opts);
   if (!cursor.ok()) {
     std::fprintf(stderr, "error: %s\n", cursor.message().c_str());
     return;
@@ -78,7 +90,7 @@ void RunQuery(const sparql::QueryEngine& engine, const QueryLimits& limits,
   size_t rows = 0;
   sparql::Row row;
   while (cursor.value().Next(&row)) {
-    std::printf("%s\n", sparql::FormatRow(cursor.value().var_names(), row, engine.dict(),
+    std::printf("%s\n", sparql::FormatRow(cursor.value().var_names(), row, snap->dict(),
                                           cursor.value().local_vocab().get())
                             .c_str());
     ++rows;
@@ -102,10 +114,50 @@ void RunQuery(const sparql::QueryEngine& engine, const QueryLimits& limits,
                  cursor.value().Explain().c_str());
 }
 
+void RunUpdate(store::LiveStore& store, const std::string& text) {
+  util::WallTimer t;
+  auto result = store.Update(text);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.message().c_str());
+    return;
+  }
+  const store::LiveStore::UpdateResult& r = result.value();
+  std::printf("-- update ok: epoch %llu, +%zu inserted, -%zu deleted "
+              "(delta: %zu adds, %zu tombstones) in %.2f ms\n",
+              static_cast<unsigned long long>(r.epoch), r.inserted, r.deleted,
+              r.delta_adds, r.tombstones, t.ElapsedMillis());
+}
+
+void RunCompact(store::LiveStore& store) {
+  util::WallTimer t;
+  if (auto st = store.Compact(); !st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.message().c_str());
+    return;
+  }
+  store::LiveStore::Stats s = store.stats();
+  std::printf("-- compacted: epoch %llu, base %zu triples in %.2f ms\n",
+              static_cast<unsigned long long>(s.epoch), s.base_triples,
+              t.ElapsedMillis());
+}
+
+/// The first SELECT / INSERT / DELETE keyword decides query vs update (PREFIX
+/// declarations may precede either).
+bool LooksLikeUpdate(const std::string& text) {
+  std::string upper(text);
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  size_t select = upper.find("SELECT");
+  size_t insert = upper.find("INSERT");
+  size_t del = upper.find("DELETE");
+  size_t update = std::min(insert, del);
+  return update != std::string::npos && update < select;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string nt_path, ttl_path, snap_path, save_path, engine_name = "turbo", query;
+  std::vector<std::string> updates;
   uint32_t lubm = 0, threads = 1, load_threads = 0;
   bool direct = false, inference = true, skip_bad = false;
   QueryLimits limits;
@@ -120,6 +172,7 @@ int main(int argc, char** argv) {
     else if (arg == "--engine") engine_name = next();
     else if (arg == "--threads") threads = std::atoi(next());
     else if (arg == "--load-threads") load_threads = std::atoi(next());
+    else if (arg == "--update") updates.emplace_back(next());
     else if (arg == "--max-rows") limits.max_rows = std::strtoull(next(), nullptr, 10);
     else if (arg == "--timeout-ms") limits.timeout_ms = std::atoll(next());
     else if (arg == "--explain") limits.explain = true;
@@ -194,21 +247,28 @@ int main(int argc, char** argv) {
   } else {
     return Fail("unknown engine '" + engine_name + "'");
   }
-  sparql::QueryEngine engine(std::move(ds), config);
+  store::LiveStore::Config store_config;
+  store_config.engine = config;
+  store::LiveStore store(std::move(ds), store_config);
   std::fprintf(stderr, "engine '%s' ready (%.1fs)\n", engine_name.c_str(),
                t.ElapsedSeconds());
 
+  for (const std::string& update : updates) RunUpdate(store, update);
+
   if (!query.empty()) {
-    RunQuery(engine, limits, query);
+    if (LooksLikeUpdate(query)) RunUpdate(store, query);
+    else RunQuery(store, limits, query);
     return 0;
   }
-  // REPL: one query per line (';' continues are not needed — queries are
-  // single-line); EOF exits.
+  // REPL: one query or update per line (';' continues are not needed —
+  // statements are single-line); `compact` folds the delta; EOF exits.
   std::string line;
   std::fprintf(stderr, "sparql> ");
   while (std::getline(std::cin, line)) {
-    if (!line.empty() && line != "quit" && line != "exit") RunQuery(engine, limits, line);
     if (line == "quit" || line == "exit") break;
+    if (line == "compact") RunCompact(store);
+    else if (!line.empty() && LooksLikeUpdate(line)) RunUpdate(store, line);
+    else if (!line.empty()) RunQuery(store, limits, line);
     std::fprintf(stderr, "sparql> ");
   }
   return 0;

@@ -36,8 +36,11 @@ std::span<const rdf::Triple> PrefixRange(const std::vector<rdf::Triple>& v, KeyF
 
 }  // namespace
 
-TripleIndex::TripleIndex(const rdf::Dataset& dataset) {
-  spo_ = dataset.triples();
+TripleIndex::TripleIndex(const rdf::Dataset& dataset)
+    : TripleIndex(dataset.triples()) {}
+
+TripleIndex::TripleIndex(std::vector<rdf::Triple> triples) {
+  spo_ = std::move(triples);
   std::sort(spo_.begin(), spo_.end());
   spo_.erase(std::unique(spo_.begin(), spo_.end()), spo_.end());
   sop_ = spo_;

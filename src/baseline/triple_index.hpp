@@ -19,6 +19,10 @@ class TripleIndex {
   /// Builds the index over all (original + inferred) triples, deduplicated.
   explicit TripleIndex(const rdf::Dataset& dataset);
 
+  /// Builds the index over an explicit triple list (deduplicated) — the
+  /// live store's delta index over update-appended triples.
+  explicit TripleIndex(std::vector<rdf::Triple> triples);
+
   /// Triples matching the pattern; kInvalidId = free component. Every
   /// subset of bound components is a sort prefix of one permutation, so the
   /// returned range is exact (no post-filtering needed).

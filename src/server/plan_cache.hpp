@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <mutex>
 #include <string>
@@ -51,23 +52,57 @@ class PlanCache {
   /// Prepare failures are returned but never cached — a malformed query must
   /// not pin an error entry, and retrying after a fix must re-plan.
   Lookup Get(const sparql::QueryEngine& engine, const std::string& text) {
+    return Get([&engine](const std::string& t) { return engine.Prepare(t); }, text, 0);
+  }
+
+  /// Epoch-aware form for a live store: an entry planned at an older epoch
+  /// is revalidated (re-prepared against the current epoch and replaced)
+  /// instead of served — counted in revalidations(), not hits. Plans are
+  /// AST-only today, so revalidation always yields an equivalent plan; the
+  /// mechanism is what keeps that an implementation detail rather than a
+  /// caching contract.
+  Lookup Get(
+      const std::function<util::Result<sparql::PreparedQuery>(const std::string&)>&
+          prepare,
+      const std::string& text, uint64_t epoch) {
     std::string key = NormalizeQueryText(text);
+    bool stale = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
       auto it = index_.find(key);
       if (it != index_.end()) {
-        lru_.splice(lru_.begin(), lru_, it->second);
-        ++hits_;
-        return {it->second->plan, true};
+        if (it->second->epoch == epoch) {
+          lru_.splice(lru_.begin(), lru_, it->second);
+          ++hits_;
+          return {it->second->plan, true};
+        }
+        stale = true;
+        ++revalidations_;
+      } else {
+        ++misses_;
       }
-      ++misses_;
     }
-    util::Result<sparql::PreparedQuery> plan = engine.Prepare(text);
-    if (!plan.ok()) return {std::move(plan), false};
+    util::Result<sparql::PreparedQuery> plan = prepare(text);
+    if (!plan.ok()) {
+      if (stale) {
+        // The stale entry must not be served to anyone else either.
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = index_.find(key);
+        if (it != index_.end() && it->second->epoch != epoch) {
+          lru_.erase(it->second);
+          index_.erase(it);
+        }
+      }
+      return {std::move(plan), false};
+    }
     std::lock_guard<std::mutex> lock(mu_);
     auto it = index_.find(key);
-    if (it == index_.end()) {
-      lru_.push_front(Entry{key, plan.value()});
+    if (it != index_.end()) {
+      it->second->plan = plan.value();
+      it->second->epoch = epoch;
+      lru_.splice(lru_.begin(), lru_, it->second);
+    } else {
+      lru_.push_front(Entry{key, plan.value(), epoch});
       index_[key] = lru_.begin();
       if (lru_.size() > capacity_) {
         index_.erase(lru_.back().key);
@@ -85,6 +120,11 @@ class PlanCache {
     std::lock_guard<std::mutex> lock(mu_);
     return misses_;
   }
+  /// Stale-epoch entries re-prepared in place (live-store servers only).
+  uint64_t revalidations() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return revalidations_;
+  }
   size_t size() const {
     std::lock_guard<std::mutex> lock(mu_);
     return lru_.size();
@@ -94,6 +134,7 @@ class PlanCache {
   struct Entry {
     std::string key;
     sparql::PreparedQuery plan;
+    uint64_t epoch = 0;
   };
 
   const size_t capacity_;
@@ -102,6 +143,7 @@ class PlanCache {
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t revalidations_ = 0;
 };
 
 }  // namespace turbo::server

@@ -20,6 +20,8 @@
 
 #include "server/http.hpp"
 #include "server/result_encoder.hpp"
+#include "sparql/parser.hpp"
+#include "store/live_store.hpp"
 
 namespace turbo::server {
 namespace {
@@ -83,7 +85,8 @@ uint64_t ParseU64(const std::string& s, uint64_t fallback) {
 }  // namespace
 
 struct SparqlServer::Impl {
-  const sparql::QueryEngine* engine;
+  const sparql::QueryEngine* engine;      // null when serving a live store
+  store::LiveStore* store = nullptr;      // null when serving a bare engine
   ServerConfig config;
   PlanCache plan_cache;
   ConnQueue queue;
@@ -103,10 +106,12 @@ struct SparqlServer::Impl {
   std::atomic<uint64_t> requests{0};
   std::atomic<uint64_t> rejected_overload{0};
   std::atomic<uint64_t> bad_requests{0};
+  std::atomic<uint64_t> updates{0};
   std::atomic<uint32_t> in_flight{0};
 
-  Impl(const sparql::QueryEngine* e, ServerConfig c)
+  Impl(const sparql::QueryEngine* e, store::LiveStore* st, ServerConfig c)
       : engine(e),
+        store(st),
         config(c),
         plan_cache(c.plan_cache_capacity),
         queue(static_cast<size_t>(c.queue_depth < 0 ? 0 : c.queue_depth)) {}
@@ -182,9 +187,28 @@ struct SparqlServer::Impl {
           ",\"bad_requests\":" + std::to_string(s.bad_requests) +
           ",\"plan_cache\":{\"hits\":" + std::to_string(s.plan_cache_hits) +
           ",\"misses\":" + std::to_string(s.plan_cache_misses) +
-          ",\"size\":" + std::to_string(plan_cache.size()) +
-          "},\"in_flight\":" + std::to_string(s.in_flight) + "}\n";
+          ",\"revalidations\":" + std::to_string(s.plan_cache_revalidations) +
+          ",\"size\":" + std::to_string(plan_cache.size()) + "}";
+      if (store) {
+        store::LiveStore::Stats ls = store->stats();
+        body += ",\"store\":{\"epoch\":" + std::to_string(ls.epoch) +
+                ",\"updates_applied\":" + std::to_string(ls.updates_applied) +
+                ",\"compactions\":" + std::to_string(ls.compactions) +
+                ",\"delta_adds\":" + std::to_string(ls.delta_adds) +
+                ",\"tombstones\":" + std::to_string(ls.tombstones) +
+                ",\"overlay_terms\":" + std::to_string(ls.overlay_terms) +
+                ",\"base_triples\":" + std::to_string(ls.base_triples) + "}";
+      }
+      body += ",\"in_flight\":" + std::to_string(s.in_flight) + "}\n";
       return w.WriteSimple(200, "application/json", body, {}, keep_alive) && keep_alive;
+    }
+    if (req.path == "/update") {
+      if (req.method != "POST") {
+        bad_requests.fetch_add(1, std::memory_order_relaxed);
+        return w.WriteSimple(405, "text/plain", "use POST\n", {}, keep_alive) &&
+               keep_alive;
+      }
+      return HandleUpdate(&w, req, keep_alive) && keep_alive;
     }
     if (req.path != "/sparql") {
       bad_requests.fetch_add(1, std::memory_order_relaxed);
@@ -241,18 +265,32 @@ struct SparqlServer::Impl {
                             keep_alive);
     }
 
-    PlanCache::Lookup looked = plan_cache.Get(*engine, query);
+    // A live store pins one epoch snapshot for the whole request: the plan
+    // is (re)validated against it, the cursor executes over it, and rows
+    // format against its dictionary — all consistent with the X-Epoch the
+    // response reports, regardless of concurrent updates.
+    std::shared_ptr<const store::LiveStore::Snapshot> snap;
+    if (store) snap = store->snapshot();
+
+    PlanCache::Lookup looked =
+        snap ? plan_cache.Get(
+                   [&snap](const std::string& t) { return snap->engine->Prepare(t); },
+                   query, snap->epoch)
+             : plan_cache.Get(*engine, query);
     const char* cache_state = looked.hit ? "hit" : "miss";
+    std::map<std::string, std::string> headers{{"X-Plan-Cache", cache_state}};
+    if (snap) headers["X-Epoch"] = std::to_string(snap->epoch);
     if (!looked.plan.ok()) {
       bad_requests.fetch_add(1, std::memory_order_relaxed);
       return w->WriteSimple(400, "text/plain",
-                            "parse error: " + looked.plan.message() + "\n",
-                            {{"X-Plan-Cache", cache_state}}, keep_alive);
+                            "parse error: " + looked.plan.message() + "\n", headers,
+                            keep_alive);
     }
-    auto cursor = engine->Open(looked.plan.value(), opts);
+    auto cursor = snap ? store::LiveStore::OpenAt(snap, looked.plan.value(), opts)
+                       : engine->Open(looked.plan.value(), opts);
     if (!cursor.ok())
-      return w->WriteSimple(500, "text/plain", cursor.message() + "\n",
-                            {{"X-Plan-Cache", cache_state}}, keep_alive);
+      return w->WriteSimple(500, "text/plain", cursor.message() + "\n", headers,
+                            keep_alive);
     sparql::Cursor& cur = cursor.value();
 
     // First Next before the status line commits: an early failure still
@@ -264,15 +302,14 @@ struct SparqlServer::Impl {
       return w->WriteSimple(code, "text/plain",
                             cur.status().message() + " (stop cause: " +
                                 sparql::ToString(cur.stop_cause()) + ")\n",
-                            {{"X-Plan-Cache", cache_state}}, keep_alive);
+                            headers, keep_alive);
     }
 
-    if (!w->BeginChunked(200, enc->content_type(), {{"X-Plan-Cache", cache_state}},
-                         "X-Stop-Cause", keep_alive))
+    if (!w->BeginChunked(200, enc->content_type(), headers, "X-Stop-Cause", keep_alive))
       return false;
     const std::vector<std::string>& vars = cur.var_names();
     std::shared_ptr<const sparql::LocalVocab> vocab = cur.local_vocab();
-    const rdf::Dictionary& dict = engine->dict();
+    const rdf::Dictionary& dict = snap ? snap->dict() : engine->dict();
 
     std::string buf = enc->Header(vars);
     // The first row flushes immediately (time-to-first-byte tracks the
@@ -293,6 +330,41 @@ struct SparqlServer::Impl {
     return w->EndChunked({{"X-Stop-Cause", sparql::ToString(cause)}});
   }
 
+  bool HandleUpdate(HttpResponseWriter* w, const HttpRequest& req, bool keep_alive) {
+    requests.fetch_add(1, std::memory_order_relaxed);
+    if (!store) {
+      bad_requests.fetch_add(1, std::memory_order_relaxed);
+      return w->WriteSimple(403, "text/plain", "read-only endpoint (no live store)\n",
+                            {}, keep_alive);
+    }
+    std::string text = req.param("update");
+    if (text.empty() &&
+        req.header("content-type").find("application/sparql-update") != std::string::npos)
+      text = req.body;
+    if (text.empty()) {
+      bad_requests.fetch_add(1, std::memory_order_relaxed);
+      return w->WriteSimple(400, "text/plain", "missing update\n", {}, keep_alive);
+    }
+    auto request = sparql::ParseUpdate(text);
+    if (!request.ok()) {
+      bad_requests.fetch_add(1, std::memory_order_relaxed);
+      return w->WriteSimple(400, "text/plain",
+                            "parse error: " + request.message() + "\n", {}, keep_alive);
+    }
+    auto result = store->Apply(request.value());
+    if (!result.ok())
+      return w->WriteSimple(500, "text/plain", result.message() + "\n", {}, keep_alive);
+    updates.fetch_add(1, std::memory_order_relaxed);
+    const store::LiveStore::UpdateResult& r = result.value();
+    std::string body = "{\"epoch\":" + std::to_string(r.epoch) +
+                       ",\"inserted\":" + std::to_string(r.inserted) +
+                       ",\"deleted\":" + std::to_string(r.deleted) +
+                       ",\"delta_adds\":" + std::to_string(r.delta_adds) +
+                       ",\"tombstones\":" + std::to_string(r.tombstones) + "}\n";
+    return w->WriteSimple(200, "application/json", body,
+                          {{"X-Epoch", std::to_string(r.epoch)}}, keep_alive);
+  }
+
   ServerStats Snapshot() const {
     ServerStats s;
     s.requests = requests.load(std::memory_order_relaxed);
@@ -300,13 +372,18 @@ struct SparqlServer::Impl {
     s.bad_requests = bad_requests.load(std::memory_order_relaxed);
     s.plan_cache_hits = plan_cache.hits();
     s.plan_cache_misses = plan_cache.misses();
+    s.plan_cache_revalidations = plan_cache.revalidations();
+    s.updates = updates.load(std::memory_order_relaxed);
     s.in_flight = in_flight.load(std::memory_order_relaxed);
     return s;
   }
 };
 
 SparqlServer::SparqlServer(const sparql::QueryEngine* engine, ServerConfig config)
-    : impl_(std::make_unique<Impl>(engine, config)) {}
+    : impl_(std::make_unique<Impl>(engine, nullptr, config)) {}
+
+SparqlServer::SparqlServer(store::LiveStore* store, ServerConfig config)
+    : impl_(std::make_unique<Impl>(nullptr, store, config)) {}
 
 SparqlServer::~SparqlServer() { Stop(); }
 

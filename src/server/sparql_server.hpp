@@ -8,8 +8,19 @@
 //   GET  /sparql?query=...      — query via query string
 //   POST /sparql                — form-urlencoded `query=` or a raw
 //                                 application/sparql-query body
+//   POST /update                — SPARQL Update (INSERT DATA / DELETE DATA)
+//                                 as form-urlencoded `update=` or a raw
+//                                 application/sparql-update body; requires
+//                                 the live-store constructor (403 otherwise)
 //   GET  /stats                 — JSON counters (requests, overload 503s,
-//                                 plan-cache hits/misses, in-flight gauge)
+//                                 plan-cache hits/misses/revalidations,
+//                                 in-flight gauge; live stores add epoch /
+//                                 delta / compaction counters)
+//
+// When built over a live store, every /sparql response carries an X-Epoch
+// header naming the epoch the request pinned: rows are consistent with
+// exactly that epoch regardless of concurrent updates, and cached plans are
+// revalidated against it before use.
 //
 // Per-request execution controls (query parameters, with X- header
 // equivalents): `limit` (delivered-row cap), `budget` / X-Row-Budget
@@ -43,6 +54,10 @@
 #include "sparql/query_engine.hpp"
 #include "util/status.hpp"
 
+namespace turbo::store {
+class LiveStore;
+}
+
 namespace turbo::server {
 
 struct ServerConfig {
@@ -62,6 +77,8 @@ struct ServerStats {
   uint64_t bad_requests = 0;       ///< 400s (malformed HTTP or query)
   uint64_t plan_cache_hits = 0;
   uint64_t plan_cache_misses = 0;
+  uint64_t plan_cache_revalidations = 0;  ///< stale-epoch plans re-prepared
+  uint64_t updates = 0;                   ///< /update requests applied
   uint32_t in_flight = 0;  ///< requests being served right now
 };
 
@@ -69,6 +86,9 @@ class SparqlServer {
  public:
   /// The engine must outlive the server.
   SparqlServer(const sparql::QueryEngine* engine, ServerConfig config);
+  /// Live-store form: queries pin an epoch snapshot per request (X-Epoch)
+  /// and POST /update is enabled. The store must outlive the server.
+  SparqlServer(store::LiveStore* store, ServerConfig config);
   ~SparqlServer();  ///< calls Stop()
 
   SparqlServer(const SparqlServer&) = delete;

@@ -7,7 +7,9 @@
 // plus the BI-style grouped analytics queries.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -137,16 +139,34 @@ struct FilterExpr {
   }
 };
 
-/// Group graph pattern: a BGP plus filters, OPTIONAL sub-groups and UNION
-/// alternatives (each union is a list of branch groups).
+/// Inline data: `VALUES ?v { ... }` / `VALUES (?a ?b) { (..) (..) }`.
+/// A nullopt cell is UNDEF — a wildcard that leaves the variable unbound.
+struct ValuesClause {
+  std::vector<std::string> vars;
+  std::vector<std::vector<std::optional<rdf::Term>>> rows;
+};
+
+/// `BIND( expr AS ?var )` — evaluates the expression per row and binds the
+/// (fresh) target variable to the computed term.
+struct BindClause {
+  FilterExpr expr;
+  std::string var;
+};
+
+/// Group graph pattern: a BGP plus filters, OPTIONAL sub-groups, UNION
+/// alternatives (each union is a list of branch groups), inline VALUES
+/// blocks, and BIND assignments.
 struct GroupPattern {
   std::vector<TriplePattern> triples;
   std::vector<FilterExpr> filters;
   std::vector<GroupPattern> optionals;
   std::vector<std::vector<GroupPattern>> unions;
+  std::vector<ValuesClause> values;
+  std::vector<BindClause> binds;
 
   bool IsEmpty() const {
-    return triples.empty() && filters.empty() && optionals.empty() && unions.empty();
+    return triples.empty() && filters.empty() && optionals.empty() &&
+           unions.empty() && values.empty() && binds.empty();
   }
 };
 
@@ -197,6 +217,17 @@ struct SelectQuery {
       if (s.is_agg) return true;
     return false;
   }
+};
+
+/// A parsed SPARQL Update request: the `INSERT DATA` / `DELETE DATA` subset
+/// (ground triples only — no variables, no WHERE templates). A single
+/// request may carry both operations, separated by `;`; they apply in
+/// source order within one atomic batch.
+struct UpdateRequest {
+  std::vector<std::array<rdf::Term, 3>> insert_triples;
+  std::vector<std::array<rdf::Term, 3>> delete_triples;
+
+  bool IsEmpty() const { return insert_triples.empty() && delete_triples.empty(); }
 };
 
 }  // namespace turbo::sparql

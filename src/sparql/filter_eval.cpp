@@ -8,6 +8,31 @@ bool FilterEvaluator::Test(const FilterExpr& e, const Row& row) const {
   return EffectiveBool(Eval(e, row));
 }
 
+std::optional<rdf::Term> FilterEvaluator::EvalTerm(const FilterExpr& e,
+                                                   const Row& row) const {
+  Value v = Eval(e, row);
+  switch (v.kind) {
+    case Value::Kind::kTerm:
+      return *v.term;
+    case Value::Kind::kNum: {
+      // Integral doubles render as xsd:integer so BIND(?a + 1 AS ?b) joins
+      // and compares like stored integers.
+      double d = v.num;
+      if (d == static_cast<double>(static_cast<int64_t>(d)))
+        return NumericToTerm(Numeric::Int(static_cast<int64_t>(d)));
+      return NumericToTerm(Numeric::Dbl(d));
+    }
+    case Value::Kind::kString:
+      return rdf::Term::Literal(v.str);
+    case Value::Kind::kBool:
+      return rdf::Term::TypedLiteral(v.b ? "true" : "false",
+                                     "http://www.w3.org/2001/XMLSchema#boolean");
+    case Value::Kind::kNull:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
 bool FilterEvaluator::EffectiveBool(const Value& v) {
   switch (v.kind) {
     case Value::Kind::kNull:

@@ -29,6 +29,12 @@ class FilterEvaluator {
   /// Effective boolean value of `e` on `row`; errors evaluate to false.
   bool Test(const FilterExpr& e, const Row& row) const;
 
+  /// Evaluates `e` to an RDF term — the BIND configuration. Computed
+  /// numbers materialize via the shared typed-value rules, plain strings
+  /// become simple literals, booleans become xsd:boolean literals.
+  /// nullopt on evaluation error (BIND leaves the variable unbound then).
+  std::optional<rdf::Term> EvalTerm(const FilterExpr& e, const Row& row) const;
+
  private:
   struct Value {
     enum class Kind : uint8_t { kNull, kBool, kNum, kString, kTerm } kind = Kind::kNull;

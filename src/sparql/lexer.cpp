@@ -15,7 +15,8 @@ const char* kKeywords[] = {"PREFIX",   "SELECT", "DISTINCT", "WHERE",  "FILTER",
                            "STR",      "LANG",   "DATATYPE", "ISIRI",  "ISLITERAL",
                            "ISBLANK",  "TRUE",   "FALSE",    "GROUP",  "HAVING",
                            "AS",       "COUNT",  "SUM",      "MIN",    "MAX",
-                           "AVG"};
+                           "AVG",      "VALUES", "BIND",     "UNDEF",  "INSERT",
+                           "DELETE",   "DATA"};
 
 bool IsKeyword(const std::string& upper) {
   return std::find_if(std::begin(kKeywords), std::end(kKeywords),
@@ -110,11 +111,27 @@ util::Result<std::vector<Token>> Lex(std::string_view in) {
         i = k;
       } else if (i + 1 < n && in[i] == '^' && in[i + 1] == '^') {
         i += 2;
-        if (i >= n || in[i] != '<') return error("expected datatype IRI");
-        size_t k = in.find('>', i + 1);
-        if (k == std::string_view::npos) return error("unterminated datatype IRI");
-        t.datatype = std::string(in.substr(i + 1, k - i - 1));
-        i = k + 1;
+        if (i < n && in[i] == '<') {
+          size_t k = in.find('>', i + 1);
+          if (k == std::string_view::npos) return error("unterminated datatype IRI");
+          t.datatype = std::string(in.substr(i + 1, k - i - 1));
+          i = k + 1;
+        } else if (i < n && (std::isalpha(static_cast<unsigned char>(in[i])) ||
+                             in[i] == '_')) {
+          // Prefixed-name datatype (^^xsd:integer); parser expands the prefix.
+          size_t k = i;
+          while (k < n && IsNameChar(in[k]) && in[k] != '.') ++k;
+          if (k >= n || in[k] != ':') return error("expected datatype IRI");
+          ++k;
+          size_t local = k;
+          while (k < n && IsNameChar(in[k]) && in[k] != '.') ++k;
+          if (k == local) return error("expected datatype IRI");
+          t.datatype = std::string(in.substr(i, k - i));
+          t.datatype_is_pname = true;
+          i = k;
+        } else {
+          return error("expected datatype IRI");
+        }
       }
     } else if (std::isdigit(static_cast<unsigned char>(c)) ||
                (c == '-' && i + 1 < n && std::isdigit(static_cast<unsigned char>(in[i + 1])) &&

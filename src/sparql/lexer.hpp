@@ -25,7 +25,8 @@ struct Token {
   TokenKind kind = TokenKind::kEof;
   std::string text;
   std::string lang;      // for kString
-  std::string datatype;  // for kString (IRI)
+  std::string datatype;  // for kString (IRI, or pname when datatype_is_pname)
+  bool datatype_is_pname = false;  // ^^xsd:integer — parser expands the prefix
   size_t pos = 0;        // byte offset, for error messages
 };
 

@@ -66,6 +66,22 @@ EmitResult FilterOp::DoPush(const Row& row) {
 }
 
 // ---------------------------------------------------------------------------
+// BindOp
+// ---------------------------------------------------------------------------
+
+EmitResult BindOp::DoPush(const Row& row) {
+  scratch_ = row;
+  if (scratch_[target_idx_] == kInvalidId) {
+    if (std::optional<rdf::Term> t = eval_.EvalTerm(*expr_, row))
+      // InternVisible: a computed term that already exists in the store's
+      // overlay must reuse that id so downstream joins and DISTINCT see it
+      // as the same value.
+      scratch_[target_idx_] = local_->InternVisible(*t);
+  }
+  return Emit(scratch_);
+}
+
+// ---------------------------------------------------------------------------
 // GroupAggregateOp
 // ---------------------------------------------------------------------------
 
@@ -121,7 +137,12 @@ void GroupAggregateOp::Accumulate(const AggSpec& spec, Accum* a, const Row& row)
     case Func::kAvg: {
       if (a->num_error) return;
       auto [it, added] = num_cache_.try_emplace(v);
-      if (added) it->second = NumericOfTerm(dict_.term(v));
+      if (added) {
+        // Resolve through the local vocab as well: VALUES / BIND rows feed
+        // aggregation with computed ids above the dictionary.
+        const rdf::Term* t = ResolveTerm(dict_, local_, v);
+        it->second = t ? NumericOfTerm(*t) : std::nullopt;
+      }
       const std::optional<Numeric>& n = it->second;
       if (!n) {
         a->num_error = true;  // bound non-numeric: the aggregate errors

@@ -292,6 +292,67 @@ class FilterOp final : public RowOp {
   std::vector<const FilterExpr*> exprs_;
 };
 
+/// Inline data (VALUES): joins each input row against the clause's rows.
+/// Cells are pre-resolved to ids at plan time ((var index, id) pairs; UNDEF
+/// cells are simply absent). A values row is compatible when every cell
+/// either binds a previously-unbound variable or equals the input binding;
+/// each compatible row emits once (Cartesian semantics against the input).
+class ValuesOp final : public RowOp {
+ public:
+  using Binding = std::pair<int, TermId>;  ///< (row index, resolved id)
+
+  ValuesOp(std::vector<std::vector<Binding>> rows, RowOp* next, ExecState* state)
+      : RowOp("Values{" + std::to_string(rows.size()) + " rows}", next, state),
+        rows_(std::move(rows)) {}
+
+  EmitResult DoPush(const Row& row) override {
+    for (const std::vector<Binding>& vrow : rows_) {
+      bool compatible = true;
+      for (const Binding& b : vrow) {
+        TermId bound = row[b.first];
+        if (bound != kInvalidId && bound != b.second) {
+          compatible = false;
+          break;
+        }
+      }
+      if (!compatible) continue;
+      scratch_ = row;
+      for (const Binding& b : vrow) scratch_[b.first] = b.second;
+      if (Emit(scratch_) == EmitResult::kStop) return EmitResult::kStop;
+    }
+    return EmitResult::kContinue;
+  }
+
+ private:
+  std::vector<std::vector<Binding>> rows_;
+  Row scratch_;
+};
+
+/// BIND(expr AS ?var): evaluates the expression per row, interns the
+/// computed term into the execution's LocalVocab, and binds the target
+/// variable. Evaluation errors leave the variable unbound (SPARQL error
+/// semantics); an already-bound target is a planner error, caught at
+/// Prepare time.
+class BindOp final : public RowOp {
+ public:
+  BindOp(const FilterEvaluator& eval, const FilterExpr* expr, int target_idx,
+         LocalVocab* local, RowOp* next, ExecState* state)
+      : RowOp("Bind", next, state),
+        eval_(eval),
+        expr_(expr),
+        target_idx_(target_idx),
+        local_(local) {}
+
+  EmitResult DoPush(const Row& row) override;
+
+ private:
+  const FilterEvaluator& eval_;
+  const FilterExpr* expr_;
+  int target_idx_;
+  LocalVocab* local_;
+  Row scratch_;
+};
+
 // ---------------------------------------------------------------------------
 // Budget guard.
 // ---------------------------------------------------------------------------

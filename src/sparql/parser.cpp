@@ -133,7 +133,63 @@ class Parser {
     return q;
   }
 
+  util::Result<UpdateRequest> ParseUpdateRequest() {
+    UpdateRequest u;
+    prefixes_["rdf"] = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+    prefixes_["rdfs"] = "http://www.w3.org/2000/01/rdf-schema#";
+    prefixes_["owl"] = "http://www.w3.org/2002/07/owl#";
+    prefixes_["xsd"] = "http://www.w3.org/2001/XMLSchema#";
+    while (IsKeyword("PREFIX")) {
+      Advance();
+      if (Cur().kind != TokenKind::kPname)
+        return Err("expected prefix name after PREFIX");
+      std::string pname = Cur().text;
+      std::string pfx = pname.substr(0, pname.find(':'));
+      Advance();
+      if (Cur().kind != TokenKind::kIri) return Err("expected IRI in PREFIX");
+      prefixes_[pfx] = Cur().text;
+      Advance();
+    }
+    bool any = false;
+    while (IsKeyword("INSERT") || IsKeyword("DELETE")) {
+      bool insert = Cur().text == "INSERT";
+      Advance();
+      if (!IsKeyword("DATA"))
+        return Err(std::string("only ") + (insert ? "INSERT" : "DELETE") +
+                   " DATA is supported");
+      Advance();
+      auto triples = ParseGroundTriples();
+      if (!triples.ok()) return triples.status();
+      auto& dst = insert ? u.insert_triples : u.delete_triples;
+      for (auto& t : triples.take()) dst.push_back(std::move(t));
+      any = true;
+      if (IsPunct(";")) Advance();
+    }
+    if (!any) return Err("expected INSERT DATA or DELETE DATA");
+    if (Cur().kind != TokenKind::kEof) return Err("trailing input");
+    return u;
+  }
+
  private:
+  /// Parses `{ <ground triples> }` — the data block of INSERT/DELETE DATA.
+  /// Reuses the group parser and then rejects anything but constant triples.
+  util::Result<std::vector<std::array<rdf::Term, 3>>> ParseGroundTriples() {
+    auto group = ParseGroup();
+    if (!group.ok()) return group.status();
+    GroupPattern g = group.take();
+    if (!g.filters.empty() || !g.optionals.empty() || !g.unions.empty() ||
+        !g.values.empty() || !g.binds.empty())
+      return Err("update data must be plain triples");
+    std::vector<std::array<rdf::Term, 3>> out;
+    out.reserve(g.triples.size());
+    for (TriplePattern& t : g.triples) {
+      if (t.s.is_var() || t.p.is_var() || t.o.is_var())
+        return Err("update data must be ground (no variables)");
+      out.push_back({std::move(t.s.term), std::move(t.p.term), std::move(t.o.term)});
+    }
+    return out;
+  }
+
   const Token& Cur() const { return toks_[pos_]; }
   void Advance() { ++pos_; }
   bool IsKeyword(const char* k) const {
@@ -222,6 +278,27 @@ class Parser {
         } else {
           g.unions.push_back(std::move(branches));
         }
+      } else if (IsKeyword("VALUES")) {
+        Advance();
+        auto v = ParseValues();
+        if (!v.ok()) return v.status();
+        g.values.push_back(v.take());
+      } else if (IsKeyword("BIND")) {
+        Advance();
+        if (!IsPunct("(")) return Err("expected ( after BIND");
+        Advance();
+        BindClause b;
+        auto e = ParseOr();
+        if (!e.ok()) return e.status();
+        b.expr = e.take();
+        if (!IsKeyword("AS")) return Err("expected AS in BIND");
+        Advance();
+        if (Cur().kind != TokenKind::kVar) return Err("expected variable after AS in BIND");
+        b.var = Cur().text;
+        Advance();
+        if (!IsPunct(")")) return Err("expected ) closing BIND");
+        Advance();
+        g.binds.push_back(std::move(b));
       } else {
         auto st = ParseTriplesBlock(&g);
         if (!st.ok()) return st;
@@ -230,6 +307,62 @@ class Parser {
     }
     Advance();  // consume '}'
     return g;
+  }
+
+  /// Parses a VALUES data block with the cursor just past the keyword:
+  /// `?v { t1 t2 ... }` or `( ?a ?b ) { (t t) (t UNDEF) ... }`.
+  util::Result<ValuesClause> ParseValues() {
+    ValuesClause v;
+    bool parenthesized = IsPunct("(");
+    if (parenthesized) {
+      Advance();
+      while (Cur().kind == TokenKind::kVar) {
+        v.vars.push_back(Cur().text);
+        Advance();
+      }
+      if (!IsPunct(")")) return Err("expected ) closing VALUES variable list");
+      Advance();
+    } else if (Cur().kind == TokenKind::kVar) {
+      v.vars.push_back(Cur().text);
+      Advance();
+    } else {
+      return Err("expected variable or ( after VALUES");
+    }
+    if (v.vars.empty()) return Err("VALUES needs at least one variable");
+    if (!IsPunct("{")) return Err("expected { opening VALUES data block");
+    Advance();
+    auto cell = [&]() -> util::Result<std::optional<rdf::Term>> {
+      if (IsKeyword("UNDEF")) {
+        Advance();
+        return std::optional<rdf::Term>();
+      }
+      auto pt = ParsePatternTerm();
+      if (!pt.ok()) return pt.status();
+      if (pt.value().is_var()) return Err("variables are not allowed in VALUES data");
+      return std::optional<rdf::Term>(pt.take().term);
+    };
+    while (!IsPunct("}")) {
+      if (Cur().kind == TokenKind::kEof) return Err("unterminated VALUES block");
+      std::vector<std::optional<rdf::Term>> row;
+      if (parenthesized) {
+        if (!IsPunct("(")) return Err("expected ( opening VALUES row");
+        Advance();
+        for (size_t i = 0; i < v.vars.size(); ++i) {
+          auto c = cell();
+          if (!c.ok()) return c.status();
+          row.push_back(c.take());
+        }
+        if (!IsPunct(")")) return Err("VALUES row arity mismatch");
+        Advance();
+      } else {
+        auto c = cell();
+        if (!c.ok()) return c.status();
+        row.push_back(c.take());
+      }
+      v.rows.push_back(std::move(row));
+    }
+    Advance();  // consume '}'
+    return v;
   }
 
   util::Status ParseTriplesBlock(GroupPattern* g) {
@@ -285,9 +418,15 @@ class Parser {
         return PatternTerm::Const(rdf::Term::Iri(iri.take()));
       }
       case TokenKind::kString: {
-        rdf::Term lit = !t.lang.empty()       ? rdf::Term::LangLiteral(t.text, t.lang)
-                        : !t.datatype.empty() ? rdf::Term::TypedLiteral(t.text, t.datatype)
-                                              : rdf::Term::Literal(t.text);
+        std::string datatype = t.datatype;
+        if (t.datatype_is_pname) {
+          auto iri = ExpandPname(datatype);
+          if (!iri.ok()) return iri.status();
+          datatype = iri.take();
+        }
+        rdf::Term lit = !t.lang.empty()        ? rdf::Term::LangLiteral(t.text, t.lang)
+                        : !datatype.empty()    ? rdf::Term::TypedLiteral(t.text, datatype)
+                                               : rdf::Term::Literal(t.text);
         Advance();
         return PatternTerm::Const(std::move(lit));
       }
@@ -489,6 +628,12 @@ util::Result<SelectQuery> ParseQuery(std::string_view text) {
   auto toks = Lex(text);
   if (!toks.ok()) return toks.status();
   return Parser(toks.take()).Parse();
+}
+
+util::Result<UpdateRequest> ParseUpdate(std::string_view text) {
+  auto toks = Lex(text);
+  if (!toks.ok()) return toks.status();
+  return Parser(toks.take()).ParseUpdateRequest();
 }
 
 }  // namespace turbo::sparql

@@ -11,4 +11,8 @@ namespace turbo::sparql {
 /// Parses a SELECT query. Returns a descriptive error on malformed input.
 util::Result<SelectQuery> ParseQuery(std::string_view text);
 
+/// Parses a SPARQL Update request — the `INSERT DATA` / `DELETE DATA`
+/// ground-triple subset (optionally several operations separated by `;`).
+util::Result<UpdateRequest> ParseUpdate(std::string_view text);
+
 }  // namespace turbo::sparql

@@ -27,9 +27,30 @@ void CollectGroupVars(const GroupPattern& g, VarRegistry* vars) {
     f.CollectVars(&fv);
     for (auto& v : fv) vars->GetOrAdd(v);
   }
+  for (const ValuesClause& v : g.values)
+    for (const std::string& name : v.vars) vars->GetOrAdd(name);
+  for (const BindClause& b : g.binds) {
+    std::vector<std::string> bv;
+    b.expr.CollectVars(&bv);
+    for (auto& v : bv) vars->GetOrAdd(v);
+    vars->GetOrAdd(b.var);
+  }
   for (const GroupPattern& o : g.optionals) CollectGroupVars(o, vars);
   for (const auto& u : g.unions)
     for (const GroupPattern& b : u) CollectGroupVars(b, vars);
+}
+
+/// True if the group tree computes terms at runtime (VALUES constants that
+/// may be absent from the dictionary, BIND results) — the executions that
+/// need a LocalVocab even without aggregation.
+bool GroupComputes(const GroupPattern& g) {
+  if (!g.values.empty() || !g.binds.empty()) return true;
+  for (const GroupPattern& o : g.optionals)
+    if (GroupComputes(o)) return true;
+  for (const auto& u : g.unions)
+    for (const GroupPattern& b : u)
+      if (GroupComputes(b)) return true;
+  return false;
 }
 
 /// True if any FILTER anywhere in the group tree contains an aggregate call
@@ -37,6 +58,8 @@ void CollectGroupVars(const GroupPattern& g, VarRegistry* vars) {
 bool GroupHasAggregateFilter(const GroupPattern& g) {
   for (const FilterExpr& f : g.filters)
     if (f.ContainsAggregate()) return true;
+  for (const BindClause& b : g.binds)
+    if (b.expr.ContainsAggregate()) return true;
   for (const GroupPattern& o : g.optionals)
     if (GroupHasAggregateFilter(o)) return true;
   for (const auto& u : g.unions)
@@ -76,6 +99,10 @@ struct PreparedQuery::Impl {
   std::vector<std::string> var_names;  ///< projected names, SELECT order
   std::vector<int> proj;       ///< projected indices (into vars / post_vars)
   std::vector<int> order_idx;  ///< ORDER BY key indices (ditto)
+
+  /// True when the WHERE tree contains VALUES/BIND — executions then need a
+  /// LocalVocab for computed terms even without aggregation.
+  bool computes = false;
 
   /// Aggregation plan (empty/unused when !aggregated). The grouped output
   /// schema `post_vars` is [GROUP BY keys..., aggregate columns...]; HAVING
@@ -161,6 +188,7 @@ util::Result<PreparedQuery> PrepareSelect(SelectQuery q) {
     return util::Status::Error("aggregates are only allowed in SELECT and HAVING");
 
   impl->aggregated = query.IsAggregated();
+  impl->computes = GroupComputes(query.where);
 
   if (!impl->aggregated) {
     for (const SelectItem& s : query.select) impl->vars.GetOrAdd(s.name);
@@ -296,6 +324,7 @@ struct Cursor::State {
   /// precedence over whatever the producer recorded.
   void Settle(util::Status consumer_status, StopCause consumer_cause);
   RowOp* BuildWhereChain(const GroupPattern& g, RowOp* next);
+  std::vector<std::vector<ValuesOp::Binding>> ResolveValues(const ValuesClause& v);
 };
 
 Cursor::State::~State() {
@@ -308,9 +337,32 @@ Cursor::State::~State() {
   }
 }
 
+/// Resolves a VALUES clause's constants to ids at plan time: dictionary ids
+/// where the term is stored, vocab interns otherwise (InternVisible reuses
+/// an id the store's overlay already assigned, so inline data joins against
+/// update-introduced terms). Terms known nowhere get fresh local ids that
+/// match no stored triple — the correct empty join.
+std::vector<std::vector<ValuesOp::Binding>> Cursor::State::ResolveValues(
+    const ValuesClause& v) {
+  const rdf::Dictionary& dict = solver->dict();
+  std::vector<std::vector<ValuesOp::Binding>> out;
+  out.reserve(v.rows.size());
+  for (const auto& row : v.rows) {
+    std::vector<ValuesOp::Binding> bindings;
+    for (size_t i = 0; i < v.vars.size(); ++i) {
+      if (!row[i]) continue;  // UNDEF leaves the variable unconstrained
+      int idx = *prepared->vars.Find(v.vars[i]);
+      auto id = dict.Find(*row[i]);
+      bindings.emplace_back(idx, id ? *id : local_vocab->InternVisible(*row[i]));
+    }
+    out.push_back(std::move(bindings));
+  }
+  return out;
+}
+
 /// Builds the operator chain evaluating group `g`, emitting into `next`:
-/// BgpSource, then UNION blocks, then OPTIONAL left-joins, then the group
-/// FILTERs — the stage order the row pipeline has always used. Sub-groups
+/// BgpSource, then VALUES joins, then UNION blocks, then OPTIONAL
+/// left-joins, then BIND assignments, then the group FILTERs. Sub-groups
 /// recurse, terminating in relays back to their owning operator.
 RowOp* Cursor::State::BuildWhereChain(const GroupPattern& g, RowOp* next) {
   const PreparedQuery::Impl& p = *prepared;
@@ -320,6 +372,10 @@ RowOp* Cursor::State::BuildWhereChain(const GroupPattern& g, RowOp* next) {
     std::vector<const FilterExpr*> exprs;
     for (const FilterExpr& f : g.filters) exprs.push_back(&f);
     cur = pipe.Make<FilterOp>("Filter", *base_eval, std::move(exprs), cur, st);
+  }
+  for (auto it = g.binds.rbegin(); it != g.binds.rend(); ++it) {
+    int target = *p.vars.Find(it->var);
+    cur = pipe.Make<BindOp>(*base_eval, &it->expr, target, local_vocab.get(), cur, st);
   }
   for (auto it = g.optionals.rbegin(); it != g.optionals.rend(); ++it) {
     OptionalOp* opt = pipe.Make<OptionalOp>(cur, st);
@@ -337,6 +393,8 @@ RowOp* Cursor::State::BuildWhereChain(const GroupPattern& g, RowOp* next) {
     }
     cur = u;
   }
+  for (auto it = g.values.rbegin(); it != g.values.rend(); ++it)
+    cur = pipe.Make<ValuesOp>(ResolveValues(*it), cur, st);
   if (!g.triples.empty())
     cur = pipe.Make<BgpSource>(*solver, p.vars, g.triples, p.PushableFor(g), cur, st);
   return cur;
@@ -357,11 +415,13 @@ void Cursor::State::Run() {
 void Cursor::State::StartStreaming() {
   ran = true;
   channel = std::make_unique<util::Channel<Row>>(opts.channel_capacity);
-  // Streaming aggregation interns computed terms on the producer while the
+  // Streaming executions intern computed terms on the producer while the
   // consumer resolves already-delivered rows, so the shared vocab must
   // exist before the thread starts (LocalVocab itself synchronizes the
   // concurrent intern/resolve).
-  if (prepared->aggregated)
+  if (opts.vocab)
+    local_vocab = opts.vocab;
+  else if (prepared->aggregated || prepared->computes)
     local_vocab =
         std::make_shared<LocalVocab>(static_cast<TermId>(solver->dict().size()));
   producer = std::thread([this] { ProducerMain(); });
@@ -432,14 +492,18 @@ void Cursor::State::RunPipeline(bool streaming) {
   if (q.limit >= 0) limit = std::min(limit, static_cast<uint64_t>(q.limit));
   if (limit == 0) return;  // nothing to deliver: skip enumeration entirely
 
-  base_eval = std::make_unique<FilterEvaluator>(dict, p.vars);
-  if (p.aggregated) {
-    // Streaming pre-creates the vocab before the producer thread starts.
-    if (!local_vocab)
+  // Streaming pre-creates the vocab before the producer thread starts; a
+  // live-store cursor brings its own (chained to the shared term overlay).
+  if (!local_vocab) {
+    if (opts.vocab)
+      local_vocab = opts.vocab;
+    else if (p.aggregated || p.computes)
       local_vocab = std::make_shared<LocalVocab>(static_cast<TermId>(dict.size()));
+  }
+  base_eval = std::make_unique<FilterEvaluator>(dict, p.vars, local_vocab.get());
+  if (p.aggregated)
     post_eval =
         std::make_unique<FilterEvaluator>(dict, p.post_vars, local_vocab.get());
-  }
 
   // ---- Build the modifier chain, back to front. ----
   RowOp* cur =

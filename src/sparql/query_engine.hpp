@@ -89,6 +89,15 @@ struct ExecOptions {
   /// Delivery-channel capacity (rows in flight) for streaming mode; a full
   /// channel blocks the producer (backpressure). Clamped to >= 1.
   uint32_t channel_capacity = 64;
+  /// Pre-built per-execution vocab (computed/overlay terms). The live store
+  /// passes a vocab chained to its shared term overlay so row cells carrying
+  /// update-introduced ids resolve, and VALUES/BIND constants join against
+  /// them. Null (the default) lets the cursor create its own when needed.
+  std::shared_ptr<LocalVocab> vocab;
+  /// Opaque lifetime pin: whatever snapshot/epoch state must outlive this
+  /// execution (the live store's pinned epoch). The cursor holds it until
+  /// destruction; the engine never looks inside.
+  std::shared_ptr<const void> pin;
 };
 
 /// A parsed + planned SELECT query, reusable across Open calls (and across
@@ -101,6 +110,8 @@ class PreparedQuery {
   const VarRegistry& vars() const;
   /// Projected variable names, in SELECT order (all vars for SELECT *).
   const std::vector<std::string>& var_names() const;
+  /// False for a default-constructed handle (one not produced by Prepare).
+  bool valid() const { return impl_ != nullptr; }
 
   struct Impl;
 

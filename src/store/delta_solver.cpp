@@ -1,0 +1,203 @@
+#include "store/delta_solver.hpp"
+
+#include <functional>
+
+namespace turbo::store {
+
+namespace {
+
+using sparql::EmitResult;
+using sparql::EvalControl;
+using sparql::PatternTerm;
+using sparql::Row;
+using sparql::RowSink;
+using sparql::TriplePattern;
+using sparql::VarRegistry;
+
+/// Amortized cancellation probe (same cadence as the baseline solvers).
+class ControlTicker {
+ public:
+  explicit ControlTicker(const EvalControl& control) : control_(control) {}
+  util::Status Tick() {
+    if ((++count_ & 0xFFF) == 0) return control_.Check();
+    return util::Status::Ok();
+  }
+
+ private:
+  const EvalControl& control_;
+  uint64_t count_ = 0;
+};
+
+/// One position of a resolved pattern: a constant term id or a variable
+/// index (constants include variables pre-bound by the executor).
+struct Slot {
+  TermId term = kInvalidId;
+  int var = -1;
+
+  bool is_var() const { return var >= 0; }
+};
+
+struct ResolvedPattern {
+  Slot s, p, o;
+};
+
+/// Binds a triple's component into `row`; false on conflict with an
+/// existing binding (repeated variables).
+bool Bind(Row* row, const Slot& slot, TermId value, std::vector<int>* newly) {
+  if (!slot.is_var()) return slot.term == value;
+  TermId& cell = (*row)[slot.var];
+  if (cell == kInvalidId) {
+    cell = value;
+    newly->push_back(slot.var);
+    return true;
+  }
+  return cell == value;
+}
+
+}  // namespace
+
+util::Status DeltaOverlaySolver::Evaluate(
+    const std::vector<TriplePattern>& bgp, const VarRegistry& vars, const Row& bound,
+    const std::vector<const sparql::FilterExpr*>& /*pushable: executor re-checks*/,
+    const RowSink& emit, const EvalControl& control) const {
+  // Resolve constants against the base dictionary, then the term overlay.
+  // Overlay ids at or above overlay_limit_ were interned by updates later
+  // than this snapshot's epoch: they cannot occur in this epoch's triples,
+  // so a constant resolving there has zero results, same as an unknown term.
+  auto find_id = [&](const rdf::Term& term) -> std::optional<TermId> {
+    if (auto t = dict_.Find(term)) return t;
+    if (overlay_) {
+      if (auto t = overlay_->FindId(term); t && *t < overlay_limit_) return t;
+    }
+    return std::nullopt;
+  };
+  std::vector<ResolvedPattern> patterns;
+  {
+    auto slot = [&](const PatternTerm& pt, Slot* s) {
+      if (pt.is_var()) {
+        int vi = *vars.Find(pt.var);
+        if (static_cast<size_t>(vi) < bound.size() && bound[vi] != kInvalidId) {
+          s->term = bound[vi];
+        } else {
+          s->var = vi;
+        }
+        return true;
+      }
+      auto t = find_id(pt.term);
+      if (!t) return false;
+      s->term = *t;
+      return true;
+    };
+    for (const TriplePattern& tp : bgp) {
+      ResolvedPattern rp;
+      if (!slot(tp.s, &rp.s) || !slot(tp.p, &rp.p) || !slot(tp.o, &rp.o))
+        return util::Status::Ok();
+      patterns.push_back(rp);
+    }
+  }
+  if (patterns.empty()) {
+    Row seed = bound;
+    seed.resize(vars.size(), kInvalidId);
+    emit(seed);
+    return util::Status::Ok();
+  }
+  ControlTicker ticker(control);
+
+  const bool filter_base = tombstones_ && !tombstones_->empty();
+
+  // Merged scan: base range minus tombstones, then the delta range. The two
+  // indexes are disjoint by the store's insert dedup (delta adds are never
+  // base triples), so the union needs no dedup here.
+  auto scan = [&](TermId s, TermId p, TermId o,
+                  const std::function<EmitResult(const rdf::Triple&)>& fn) -> EmitResult {
+    if (base_) {
+      for (const rdf::Triple& t : base_->Lookup(s, p, o)) {
+        if (filter_base && tombstones_->count(t)) continue;
+        if (fn(t) == EmitResult::kStop) return EmitResult::kStop;
+      }
+    }
+    if (delta_) {
+      for (const rdf::Triple& t : delta_->Lookup(s, p, o)) {
+        if (fn(t) == EmitResult::kStop) return EmitResult::kStop;
+      }
+    }
+    return EmitResult::kContinue;
+  };
+
+  // Selectivity-ordered greedy plan, as in IndexJoinBgpSolver: repeatedly
+  // take the cheapest pattern, preferring ones connected to bound variables.
+  std::vector<size_t> order;
+  std::vector<bool> used(patterns.size(), false);
+  std::vector<bool> var_bound(vars.size(), false);
+  for (size_t i = 0; i < bound.size(); ++i)
+    if (bound[i] != kInvalidId) var_bound[i] = true;
+
+  auto estimate = [&](const ResolvedPattern& rp) {
+    TermId s = rp.s.is_var() ? kInvalidId : rp.s.term;
+    TermId p = rp.p.is_var() ? kInvalidId : rp.p.term;
+    TermId o = rp.o.is_var() ? kInvalidId : rp.o.term;
+    // Tombstones make this an overestimate for base ranges; fine for
+    // ordering purposes.
+    return (base_ ? base_->Count(s, p, o) : 0) + (delta_ ? delta_->Count(s, p, o) : 0);
+  };
+  auto connected = [&](const ResolvedPattern& rp) {
+    for (const Slot* s : {&rp.s, &rp.p, &rp.o})
+      if (s->is_var() && var_bound[s->var]) return true;
+    return false;
+  };
+  for (size_t step = 0; step < patterns.size(); ++step) {
+    size_t best = SIZE_MAX;
+    bool best_conn = false;
+    uint64_t best_cost = 0;
+    for (size_t i = 0; i < patterns.size(); ++i) {
+      if (used[i]) continue;
+      bool conn = connected(patterns[i]);
+      uint64_t cost = estimate(patterns[i]);
+      if (best == SIZE_MAX || (conn && !best_conn) ||
+          (conn == best_conn && cost < best_cost)) {
+        best = i;
+        best_conn = conn;
+        best_cost = cost;
+      }
+    }
+    used[best] = true;
+    order.push_back(best);
+    for (const Slot* s : {&patterns[best].s, &patterns[best].p, &patterns[best].o})
+      if (s->is_var()) var_bound[s->var] = true;
+  }
+
+  Row row = bound;
+  row.resize(vars.size(), kInvalidId);
+
+  // Depth-first index nested-loop join over the merged scan; a kStop from
+  // the sink (or a tripped control signal, surfaced via `abort_status`)
+  // unwinds the whole probe.
+  util::Status abort_status;
+  std::function<EmitResult(size_t)> probe = [&](size_t depth) -> EmitResult {
+    if (depth == order.size()) return emit(row);
+    const ResolvedPattern& rp = patterns[order[depth]];
+    auto value_of = [&](const Slot& s) {
+      if (!s.is_var()) return s.term;
+      return row[s.var];  // kInvalidId if still free
+    };
+    return scan(value_of(rp.s), value_of(rp.p), value_of(rp.o),
+                [&](const rdf::Triple& t) -> EmitResult {
+                  if (auto st = ticker.Tick(); !st.ok()) {
+                    abort_status = st;
+                    return EmitResult::kStop;
+                  }
+                  std::vector<int> newly;
+                  EmitResult er = EmitResult::kContinue;
+                  if (Bind(&row, rp.s, t.s, &newly) && Bind(&row, rp.p, t.p, &newly) &&
+                      Bind(&row, rp.o, t.o, &newly)) {
+                    er = probe(depth + 1);
+                  }
+                  for (int v : newly) row[v] = kInvalidId;
+                  return er;
+                });
+  };
+  probe(0);
+  return abort_status;
+}
+
+}  // namespace turbo::store

@@ -1,0 +1,67 @@
+// DeltaOverlaySolver: BGP evaluation over an epoch snapshot of the live
+// store — the union of the immutable base (six-permutation TripleIndex over
+// the compacted Dataset) and the epoch's delta (a second TripleIndex over
+// update-appended triples), minus the epoch's tombstone set. This is the
+// RDF-3X differential-indexing shape: the base index never changes, the
+// delta index is rebuilt per update batch (it is small by construction —
+// compaction folds it into the base), and deletes are filtered at scan time.
+//
+// Constants resolve against the dictionary first and then against the
+// store's term overlay (ids in [dict.size(), overlay_limit) — terms
+// introduced by updates since the last compaction). Ids at or above
+// overlay_limit belong to later epochs and resolve to nothing here.
+//
+// The join strategy is the IndexJoinBgpSolver's: selectivity-ordered greedy
+// pattern order, depth-first index nested-loop probe, kStop unwinding. The
+// baselines' behaviour over an empty delta is bit-identical, which is what
+// the solver cross-check tests assert.
+#pragma once
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "baseline/triple_index.hpp"
+#include "rdf/triple.hpp"
+#include "sparql/local_vocab.hpp"
+#include "sparql/solver.hpp"
+
+namespace turbo::store {
+
+using TombstoneSet = std::unordered_set<rdf::Triple, rdf::TripleHash>;
+
+class DeltaOverlaySolver : public sparql::BgpSolver {
+ public:
+  /// All shared state is owned by the epoch snapshot that owns this solver;
+  /// `dict` must outlive it (the snapshot pins the engine that owns it).
+  DeltaOverlaySolver(const rdf::Dictionary& dict,
+                     std::shared_ptr<const baseline::TripleIndex> base,
+                     std::shared_ptr<const baseline::TripleIndex> delta,
+                     std::shared_ptr<const TombstoneSet> tombstones,
+                     std::shared_ptr<const sparql::LocalVocab> overlay,
+                     TermId overlay_limit)
+      : dict_(dict),
+        base_(std::move(base)),
+        delta_(std::move(delta)),
+        tombstones_(std::move(tombstones)),
+        overlay_(std::move(overlay)),
+        overlay_limit_(overlay_limit) {}
+
+  util::Status Evaluate(const std::vector<sparql::TriplePattern>& bgp,
+                        const sparql::VarRegistry& vars, const sparql::Row& bound,
+                        const std::vector<const sparql::FilterExpr*>& pushable,
+                        const sparql::RowSink& emit,
+                        const sparql::EvalControl& control = {}) const override;
+
+  const rdf::Dictionary& dict() const override { return dict_; }
+
+ private:
+  const rdf::Dictionary& dict_;
+  std::shared_ptr<const baseline::TripleIndex> base_;
+  std::shared_ptr<const baseline::TripleIndex> delta_;
+  std::shared_ptr<const TombstoneSet> tombstones_;
+  std::shared_ptr<const sparql::LocalVocab> overlay_;
+  TermId overlay_limit_;
+};
+
+}  // namespace turbo::store

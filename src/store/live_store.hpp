@@ -1,0 +1,189 @@
+// LiveStore: the live-update subsystem — SPARQL Update over the otherwise
+// immutable engine, with epoch-based MVCC snapshots so readers are never
+// blocked and never see a half-applied batch.
+//
+// Design (differential indexing à la RDF-3X, RCU-style publication):
+//
+//   * The *base* is a fully built QueryEngine over a compacted Dataset:
+//     dictionary, inference closure, transformed graph / triple index. It is
+//     immutable for its whole lifetime.
+//   * Updates accumulate in a *delta*: an append-side triple list (with its
+//     own six-permutation TripleIndex, rebuilt per batch — the delta is
+//     small by construction) plus a *tombstone* set of deleted base triples.
+//     Terms the base dictionary lacks intern into a shared *overlay*
+//     (a LocalVocab whose ids start at dict.size()), so update-introduced
+//     terms flow through the id-based Row pipeline like stored ones.
+//   * Every applied batch publishes a new immutable Snapshot under a mutex
+//     (epoch N+1). Readers pin the current snapshot at Open(): the cursor
+//     holds shared_ptr ownership of everything the execution touches
+//     (engine, delta index, tombstones, overlay), so a cursor opened before
+//     an update keeps streaming epoch-N rows byte-for-byte unchanged while
+//     epoch N+1 serves new cursors. No reader ever takes the write lock.
+//   * Compaction folds the delta into a fresh Dataset (base minus tombstones
+//     plus adds, overlay terms re-interned in id order so triple ids carry
+//     over verbatim), rebuilds the engine, and publishes an empty-delta
+//     snapshot. It runs on a background thread once the delta crosses
+//     Config::compact_threshold (or synchronously via Compact()). Old
+//     epochs drain naturally as their cursors close.
+//
+// Consistency contract: inference is not incremental. Inserted triples are
+// visible raw (plus whatever the base closure already entailed); deleting a
+// triple does not retract inferences derived from it. Compaction carries the
+// base's inferred region (minus tombstoned triples) unless
+// Config::reinfer_on_compact re-runs the reasoner over the merged data.
+// Within one update request, DELETE DATA applies before INSERT DATA
+// (SPARQL 1.1 modify order); across requests, updates serialize.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rdf/reasoner.hpp"
+#include "sparql/query_engine.hpp"
+#include "store/delta_solver.hpp"
+
+namespace turbo::store {
+
+class LiveStore {
+ public:
+  struct Config {
+    sparql::QueryEngine::Config engine;
+    /// Delta size (adds + tombstones) that triggers background compaction;
+    /// 0 disables the background compactor (Compact() stays available).
+    size_t compact_threshold = 0;
+    /// Re-run the forward chainer over the merged data at compaction instead
+    /// of carrying the previous closure minus tombstones.
+    bool reinfer_on_compact = false;
+    rdf::ReasonerOptions reasoner{};
+  };
+
+  /// One immutable epoch. Readers pin it via shared_ptr; everything a
+  /// cursor can touch is reachable (and kept alive) from here.
+  struct Snapshot {
+    uint64_t epoch = 0;
+    std::shared_ptr<const sparql::QueryEngine> engine;
+    /// Base triple index for delta-overlay scans; null while the delta is
+    /// empty (built lazily at the first update after a compaction).
+    std::shared_ptr<const baseline::TripleIndex> base_index;
+    std::shared_ptr<const std::vector<rdf::Triple>> adds;
+    std::shared_ptr<const TombstoneSet> tombstones;
+    std::shared_ptr<const baseline::TripleIndex> delta_index;
+    /// Shared term overlay; ids in [engine->dict().size(), overlay_limit)
+    /// are visible to this epoch.
+    std::shared_ptr<const sparql::LocalVocab> overlay;
+    TermId overlay_limit = 0;
+    /// Non-null iff the delta is non-empty: the solver serving this epoch's
+    /// BGPs (base minus tombstones, union delta). Null means the engine's
+    /// native solver serves reads with zero overlay overhead.
+    std::shared_ptr<const DeltaOverlaySolver> overlay_solver;
+
+    bool has_delta() const { return overlay_solver != nullptr; }
+    size_t delta_adds() const { return adds ? adds->size() : 0; }
+    size_t tombstone_count() const { return tombstones ? tombstones->size() : 0; }
+    const rdf::Dictionary& dict() const { return engine->dict(); }
+    const sparql::BgpSolver& solver() const {
+      return has_delta() ? static_cast<const sparql::BgpSolver&>(*overlay_solver)
+                         : engine->solver();
+    }
+  };
+
+  struct UpdateResult {
+    uint64_t epoch = 0;      ///< epoch the batch published
+    size_t inserted = 0;     ///< triples that became visible (were absent)
+    size_t deleted = 0;      ///< triples that became invisible (were present)
+    size_t delta_adds = 0;   ///< delta size after the batch
+    size_t tombstones = 0;   ///< tombstone count after the batch
+  };
+
+  struct Stats {
+    uint64_t epoch = 0;
+    uint64_t updates_applied = 0;
+    uint64_t compactions = 0;
+    size_t delta_adds = 0;
+    size_t tombstones = 0;
+    size_t overlay_terms = 0;
+    size_t base_triples = 0;  ///< compacted dataset size (original + inferred)
+  };
+
+  /// Takes the (not yet inference-closed, unless the caller closed it)
+  /// dataset and builds the initial epoch-0 engine.
+  explicit LiveStore(rdf::Dataset dataset);
+  LiveStore(rdf::Dataset dataset, Config config);
+  ~LiveStore();
+
+  LiveStore(const LiveStore&) = delete;
+  LiveStore& operator=(const LiveStore&) = delete;
+
+  // ---- Read side (thread-safe, never blocks on writers). ----
+
+  /// Parse + plan once. Plans depend only on the query text (never the
+  /// dictionary), so a PreparedQuery stays valid across epochs; Open
+  /// resolves constants against the epoch it pins.
+  util::Result<sparql::PreparedQuery> Prepare(const std::string& text) const;
+
+  /// Pins the current snapshot and opens a cursor over it. The cursor holds
+  /// the snapshot (ExecOptions::pin) until destruction, so concurrent
+  /// updates and compactions never invalidate it.
+  util::Result<sparql::Cursor> Open(const sparql::PreparedQuery& prepared,
+                                    sparql::ExecOptions opts = {}) const;
+  util::Result<sparql::Cursor> Open(const std::string& text,
+                                    sparql::ExecOptions opts = {}) const;
+
+  /// Opens a cursor over an explicitly pinned snapshot (the HTTP endpoint
+  /// pins once per request so the X-Epoch header and row formatting agree).
+  static util::Result<sparql::Cursor> OpenAt(std::shared_ptr<const Snapshot> snap,
+                                             const sparql::PreparedQuery& prepared,
+                                             sparql::ExecOptions opts = {});
+
+  /// The current epoch's snapshot (cheap: one mutex-guarded shared_ptr copy).
+  std::shared_ptr<const Snapshot> snapshot() const;
+  uint64_t epoch() const { return snapshot()->epoch; }
+
+  // ---- Write side (serialized on an internal write mutex). ----
+
+  /// Applies a parsed update batch atomically and publishes a new epoch.
+  /// Set semantics: inserting a present triple or deleting an absent one is
+  /// a no-op (counted in neither `inserted` nor `deleted`).
+  util::Result<UpdateResult> Apply(const sparql::UpdateRequest& request);
+
+  /// Parses SPARQL Update text (INSERT DATA / DELETE DATA) and applies it.
+  util::Result<UpdateResult> Update(const std::string& text);
+
+  /// Folds the delta into a freshly built base engine and publishes an
+  /// empty-delta epoch. Runs synchronously; no-op when there is nothing to
+  /// fold. Readers on older epochs are unaffected.
+  util::Status Compact();
+
+  Stats stats() const;
+
+ private:
+  void Publish(std::shared_ptr<const Snapshot> snap);
+  util::Status CompactLocked();
+  void CompactorLoop();
+
+  Config cfg_;
+
+  mutable std::mutex snap_mu_;          // guards snap_ pointer swaps only
+  std::shared_ptr<const Snapshot> snap_;
+
+  std::mutex write_mu_;  // serializes Apply/Compact; never taken by readers
+  // Mutated only under write_mu_; snapshots hold const views.
+  std::shared_ptr<sparql::LocalVocab> overlay_;
+  std::shared_ptr<const baseline::TripleIndex> base_index_;  // lazy, per base
+
+  std::atomic<uint64_t> updates_applied_{0};
+  std::atomic<uint64_t> compactions_{0};
+
+  std::mutex compact_mu_;
+  std::condition_variable compact_cv_;
+  bool compact_requested_ = false;
+  bool stop_ = false;
+  std::thread compactor_;
+};
+
+}  // namespace turbo::store
