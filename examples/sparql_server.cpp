@@ -19,6 +19,7 @@
 #include <cstring>
 #include <string>
 
+#include "graph/graph_snapshot.hpp"
 #include "rdf/loader.hpp"
 #include "rdf/reasoner.hpp"
 #include "rdf/snapshot.hpp"
@@ -42,7 +43,8 @@ void OnSignal(int) { g_stop = 1; }
 
 int main(int argc, char** argv) {
   using namespace turbo;
-  std::string nt_path, ttl_path, snap_path, engine_name = "turbo";
+  std::string nt_path, ttl_path, snap_path, engine_name = "turbo",
+                                            storage_name = "plain";
   uint32_t lubm = 0, threads = 1, load_threads = 0;
   size_t compact_threshold = 0;
   bool direct = false, inference = true;
@@ -55,6 +57,7 @@ int main(int argc, char** argv) {
     else if (arg == "--snap") snap_path = next();
     else if (arg == "--lubm") lubm = std::atoi(next());
     else if (arg == "--engine") engine_name = next();
+    else if (arg == "--storage") storage_name = next();
     else if (arg == "--threads") threads = std::atoi(next());
     else if (arg == "--load-threads") load_threads = std::atoi(next());
     else if (arg == "--no-inference") inference = false;
@@ -75,8 +78,9 @@ int main(int argc, char** argv) {
     return Fail("need one of --nt <file>, --ttl <file>, --snap <file>, --lubm <N>");
 
   rdf::Dataset ds;
+  std::vector<rdf::SnapshotSection> snap_extras;
   if (!snap_path.empty()) {
-    auto loaded = rdf::LoadSnapshotFile(snap_path, load_threads);
+    auto loaded = rdf::LoadSnapshotFile(snap_path, load_threads, &snap_extras);
     if (!loaded.ok()) return Fail(loaded.message());
     ds = loaded.take();
     inference = false;  // snapshots carry their closure
@@ -111,10 +115,28 @@ int main(int argc, char** argv) {
   } else {
     return Fail("unknown engine '" + engine_name + "'");
   }
+  if (storage_name == "compressed") config.storage = graph::StorageMode::kCompressed;
+  else if (storage_name != "plain")
+    return Fail("unknown storage '" + storage_name + "' (plain|compressed)");
+
+  // Adopt a matching "GRPH" snapshot section so compressed graphs reload
+  // without re-encoding (mismatches rebuild from the dataset).
+  std::unique_ptr<graph::DataGraph> prebuilt;
+  for (rdf::SnapshotSection& s : snap_extras) {
+    if (s.tag != graph::kGraphSectionTag) continue;
+    auto g = graph::DeserializeDataGraph(s.payload);
+    if (g.ok())
+      prebuilt = std::make_unique<graph::DataGraph>(g.take());
+    else
+      std::fprintf(stderr, "warning: ignoring snapshot graph section: %s\n",
+                   g.message().c_str());
+  }
+  snap_extras.clear();
+
   store::LiveStore::Config store_config;
   store_config.engine = config;
   store_config.compact_threshold = compact_threshold;
-  store::LiveStore live(std::move(ds), store_config);
+  store::LiveStore live(std::move(ds), store_config, std::move(prebuilt));
 
   server::SparqlServer srv(&live, server_config);
   if (auto st = srv.Start(); !st.ok()) return Fail(st.message());

@@ -12,6 +12,10 @@
 //   $ ./examples/sparql_shell --lubm 2 --save lubm2.snap
 //   $ ./examples/sparql_shell --snap lubm2.snap 'SELECT ...'
 // Options: --direct (direct transformation), --engine turbo|sortmerge|indexjoin,
+//          --storage plain|compressed (adjacency layout: plain CSR arrays or
+//          delta + group-varint packed streams; snapshots saved from a
+//          compressed engine embed the encoded graph, so --snap reloads it
+//          without re-encoding),
 //          --threads N (query parallelism), --load-threads N (ingestion
 //          parallelism, 0 = all cores), --skip-bad-lines (tolerate malformed
 //          N-Triples lines), --no-inference, --max-rows N (server-style
@@ -35,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "graph/graph_snapshot.hpp"
 #include "rdf/loader.hpp"
 #include "rdf/reasoner.hpp"
 #include "rdf/snapshot.hpp"
@@ -156,7 +161,8 @@ bool LooksLikeUpdate(const std::string& text) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string nt_path, ttl_path, snap_path, save_path, engine_name = "turbo", query;
+  std::string nt_path, ttl_path, snap_path, save_path, engine_name = "turbo",
+                                                       storage_name = "plain", query;
   std::vector<std::string> updates;
   uint32_t lubm = 0, threads = 1, load_threads = 0;
   bool direct = false, inference = true, skip_bad = false;
@@ -170,6 +176,7 @@ int main(int argc, char** argv) {
     else if (arg == "--save") save_path = next();
     else if (arg == "--lubm") lubm = std::atoi(next());
     else if (arg == "--engine") engine_name = next();
+    else if (arg == "--storage") storage_name = next();
     else if (arg == "--threads") threads = std::atoi(next());
     else if (arg == "--load-threads") load_threads = std::atoi(next());
     else if (arg == "--update") updates.emplace_back(next());
@@ -191,8 +198,9 @@ int main(int argc, char** argv) {
   // ---- Load. ----
   util::WallTimer t;
   rdf::Dataset ds;
+  std::vector<rdf::SnapshotSection> snap_extras;
   if (!snap_path.empty()) {
-    auto loaded = rdf::LoadSnapshotFile(snap_path, load_threads);
+    auto loaded = rdf::LoadSnapshotFile(snap_path, load_threads, &snap_extras);
     if (!loaded.ok()) return Fail(loaded.message());
     ds = loaded.take();
     inference = false;  // snapshots carry their closure
@@ -227,11 +235,6 @@ int main(int argc, char** argv) {
     rdf::MaterializeInference(&ds, opts);
   }
   std::fprintf(stderr, "loaded %zu triples (%.1fs)\n", ds.size(), t.ElapsedSeconds());
-  if (!save_path.empty()) {
-    auto st = rdf::SaveSnapshotFile(ds, save_path);
-    if (!st.ok()) return Fail(st.message());
-    std::fprintf(stderr, "snapshot written to %s\n", save_path.c_str());
-  }
 
   // ---- Build the requested engine behind the facade. ----
   t.Reset();
@@ -247,11 +250,63 @@ int main(int argc, char** argv) {
   } else {
     return Fail("unknown engine '" + engine_name + "'");
   }
+  if (storage_name == "compressed") config.storage = graph::StorageMode::kCompressed;
+  else if (storage_name != "plain")
+    return Fail("unknown storage '" + storage_name + "' (plain|compressed)");
+
+  // A "GRPH" snapshot section carrying a graph that matches the requested
+  // transform + storage is adopted directly — compressed graphs reload
+  // without re-running the encoder. Mismatches just rebuild.
+  std::unique_ptr<graph::DataGraph> prebuilt;
+  for (rdf::SnapshotSection& s : snap_extras) {
+    if (s.tag != graph::kGraphSectionTag) continue;
+    auto g = graph::DeserializeDataGraph(s.payload);
+    if (g.ok())
+      prebuilt = std::make_unique<graph::DataGraph>(g.take());
+    else
+      std::fprintf(stderr, "warning: ignoring snapshot graph section: %s\n",
+                   g.message().c_str());
+  }
+  snap_extras.clear();
+
   store::LiveStore::Config store_config;
   store_config.engine = config;
-  store::LiveStore store(std::move(ds), store_config);
+  store::LiveStore store(std::move(ds), store_config, std::move(prebuilt));
   std::fprintf(stderr, "engine '%s' ready (%.1fs)\n", engine_name.c_str(),
                t.ElapsedSeconds());
+
+  std::shared_ptr<const store::LiveStore::Snapshot> epoch0 = store.snapshot();
+  if (const graph::DataGraph* g = epoch0->engine->data_graph()) {
+    graph::DataGraph::MemoryBreakdown m = g->MemoryUsage();
+    std::fprintf(stderr,
+                 "graph memory (%s): total %.1f MiB | adjacency %.1f MiB "
+                 "(groups %.1f, neighbors %.1f, compressed %.1f, skips %.1f) | "
+                 "signatures %.1f MiB | labels %.1f MiB | predicate index %.1f MiB | "
+                 "terms %.1f MiB\n",
+                 g->compressed() ? "compressed" : "plain", m.total() / 1048576.0,
+                 m.adjacency_total() / 1048576.0, m.adjacency_groups / 1048576.0,
+                 m.adjacency_neighbors / 1048576.0, m.adjacency_compressed / 1048576.0,
+                 m.skip_tables / 1048576.0, m.signatures / 1048576.0,
+                 (m.vertex_labels + m.inverse_label_index) / 1048576.0,
+                 m.predicate_index / 1048576.0, (m.term_maps + m.schema) / 1048576.0);
+  }
+
+  if (!save_path.empty()) {
+    // Saved after the engine build so the snapshot can embed the finished
+    // graph: reloading skips classification, sorting, and (in compressed
+    // mode) the varint encoder.
+    std::vector<rdf::SnapshotSection> extras;
+    if (const graph::DataGraph* g = epoch0->engine->data_graph()) {
+      std::string payload;
+      graph::SerializeDataGraph(*g, &payload);
+      extras.push_back({graph::kGraphSectionTag, std::move(payload)});
+    }
+    auto st =
+        rdf::SaveSnapshotFile(*epoch0->engine->dataset(), save_path, extras);
+    if (!st.ok()) return Fail(st.message());
+    std::fprintf(stderr, "snapshot written to %s\n", save_path.c_str());
+  }
+  epoch0.reset();
 
   for (const std::string& update : updates) RunUpdate(store, update);
 

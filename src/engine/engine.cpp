@@ -52,6 +52,10 @@ struct Compiled {
   std::vector<std::vector<Requirement>> reqs;
   std::vector<uint32_t> deg_req_out;
   std::vector<uint32_t> deg_req_in;
+  /// Per-query-vertex neighborhood-signature requirement: the bits every
+  /// admissible candidate's DataGraph::signature must contain. Always built
+  /// (one OR-mask per vertex); 0 = no labeled incident edges, filter off.
+  std::vector<uint64_t> req_sig;
 };
 
 bool HasAllLabels(const DataGraph& g, VertexId v, const std::vector<LabelId>& labels,
@@ -60,6 +64,16 @@ bool HasAllLabels(const DataGraph& g, VertexId v, const std::vector<LabelId>& la
     if (!g.HasLabel(v, l, simple)) return false;
   return true;
 }
+
+/// Restores the arena's union-buffer stack on scope exit, so every return
+/// path of SubgraphSearch (and of CollectCandidates, which borrows decode
+/// scratch from the same pool) releases the buffers it acquired.
+struct UnionBufScope {
+  explicit UnionBufScope(RegionArena& a) : ar(a), base(a.union_buf_top()) {}
+  ~UnionBufScope() { ar.RestoreUnionBufs(base); }
+  RegionArena& ar;
+  size_t base;
+};
 
 // ---------------------------------------------------------------------------
 // Context: shared immutable matching helpers (candidate collection, filters,
@@ -74,8 +88,18 @@ class Context {
   const MatchOptions& opt() const { return opt_; }
 
   /// Constraint + degree + NLF admission test (ExploreCandidateRegion
-  /// filters; hom variants per §2.2, iso variants classic TurboISO).
-  bool PassFilters(const Compiled& c, uint32_t qv, VertexId v) const {
+  /// filters; hom variants per §2.2, iso variants classic TurboISO). The
+  /// neighborhood signature runs first: one 64-bit AND against precomputed
+  /// required bits rejects most mismatches before any adjacency is touched.
+  bool PassFilters(const Compiled& c, uint32_t qv, VertexId v,
+                   MatchStats* stats = nullptr) const {
+    if (uint64_t req = c.req_sig[qv]) {
+      if (stats) ++stats->sig_checks;
+      if ((g_.signature(v) & req) != req) {
+        if (stats) ++stats->sig_prunes;
+        return false;
+      }
+    }
     const QueryVertex& u = c.q->vertex(qv);
     if (u.constraint && !u.constraint(g_, v)) return false;
     if (opt_.use_degree_filter) {
@@ -93,25 +117,31 @@ class Context {
   /// over an edge labeled `el` (kInvalidId = blank) in direction `dir` (from
   /// pv's point of view). Output is sorted, duplicate-free, and honours the
   /// label set, fixed-ID attribute, constraint, and enabled filters.
+  /// `ar` supplies decode scratch for the compressed storage mode (the
+  /// uncompressed accessors return zero-copy spans and leave it untouched);
+  /// every buffer acquired here is released before returning.
   void CollectCandidates(const Compiled& c, uint32_t qv, VertexId pv, Direction dir,
-                         EdgeLabelId el, std::vector<VertexId>* out) const {
+                         EdgeLabelId el, RegionArena& ar, std::vector<VertexId>* out,
+                         MatchStats* stats) const {
     const QueryVertex& u = c.q->vertex(qv);
     out->clear();
     const bool simple = opt_.simple_entailment;
+    UnionBufScope decode_scope(ar);
     if (el != kInvalidId) {
       if (u.labels.empty()) {
-        auto nbrs = g_.Neighbors(pv, dir, el);
+        auto nbrs = g_.Neighbors(pv, dir, el, ar.PushUnionBuf());
         out->assign(nbrs.begin(), nbrs.end());
       } else if (simple) {
-        for (VertexId w : g_.Neighbors(pv, dir, el))
+        for (VertexId w : g_.Neighbors(pv, dir, el, ar.PushUnionBuf()))
           if (HasAllLabels(g_, w, u.labels, true)) out->push_back(w);
       } else if (u.labels.size() == 1) {
-        auto nbrs = g_.Neighbors(pv, dir, el, u.labels[0]);
+        auto nbrs = g_.Neighbors(pv, dir, el, u.labels[0], ar.PushUnionBuf());
         out->assign(nbrs.begin(), nbrs.end());
       } else {
         std::vector<std::span<const VertexId>> lists;
         lists.reserve(u.labels.size());
-        for (LabelId l : u.labels) lists.push_back(g_.Neighbors(pv, dir, el, l));
+        for (LabelId l : u.labels)
+          lists.push_back(g_.Neighbors(pv, dir, el, l, ar.PushUnionBuf()));
         util::IntersectKWay(std::move(lists), out);
       }
     } else {
@@ -119,10 +149,8 @@ class Context {
       // all adjacent vertices which match available information and
       // unioning them").
       if (u.labels.empty() || simple) {
-        std::vector<std::span<const VertexId>> spans;
-        for (const auto& grp : g_.ElGroups(pv, dir))
-          spans.push_back(g_.GroupNeighbors(dir, grp));
-        util::UnionInto(spans, out);
+        auto nbrs = g_.UnionNeighbors(pv, dir, ar.PushUnionBuf());
+        out->assign(nbrs.begin(), nbrs.end());
         if (!u.labels.empty()) {
           out->erase(std::remove_if(
                          out->begin(), out->end(),
@@ -130,21 +158,19 @@ class Context {
                      out->end());
         }
       } else {
-        std::vector<uint32_t> acc, next, per_label;
+        std::vector<VertexId>& acc = ar.PushUnionBuf();
+        std::vector<VertexId>& per_label = ar.PushUnionBuf();
         for (size_t i = 0; i < u.labels.size(); ++i) {
-          std::vector<std::span<const VertexId>> spans;
-          for (const auto& grp : g_.TypeGroups(pv, dir))
-            if (grp.vl == u.labels[i]) spans.push_back(g_.GroupNeighbors(dir, grp));
-          util::UnionInto(spans, &per_label);
+          auto span = g_.NeighborsWithLabel(pv, dir, u.labels[i], per_label);
           if (i == 0) {
-            acc.swap(per_label);
+            acc.assign(span.begin(), span.end());
           } else {
-            util::IntersectInto(acc, per_label, &next);
-            acc.swap(next);
+            util::IntersectInto(acc, span, out);
+            acc.swap(*out);
           }
           if (acc.empty()) break;
         }
-        out->swap(acc);
+        out->assign(acc.begin(), acc.end());
       }
     }
     // ID attribute check of the two-attribute vertex model (§4.1).
@@ -153,9 +179,9 @@ class Context {
       out->clear();
       if (present) out->push_back(u.fixed_id);
     }
-    if (u.constraint || opt_.use_nlf || opt_.use_degree_filter) {
+    if (u.constraint || opt_.use_nlf || opt_.use_degree_filter || c.req_sig[qv] != 0) {
       out->erase(std::remove_if(out->begin(), out->end(),
-                                [&](VertexId w) { return !PassFilters(c, qv, w); }),
+                                [&](VertexId w) { return !PassFilters(c, qv, w, stats); }),
                  out->end());
     }
   }
@@ -163,11 +189,12 @@ class Context {
   /// ChooseStartQueryVertex (§2.2): fixed-ID vertices give one candidate
   /// region and win outright; otherwise rank = freq(g, L(u)) / deg(u) and
   /// the top-k are refined with the degree/NLF filters.
-  void Compile(const QueryGraph& q, Compiled* c) const {
+  void Compile(const QueryGraph& q, Compiled* c, MatchStats* stats = nullptr) const {
     c->q = &q;
     // Algorithm 1, line 1: the point-shaped fast path requires E = empty
     // (a single vertex with a self loop still needs SubgraphSearch).
     c->single_vertex = q.num_vertices() == 1 && q.num_edges() == 0;
+    BuildSignatureRequirements(q, c);
     if (opt_.use_nlf || opt_.use_degree_filter) BuildRequirements(q, c);
 
     // Fixed-ID vertices give exactly one candidate region; among several,
@@ -214,25 +241,41 @@ class Context {
       }
     }
     c->start_qv = best;
-    MaterializeStartList(q, *c, best, &c->start_list);
+    MaterializeStartList(q, *c, best, &c->start_list, stats);
     if (!c->single_vertex) c->tree = QueryTree::Build(q, best);
   }
 
  private:
-  bool PassRequirement(const Requirement& r, VertexId v) const {
-    if (r.el != kInvalidId && r.vl != kInvalidId)
-      return g_.Neighbors(v, r.dir, r.el, r.vl).size() >= r.count;
-    if (r.el != kInvalidId) return g_.Neighbors(v, r.dir, r.el).size() >= r.count;
-    if (r.vl != kInvalidId) {
-      uint32_t total = 0;
-      for (const auto& grp : g_.TypeGroups(v, r.dir)) {
-        if (grp.vl == r.vl) {
-          total += grp.end - grp.begin;
-          if (total >= r.count) return true;
-        }
+  /// Precomputes each query vertex's required signature bits: every labeled
+  /// incident edge contributes its (dir, el) bit plus one (dir, el, vl) bit
+  /// per label of the other endpoint. Any data vertex that can embed the
+  /// neighborhood has a superset of these bits (signatures are built from
+  /// the label-closure group metadata, a superset of the simple-entailment
+  /// labels), so the AND-test in PassFilters is false-positive-only.
+  /// Blank-labeled query edges contribute nothing — a union over all
+  /// predicates admits any vertex with any edge in that direction.
+  void BuildSignatureRequirements(const QueryGraph& q, Compiled* c) const {
+    c->req_sig.assign(q.num_vertices(), 0);
+    for (uint32_t u = 0; u < q.num_vertices(); ++u) {
+      uint64_t sig = 0;
+      for (const auto& inc : q.incident(u)) {
+        const QueryEdge& e = q.edge(inc.edge);
+        if (!e.has_label()) continue;
+        sig |= DataGraph::SignatureBit(inc.dir, e.label, kInvalidId);
+        uint32_t other = inc.dir == Direction::kOut ? e.to : e.from;
+        for (LabelId l : q.vertex(other).labels)
+          sig |= DataGraph::SignatureBit(inc.dir, e.label, l);
       }
-      return total >= r.count;
+      c->req_sig[u] = sig;
     }
+  }
+  bool PassRequirement(const Requirement& r, VertexId v) const {
+    // Counts only — no neighbor list is materialized, so this path never
+    // decodes compressed adjacency.
+    if (r.el != kInvalidId && r.vl != kInvalidId)
+      return g_.NeighborCount(v, r.dir, r.el, r.vl) >= r.count;
+    if (r.el != kInvalidId) return g_.NeighborCount(v, r.dir, r.el) >= r.count;
+    if (r.vl != kInvalidId) return g_.NeighborCountWithLabel(v, r.dir, r.vl) >= r.count;
     return g_.Degree(v, r.dir) >= r.count;
   }
 
@@ -369,12 +412,12 @@ class Context {
   }
 
   void MaterializeStartList(const QueryGraph& q, const Compiled& c, uint32_t u,
-                            std::vector<VertexId>* out) const {
+                            std::vector<VertexId>* out, MatchStats* stats) const {
     MaterializeBaseList(q, u, out);
     const QueryVertex& v = q.vertex(u);
-    if (v.constraint || opt_.use_nlf || opt_.use_degree_filter) {
+    if (v.constraint || opt_.use_nlf || opt_.use_degree_filter || c.req_sig[u] != 0) {
       out->erase(std::remove_if(out->begin(), out->end(),
-                                [&](VertexId w) { return !PassFilters(c, u, w); }),
+                                [&](VertexId w) { return !PassFilters(c, u, w, stats); }),
                  out->end());
     }
   }
@@ -387,15 +430,6 @@ class Context {
 // Matching order for one candidate region (DetermineMatchingOrder) and the
 // per-position non-tree-edge checks consumed by IsJoinable.
 // ---------------------------------------------------------------------------
-
-/// Restores the arena's union-buffer stack on scope exit, so every return
-/// path of SubgraphSearch releases the blank-edge buffers it acquired.
-struct UnionBufScope {
-  explicit UnionBufScope(RegionArena& a) : ar(a), base(a.union_buf_top()) {}
-  ~UnionBufScope() { ar.RestoreUnionBufs(base); }
-  RegionArena& ar;
-  size_t base;
-};
 
 struct OrderInfo {
   std::vector<uint32_t> node_at;  ///< position -> tree node index
@@ -530,7 +564,7 @@ class Worker {
       const uint32_t cd = ar_.node_depth[ci];
       std::vector<VertexId>& cands = ar_.explore_scratch[cd];
       ctx_.CollectCandidates(c_, child.qv, v, child.dir_from_parent,
-                             q_.edge(child.edge).label, &cands);
+                             q_.edge(child.edge).label, ar_, &cands, &stats);
       // The recursion below only appends to depths > cd, so CR(ci, v) stays
       // the open tail of its depth's pool until EndList.
       ar_.BeginList(ci, cd, v);
@@ -651,14 +685,12 @@ class Worker {
       const QueryEdge& qe = q_.edge(back.edge);
       std::span<const VertexId> span;
       if (qe.has_label()) {
-        span = ctx_.g().Neighbors(partner_v, back.partner_dir, qe.label);
+        // Scratch-aware lookup: decodes into a pooled buffer under the
+        // compressed storage mode, zero-copy otherwise.
+        span = ctx_.g().Neighbors(partner_v, back.partner_dir, qe.label,
+                                  ar_.PushUnionBuf());
       } else {
-        std::vector<VertexId>& buf = ar_.PushUnionBuf();
-        sc.group_spans.clear();
-        for (const auto& grp : ctx_.g().ElGroups(partner_v, back.partner_dir))
-          sc.group_spans.push_back(ctx_.g().GroupNeighbors(back.partner_dir, grp));
-        util::UnionInto(sc.group_spans, &buf);
-        span = buf;
+        span = ctx_.g().UnionNeighbors(partner_v, back.partner_dir, ar_.PushUnionBuf());
       }
       if (span.empty()) return;
       sc.spans.push_back(span);
@@ -801,7 +833,7 @@ MatchStats MatchImpl(const DataGraph& g, const MatchOptions& options, const Quer
   MatchStats stats;
   Context ctx(g, options);
   Compiled c;
-  ctx.Compile(q, &c);
+  ctx.Compile(q, &c, &stats);
   stats.start_query_vertex = c.start_qv;
 
   // Check one RegionArena out per worker. With reuse_region_memory the

@@ -92,6 +92,8 @@ struct MatchStats {
   uint64_t cr_candidate_vertices = 0; ///< total candidates across all CRs
   uint64_t isjoinable_checks = 0;     ///< membership probes (non-+INT path)
   uint64_t intersection_ops = 0;      ///< k-way intersections (+INT path)
+  uint64_t sig_checks = 0;            ///< neighborhood-signature filter tests
+  uint64_t sig_prunes = 0;            ///< candidates rejected by the signature alone
   uint64_t arena_workers = 0;         ///< RegionArenas checked out for the run
   uint64_t arena_warm = 0;            ///< arenas reused from a previous query
   uint64_t arena_bytes = 0;           ///< resident arena capacity after the run
@@ -113,6 +115,8 @@ struct MatchStats {
     cr_candidate_vertices += o.cr_candidate_vertices;
     isjoinable_checks += o.isjoinable_checks;
     intersection_ops += o.intersection_ops;
+    sig_checks += o.sig_checks;
+    sig_prunes += o.sig_prunes;
     arena_workers += o.arena_workers;
     arena_warm += o.arena_warm;
     arena_bytes += o.arena_bytes;

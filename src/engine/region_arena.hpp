@@ -186,7 +186,6 @@ class MemoMap {
 /// position under variable-predicate workloads.
 struct SearchScratch {
   std::vector<std::span<const VertexId>> spans;
-  std::vector<std::span<const VertexId>> group_spans;
   std::vector<std::span<const VertexId>> lists;
   std::vector<VertexId> int_result;
 };

@@ -1,0 +1,175 @@
+#include "graph/compressed_adj.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#if defined(__SSSE3__)
+#include <tmmintrin.h>
+#endif
+
+namespace turbo::graph {
+
+namespace {
+
+inline unsigned ByteLen(uint32_t v) {
+  return v < (1u << 8) ? 1 : v < (1u << 16) ? 2 : v < (1u << 24) ? 3 : 4;
+}
+
+constexpr uint32_t kLenMask[5] = {0, 0xffu, 0xffffu, 0xffffffu, 0xffffffffu};
+
+inline uint32_t LoadLE32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+#if defined(__SSSE3__)
+/// Per-control-byte pshufb mask scattering the 4 packed payloads into 4
+/// uint32 lanes (0x80 zero-fills the high bytes), plus the payload length.
+struct ShuffleEntry {
+  uint8_t mask[16];
+  uint8_t total;
+};
+
+std::array<ShuffleEntry, 256> BuildShuffleTable() {
+  std::array<ShuffleEntry, 256> t{};
+  for (int c = 0; c < 256; ++c) {
+    uint8_t src = 0;
+    for (int k = 0; k < 4; ++k) {
+      unsigned len = ((static_cast<unsigned>(c) >> (2 * k)) & 3) + 1;
+      for (unsigned b = 0; b < 4; ++b)
+        t[c].mask[4 * k + b] = b < len ? static_cast<uint8_t>(src + b) : 0x80;
+      src = static_cast<uint8_t>(src + len);
+    }
+    t[c].total = src;
+  }
+  return t;
+}
+
+const std::array<ShuffleEntry, 256> kShuffle = BuildShuffleTable();
+#endif  // __SSSE3__
+
+/// Decodes one chunk of `count` (< 4 allowed only for the final chunk)
+/// values the portable way. Returns payload bytes consumed.
+inline size_t DecodeChunkScalar(uint8_t ctrl, const uint8_t* p, size_t count,
+                                uint32_t* prev, bool* first, uint32_t* out) {
+  const uint8_t* start = p;
+  for (size_t k = 0; k < count; ++k) {
+    unsigned len = ((ctrl >> (2 * k)) & 3) + 1;
+    uint32_t raw = LoadLE32(p) & kLenMask[len];
+    p += len;
+    *prev = *first ? raw : *prev + raw + 1;
+    *first = false;
+    out[k] = *prev;
+  }
+  return static_cast<size_t>(p - start);
+}
+
+}  // namespace
+
+void EncodeSortedList(std::span<const uint32_t> values, std::vector<uint8_t>* bytes,
+                      std::vector<SkipEntry>* skips) {
+  const size_t list_start = bytes->size();
+  const size_t n = values.size();
+  size_t i = 0;
+  while (i < n) {
+    if (i > 0 && skips != nullptr)
+      skips->push_back({values[i], static_cast<uint32_t>(bytes->size() - list_start)});
+    const size_t block_end = std::min(i + kSkipBlock, n);
+    uint32_t prev = 0;
+    bool first = true;
+    while (i < block_end) {
+      const size_t chunk = std::min<size_t>(4, block_end - i);
+      const size_t ctrl_pos = bytes->size();
+      bytes->push_back(0);
+      uint8_t ctrl = 0;
+      for (size_t k = 0; k < chunk; ++k) {
+        uint32_t raw = first ? values[i] : values[i] - prev - 1;
+        prev = values[i];
+        first = false;
+        unsigned len = ByteLen(raw);
+        ctrl |= static_cast<uint8_t>((len - 1) << (2 * k));
+        for (unsigned b = 0; b < len; ++b)
+          bytes->push_back(static_cast<uint8_t>(raw >> (8 * b)));
+        ++i;
+      }
+      (*bytes)[ctrl_pos] = ctrl;
+    }
+  }
+}
+
+size_t DecodeSortedList(const uint8_t* bytes, size_t n, uint32_t* out) {
+  const uint8_t* p = bytes;
+  size_t i = 0;
+  while (i < n) {
+    const size_t block_end = std::min(i + kSkipBlock, n);
+    uint32_t prev = 0;
+    bool first = true;
+#if defined(__SSSE3__)
+    while (i + 4 <= block_end) {
+      const ShuffleEntry& e = kShuffle[*p++];
+      __m128i raw = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+      __m128i vals = _mm_shuffle_epi8(
+          raw, _mm_loadu_si128(reinterpret_cast<const __m128i*>(e.mask)));
+      // Inclusive prefix sum of the 4 lanes, then shift to running values:
+      // an absolute-start chunk adds lane index k (the k implicit +1 deltas);
+      // a continuation chunk additionally rebases on prev + 1.
+      vals = _mm_add_epi32(vals, _mm_slli_si128(vals, 4));
+      vals = _mm_add_epi32(vals, _mm_slli_si128(vals, 8));
+      __m128i add = _mm_add_epi32(
+          _mm_setr_epi32(0, 1, 2, 3),
+          _mm_set1_epi32(first ? 0 : static_cast<int>(prev + 1)));
+      vals = _mm_add_epi32(vals, add);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), vals);
+      prev = static_cast<uint32_t>(
+          _mm_cvtsi128_si32(_mm_shuffle_epi32(vals, _MM_SHUFFLE(3, 3, 3, 3))));
+      first = false;
+      p += e.total;
+      i += 4;
+    }
+#else
+    while (i + 4 <= block_end) {
+      uint8_t ctrl = *p++;
+      p += DecodeChunkScalar(ctrl, p, 4, &prev, &first, out + i);
+      i += 4;
+    }
+#endif
+    if (i < block_end) {
+      uint8_t ctrl = *p++;
+      size_t chunk = block_end - i;
+      p += DecodeChunkScalar(ctrl, p, chunk, &prev, &first, out + i);
+      i += chunk;
+    }
+  }
+  return static_cast<size_t>(p - bytes);
+}
+
+bool CompressedContains(const uint8_t* bytes, size_t n, std::span<const SkipEntry> skips,
+                        uint32_t x) {
+  if (n == 0) return false;
+  // Last block whose first value is <= x; skips[j] describes block j + 1.
+  size_t block = 0;
+  size_t offset = 0;
+  auto it = std::upper_bound(skips.begin(), skips.end(), x,
+                             [](uint32_t v, const SkipEntry& s) { return v < s.first; });
+  if (it != skips.begin()) {
+    block = static_cast<size_t>(it - skips.begin());
+    offset = (it - 1)->offset;
+  }
+  const size_t begin = block * kSkipBlock;
+  const size_t count = std::min<size_t>(kSkipBlock, n - begin);
+  uint32_t tmp[kSkipBlock];
+  DecodeSortedList(bytes + offset, count, tmp);
+  return std::binary_search(tmp, tmp + count, x);
+}
+
+const char* DecodeKernelName() {
+#if defined(__SSSE3__)
+  return "ssse3";
+#else
+  return "scalar";
+#endif
+}
+
+}  // namespace turbo::graph

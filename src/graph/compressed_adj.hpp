@@ -1,0 +1,89 @@
+// Delta + group-varint codec for the compressed adjacency storage mode.
+//
+// A sorted, strictly-increasing uint32 list of length n is encoded in blocks
+// of kSkipBlock values. Within a block the first value is stored absolutely
+// and every later value as (delta - 1) from its predecessor (lists are
+// duplicate-free, so deltas are >= 1 and the -1 buys one more byte-length
+// tier). Blocks are packed group-varint style: chunks of 4 values share one
+// control byte whose 2-bit fields give each value's byte length minus one
+// (1..4 bytes), followed by the payload bytes little-endian. A final chunk
+// may cover fewer than 4 values; absent fields are zero and write no payload.
+//
+// Because every block restarts with an absolute value, a block can be decoded
+// without touching its predecessors. One SkipEntry per block *after the
+// first* records the block's first value and its byte offset from the list
+// start, so a membership probe galloping over the skip table decodes at most
+// one block (<= kSkipBlock values) instead of the whole list.
+//
+// Decoders read up to kDecodePad bytes past the last encoded byte of a
+// stream (unaligned 16-byte loads in the SIMD path, 4-byte masked loads in
+// the scalar path); callers must pad the underlying byte buffer accordingly.
+// The fast path uses SSSE3 pshufb and is selected at build time: this
+// translation unit is compiled with -mssse3 when TURBO_SIMD_DECODE is ON
+// (see src/CMakeLists.txt), otherwise the scalar/SWAR fallback runs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace turbo::graph {
+
+/// Values per independently decodable block (and per skip-table stride).
+inline constexpr uint32_t kSkipBlock = 128;
+
+/// Bytes a decoder may read past the end of an encoded stream.
+inline constexpr size_t kDecodePad = 16;
+
+/// Skip-table entry for one block after the first: the block's first value
+/// and the byte offset of the block from the start of its list's encoding.
+struct SkipEntry {
+  uint32_t first;
+  uint32_t offset;
+};
+
+/// Appends the encoding of `values` (sorted, strictly increasing) to
+/// `*bytes` and one SkipEntry per block after the first to `*skips` with
+/// offsets relative to the start of this list's encoding.
+void EncodeSortedList(std::span<const uint32_t> values, std::vector<uint8_t>* bytes,
+                      std::vector<SkipEntry>* skips);
+
+/// Decodes exactly `n` values from `bytes` into `out` (capacity >= n).
+/// Returns the number of encoded bytes consumed.
+size_t DecodeSortedList(const uint8_t* bytes, size_t n, uint32_t* out);
+
+/// Membership test over an encoded list without a full decode: gallops the
+/// skip table to the one candidate block and decodes only it.
+bool CompressedContains(const uint8_t* bytes, size_t n, std::span<const SkipEntry> skips,
+                        uint32_t x);
+
+/// Name of the decode kernel compiled in ("ssse3" or "scalar").
+const char* DecodeKernelName();
+
+// LEB128 varints, used by the compressed graph's per-vertex group directory
+// (data_graph.cpp). Unchecked reads: callers validate stream bounds once at
+// build/load time, not per access.
+inline void PutVarint32(std::vector<uint8_t>* out, uint32_t x) {
+  while (x >= 0x80) {
+    out->push_back(static_cast<uint8_t>(x) | 0x80);
+    x >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(x));
+}
+
+inline const uint8_t* GetVarint32(const uint8_t* p, uint32_t* out) {
+  uint32_t x = *p++;
+  if (x >= 0x80) {
+    x &= 0x7f;
+    for (uint32_t shift = 7;; shift += 7) {
+      uint32_t b = *p++;
+      x |= (b & 0x7f) << shift;
+      if (b < 0x80) break;
+    }
+  }
+  *out = x;
+  return p;
+}
+
+}  // namespace turbo::graph

@@ -23,14 +23,18 @@
 // are stored.
 #pragma once
 
+#include <cassert>
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "graph/compressed_adj.hpp"
 #include "rdf/dataset.hpp"
 #include "util/common.hpp"
+#include "util/status.hpp"
 
 namespace turbo::graph {
 
@@ -43,6 +47,17 @@ inline Direction Reverse(Direction d) {
 
 /// Which RDF-to-graph transformation builds the DataGraph.
 enum class TransformMode { kDirect, kTypeAware };
+
+/// How neighbor lists are stored. kUncompressed keeps the plain uint32 CSR
+/// arrays and group structs (zero-copy spans, the default). kCompressed
+/// replaces the group arrays *and* the neighbor arrays with one byte stream
+/// per direction: each vertex owns a record holding a varint group directory
+/// (edge label, count, encoded length per group) followed by the groups'
+/// delta + group-varint value encodings (compressed_adj.hpp), addressed by a
+/// single u32 offset per vertex. Accessors decode into caller-provided
+/// scratch buffers. Counts, degrees, and the signature index are identical
+/// across modes; the zero-copy span accessors are uncompressed-only.
+enum class StorageMode { kUncompressed, kCompressed };
 
 /// Data graph statistics (drives Table 1).
 struct GraphSizeStats {
@@ -69,8 +84,36 @@ class DataGraph {
     uint32_t end;
   };
 
+  /// Per-structure byte accounting (approximate for the hash maps). The
+  /// `adjacency_*` fields are the storage-mode comparison surface: in
+  /// compressed mode `adjacency_neighbors` is zero and the encoded streams
+  /// show up under `adjacency_compressed` + `skip_tables`.
+  struct MemoryBreakdown {
+    size_t vertex_labels = 0;       ///< label CSRs, full + simple entailment
+    size_t inverse_label_index = 0;
+    size_t adjacency_groups = 0;    ///< El/TypeGroup arrays + per-vertex offsets
+    size_t adjacency_neighbors = 0; ///< plain uint32 neighbor arrays
+    size_t adjacency_compressed = 0;///< packed records + per-vertex offsets/degrees
+    size_t skip_tables = 0;
+    size_t signatures = 0;
+    size_t predicate_index = 0;
+    size_t term_maps = 0;
+    size_t schema = 0;
+    /// Adjacency + signature storage — the footprint the compressed mode
+    /// is gated on (bench_storage).
+    size_t adjacency_total() const {
+      return adjacency_groups + adjacency_neighbors + adjacency_compressed +
+             skip_tables + signatures;
+    }
+    size_t total() const {
+      return vertex_labels + inverse_label_index + predicate_index + term_maps +
+             schema + adjacency_total();
+    }
+  };
+
   /// Builds a DataGraph from a dataset under the given transformation.
-  static DataGraph Build(const rdf::Dataset& dataset, TransformMode mode);
+  static DataGraph Build(const rdf::Dataset& dataset, TransformMode mode,
+                         StorageMode storage = StorageMode::kUncompressed);
 
   // ---- Counts. ----
   uint32_t num_vertices() const { return static_cast<uint32_t>(vertex_terms_.size()); }
@@ -81,6 +124,9 @@ class DataGraph {
     return {num_vertices(), num_edges(), num_vertex_labels(), num_edge_labels()};
   }
   TransformMode mode() const { return mode_; }
+  StorageMode storage_mode() const { return storage_; }
+  bool compressed() const { return storage_ == StorageMode::kCompressed; }
+  MemoryBreakdown MemoryUsage() const;
 
   // ---- Vertex labels. ----
   /// Full-entailment label set L(v), sorted ascending.
@@ -102,26 +148,65 @@ class DataGraph {
 
   // ---- Adjacency. ----
   /// All (edge label)-groups of `v` in direction `d`, sorted by edge label.
+  /// Zero-copy; valid only in uncompressed mode (compressed graphs have no
+  /// materialized group structs — use the decode-aware accessors below).
   std::span<const ElGroup> ElGroups(VertexId v, Direction d) const {
+    assert(!compressed());
     const AdjDir& a = adj(d);
     return {a.el_groups.data() + a.el_group_offsets[v],
             a.el_groups.data() + a.el_group_offsets[v + 1]};
   }
   /// All neighbour-type groups of `v` in direction `d`, sorted by (el, vl).
+  /// Uncompressed mode only.
   std::span<const TypeGroup> TypeGroups(VertexId v, Direction d) const {
+    assert(!compressed());
     const AdjDir& a = adj(d);
     return {a.type_groups.data() + a.type_group_offsets[v],
             a.type_groups.data() + a.type_group_offsets[v + 1]};
   }
   /// Neighbours of `v` over edge label `el` (sorted, duplicate-free).
+  /// Zero-copy; valid only in uncompressed mode.
   std::span<const VertexId> Neighbors(VertexId v, Direction d, EdgeLabelId el) const;
   /// Neighbours of `v` over edge label `el` carrying vertex label `vl`
-  /// (adj(v, (el, vl)) in Figure 9), sorted.
+  /// (adj(v, (el, vl)) in Figure 9), sorted. Uncompressed mode only.
   std::span<const VertexId> Neighbors(VertexId v, Direction d, EdgeLabelId el,
                                       LabelId vl) const;
+
+  // Decode-aware variants: work in both storage modes. Uncompressed graphs
+  // return the zero-copy span and never touch `scratch`; compressed graphs
+  // decode the group into `scratch` and return a span over it, so the span
+  // is invalidated by the next decode into the same buffer.
+  std::span<const VertexId> Neighbors(VertexId v, Direction d, EdgeLabelId el,
+                                      std::vector<VertexId>& scratch) const;
+  std::span<const VertexId> Neighbors(VertexId v, Direction d, EdgeLabelId el,
+                                      LabelId vl, std::vector<VertexId>& scratch) const;
+
+  /// Size of adj(v, el) / adj(v, (el, vl)) without decoding any values (the
+  /// compressed directory stores counts explicitly).
+  uint32_t NeighborCount(VertexId v, Direction d, EdgeLabelId el) const;
+  uint32_t NeighborCount(VertexId v, Direction d, EdgeLabelId el, LabelId vl) const;
+  /// Sum of adj(v, (el, vl)) sizes over all edge labels (a vertex reachable
+  /// over several predicates counts once per predicate).
+  uint32_t NeighborCountWithLabel(VertexId v, Direction d, LabelId vl) const;
+
+  /// Sorted, duplicate-free union of `v`'s neighbours across every edge
+  /// label (blank-predicate queries). Materializes into `out` and returns a
+  /// span over it, except in the single-group uncompressed case, which is
+  /// zero-copy.
+  std::span<const VertexId> UnionNeighbors(VertexId v, Direction d,
+                                           std::vector<VertexId>& out) const;
+  /// Sorted, duplicate-free union of adj(v, (el, vl)) over all edge labels
+  /// `el` (blank-predicate queries against a labeled query vertex).
+  std::span<const VertexId> NeighborsWithLabel(VertexId v, Direction d, LabelId vl,
+                                               std::vector<VertexId>& out) const;
+
   /// All neighbours of `v` in direction `d`; may contain a vertex multiple
-  /// times when connected by several predicates.
+  /// times when connected by several predicates. Zero-copy, uncompressed
+  /// mode only. Relies on a vertex's el-groups covering one contiguous range
+  /// of el_nbrs_ — an invariant of GraphBuilder::BuildAdjDir's grouped row
+  /// sort, debug-asserted there.
   std::span<const VertexId> AllNeighborsRaw(VertexId v, Direction d) const {
+    assert(!compressed());
     const AdjDir& a = adj(d);
     uint32_t b = a.el_group_offsets[v] == a.el_group_offsets[v + 1]
                      ? 0
@@ -131,16 +216,42 @@ class DataGraph {
                      : a.el_groups[a.el_group_offsets[v + 1] - 1].end;
     return {a.el_nbrs.data() + b, a.el_nbrs.data() + e};
   }
+  /// Decode-aware AllNeighborsRaw (same multiplicity caveat).
+  std::span<const VertexId> AllNeighbors(VertexId v, Direction d,
+                                         std::vector<VertexId>& scratch) const;
 
   /// Neighbour span of an ElGroup / TypeGroup previously obtained for the
-  /// same direction.
+  /// same direction. Zero-copy; uncompressed mode only.
   std::span<const VertexId> GroupNeighbors(Direction d, const ElGroup& grp) const {
+    assert(!compressed());
     const AdjDir& a = adj(d);
     return {a.el_nbrs.data() + grp.begin, a.el_nbrs.data() + grp.end};
   }
   std::span<const VertexId> GroupNeighbors(Direction d, const TypeGroup& grp) const {
+    assert(!compressed());
     const AdjDir& a = adj(d);
     return {a.type_nbrs.data() + grp.begin, a.type_nbrs.data() + grp.end};
+  }
+
+  // ---- Neighborhood signatures. ----
+  /// 64-bit hashed incidence bitmap over the vertex's neighbour types: one
+  /// bit per (direction, edge label, neighbour vertex label) group and one
+  /// per (direction, edge label, *) group. A candidate vertex can only match
+  /// a query vertex if its signature contains every bit the query vertex
+  /// requires (false positives possible, false negatives not), so a cheap
+  /// AND-compare rejects candidates before any adjacency decode.
+  uint64_t signature(VertexId v) const { return signatures_[v]; }
+  /// The signature bit for one neighbour-type requirement; `vl == kInvalidId`
+  /// addresses the label-blind (direction, edge label, *) bit.
+  static uint64_t SignatureBit(Direction d, EdgeLabelId el, LabelId vl) {
+    uint64_t x = (static_cast<uint64_t>(el) << 33) ^ (static_cast<uint64_t>(vl) << 1) ^
+                 static_cast<uint64_t>(d);
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return 1ull << (x & 63);
   }
 
   /// True if edge from -> to with label `el` exists.
@@ -187,6 +298,31 @@ class DataGraph {
   std::optional<EdgeLabelId> EdgeLabelOfTerm(TermId t) const;
 
  private:
+  /// Compressed-mode adjacency for one direction. `data` holds one record
+  /// per vertex at data[vertex_begin[v], vertex_begin[v+1]):
+  ///
+  ///   [el directory]   per el-group: varint(el delta), varint(count - 1),
+  ///                    varint(encoded byte length)
+  ///   [el values]      per-group EncodeSortedList outputs, concatenated
+  ///   [type directory] per type-group: varint(el delta), varint(vl [delta]),
+  ///                    varint(count - 1), varint(encoded byte length)
+  ///   [type values]    concatenated encodings
+  ///
+  /// First deltas are absolute; el deltas are (el - prev - 1) in the el
+  /// directory (strictly ascending) and (el - prev) in the type directory
+  /// (ties allowed); vl is (vl - prev - 1) when the el repeats, absolute
+  /// otherwise. Entry counts come from el/type_group_offsets, which stay
+  /// resident. Groups longer than kSkipBlock register their skip entries in
+  /// `skips`, located via `skip_index` (absolute value-byte offset of the
+  /// group -> first skip slot; the entry count is derivable from the group
+  /// count). `data` ends with kDecodePad zero bytes.
+  struct PackedDir {
+    std::vector<uint8_t> data;
+    std::vector<uint32_t> vertex_begin;  // n+1 (last excludes the pad)
+    std::vector<uint32_t> degree;        // n, = sum of el-group counts
+    std::vector<SkipEntry> skips;
+    std::vector<std::pair<uint32_t, uint32_t>> skip_index;
+  };
   struct AdjDir {
     std::vector<uint32_t> el_group_offsets;    // per vertex -> range in el_groups
     std::vector<ElGroup> el_groups;
@@ -194,10 +330,19 @@ class DataGraph {
     std::vector<uint32_t> type_group_offsets;  // per vertex -> range in type_groups
     std::vector<TypeGroup> type_groups;
     std::vector<VertexId> type_nbrs;
+    // Compressed mode: the five arrays above except the offsets are freed
+    // and `packed` holds the per-vertex records (offsets still provide the
+    // directory entry counts and NumEdgeLabels/NumNeighborTypes).
+    PackedDir packed;
   };
   const AdjDir& adj(Direction d) const { return d == Direction::kOut ? out_ : in_; }
 
+  static uint32_t NumElEntries(const AdjDir& a, VertexId v);
+  static uint32_t NumTypeEntries(const AdjDir& a, VertexId v);
+  static bool PackedContains(const PackedDir& pd, size_t abs, uint32_t count, VertexId x);
+
   TransformMode mode_ = TransformMode::kTypeAware;
+  StorageMode storage_ = StorageMode::kUncompressed;
   uint64_t num_edges_ = 0;
 
   // Vertex label CSR (full + simple entailment).
@@ -212,6 +357,9 @@ class DataGraph {
 
   AdjDir out_;
   AdjDir in_;
+
+  /// Per-vertex neighborhood signature (see signature()).
+  std::vector<uint64_t> signatures_;
 
   std::vector<std::pair<TermId, TermId>> schema_subclass_;
 
@@ -230,6 +378,10 @@ class DataGraph {
   std::unordered_map<TermId, EdgeLabelId> term_to_el_;
 
   friend class GraphBuilder;
+  // Snapshot persistence (graph/graph_snapshot.cpp) reads/writes the raw
+  // structures so compressed graphs reload without re-encoding.
+  friend void SerializeDataGraph(const DataGraph& g, std::string* out);
+  friend util::Result<DataGraph> DeserializeDataGraph(std::string_view payload);
 };
 
 /// Incremental DataGraph construction: triples arrive in dataset order as
@@ -241,7 +393,8 @@ class DataGraph {
 /// time of its Append. DataGraph::Build is the one-shot wrapper.
 class GraphBuilder {
  public:
-  GraphBuilder(const rdf::Dictionary& dict, TransformMode mode);
+  GraphBuilder(const rdf::Dictionary& dict, TransformMode mode,
+               StorageMode storage = StorageMode::kUncompressed);
 
   /// Consumes one chunk of encoded triples; `inferred` marks the chunk as
   /// part of the inferred region (affects L_simple, §4.2). Chunks must
@@ -261,6 +414,8 @@ class GraphBuilder {
   void ResolveSchemaPredicates();
   static void BuildAdjDir(DataGraph& g, const std::vector<EdgeTriple>& edges, uint32_t n,
                           bool out, DataGraph::AdjDir* dir);
+  static void BuildSignatures(DataGraph& g, uint32_t n);
+  static void CompressAdjDir(DataGraph::AdjDir* dir);
 
   const rdf::Dictionary& dict_;
   TransformMode mode_;

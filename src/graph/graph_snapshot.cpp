@@ -1,0 +1,321 @@
+#include "graph/graph_snapshot.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <type_traits>
+
+namespace turbo::graph {
+
+namespace {
+
+constexpr uint8_t kGraphFormatVersion = 1;
+
+template <typename T>
+void AppendPod(std::string* out, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out->append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+void AppendVec(std::string* out, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  AppendPod<uint64_t>(out, v.size());
+  if (!v.empty())
+    out->append(reinterpret_cast<const char*>(v.data()), v.size() * sizeof(T));
+}
+
+// std::pair has a non-trivial copy-assignment, so the schema side table is
+// flattened to alternating (first, second) u32s for the raw-bytes path.
+void AppendVec(std::string* out, const std::vector<std::pair<TermId, TermId>>& v) {
+  AppendPod<uint64_t>(out, v.size());
+  for (const auto& [a, b] : v) {
+    AppendPod(out, a);
+    AppendPod(out, b);
+  }
+}
+
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  template <typename T>
+  bool Read(T* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (sizeof(T) > data_.size() - pos_) return false;
+    std::memcpy(out, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  template <typename T>
+  bool ReadVec(std::vector<T>* out) {
+    uint64_t n = 0;
+    if (!Read(&n)) return false;
+    if (n > (data_.size() - pos_) / sizeof(T)) return false;
+    out->resize(static_cast<size_t>(n));
+    if (n != 0) std::memcpy(out->data(), data_.data() + pos_, n * sizeof(T));
+    pos_ += static_cast<size_t>(n) * sizeof(T);
+    return true;
+  }
+
+  bool ReadVec(std::vector<std::pair<TermId, TermId>>* out) {
+    uint64_t n = 0;
+    if (!Read(&n)) return false;
+    if (n > (data_.size() - pos_) / (2 * sizeof(TermId))) return false;
+    out->resize(static_cast<size_t>(n));
+    for (auto& [a, b] : *out)
+      if (!Read(&a) || !Read(&b)) return false;
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+util::Status Corrupt(const char* what) {
+  return util::Status::Error(std::string("graph section corrupt: ") + what);
+}
+
+/// Validates one direction's packed per-vertex records against the resident
+/// group-count offset tables. The accessors walk these streams with
+/// unchecked varint reads, so every byte is bounds-checked here once, at
+/// load time: directory varints stay inside the record, each group's claimed
+/// value-byte length matches the actual group-varint encoding, sections end
+/// exactly at the next record, el counts sum to the stored degree, and the
+/// flattened skip tables line up group by group. Returns nullptr or a
+/// description of the first violation. Takes the individual arrays rather
+/// than the AdjDir because the nested types are private to DataGraph.
+const char* ValidatePacked(const std::vector<uint8_t>& data,
+                           const std::vector<uint32_t>& vertex_begin,
+                           const std::vector<uint32_t>& degree,
+                           const std::vector<SkipEntry>& skips,
+                           const std::vector<std::pair<uint32_t, uint32_t>>& skip_index,
+                           const std::vector<uint32_t>& el_group_offsets,
+                           const std::vector<uint32_t>& type_group_offsets, size_t n) {
+  if (vertex_begin.size() != n + 1 || degree.size() != n || vertex_begin.front() != 0 ||
+      !std::is_sorted(vertex_begin.begin(), vertex_begin.end()))
+    return "packed vertex offsets";
+  if (data.size() != static_cast<size_t>(vertex_begin.back()) + kDecodePad)
+    return "packed data size";
+  const uint8_t* base = data.data();
+  const uint8_t* limit = base + vertex_begin.back();  // excludes the pad
+  auto get = [&](const uint8_t** p, uint32_t* out) {
+    uint32_t x = 0;
+    for (uint32_t shift = 0; shift < 35; shift += 7) {
+      if (*p >= limit) return false;
+      uint32_t b = *(*p)++;
+      x |= (b & 0x7f) << shift;
+      if (b < 0x80) {
+        *out = x;
+        return true;
+      }
+    }
+    return false;
+  };
+  // Walks a group-varint encoding of `count` values (control byte per chunk
+  // of 4, 2-bit byte-length-minus-1 fields) and checks it spans exactly `vb`
+  // bytes, never reading past `limit`.
+  auto encoding_ok = [&](const uint8_t* p, uint32_t count, uint32_t vb) {
+    const uint8_t* end = p + vb;
+    if (end > limit || end < p) return false;
+    const uint8_t* q = p;
+    for (uint32_t remaining = count; remaining > 0;) {
+      if (q >= end) return false;
+      uint8_t ctrl = *q++;
+      uint32_t in_chunk = remaining < 4 ? remaining : 4;
+      for (uint32_t i = 0; i < in_chunk; ++i) q += ((ctrl >> (2 * i)) & 3) + 1;
+      remaining -= in_chunk;
+    }
+    return q == end;
+  };
+  struct Grp {
+    uint32_t count, voff, vb;
+  };
+  std::vector<Grp> grps;
+  size_t skips_used = 0, index_used = 0;
+  for (size_t v = 0; v < n; ++v) {
+    const uint8_t* p = base + vertex_begin[v];
+    const uint8_t* vend = base + vertex_begin[v + 1];
+    uint64_t deg = 0;
+    for (int section = 0; section < 2; ++section) {
+      const bool type_dir = section == 1;
+      const uint32_t n_grp =
+          type_dir ? type_group_offsets[v + 1] - type_group_offsets[v]
+                   : el_group_offsets[v + 1] - el_group_offsets[v];
+      grps.clear();
+      uint64_t prev_el = 0, voff = 0;
+      for (uint32_t i = 0; i < n_grp; ++i) {
+        uint32_t d = 0, vd = 0, cm1 = 0, vb = 0;
+        if (!get(&p, &d)) return "packed directory";
+        if (type_dir && !get(&p, &vd)) return "packed directory";
+        if (!get(&p, &cm1) || !get(&p, &vb)) return "packed directory";
+        uint64_t el = i == 0 ? d : prev_el + d + (type_dir ? 0 : 1);
+        if (el > UINT32_MAX) return "packed el overflow";
+        prev_el = el;
+        grps.push_back({cm1 + 1, static_cast<uint32_t>(voff), vb});
+        voff += vb;
+        if (voff > UINT32_MAX) return "packed section overflow";
+        if (!type_dir) deg += static_cast<uint64_t>(cm1) + 1;
+      }
+      if (p > vend || voff > static_cast<size_t>(vend - p)) return "packed section size";
+      const uint8_t* vbase = p;
+      p += voff;
+      for (const Grp& gr : grps) {
+        if (!encoding_ok(vbase + gr.voff, gr.count, gr.vb)) return "packed group bytes";
+        if (gr.count <= kSkipBlock) continue;
+        const size_t want = (gr.count - 1) / kSkipBlock;
+        const size_t abs = static_cast<size_t>(vbase - base) + gr.voff;
+        if (index_used >= skip_index.size() || skip_index[index_used].first != abs ||
+            skip_index[index_used].second != skips_used)
+          return "skip index";
+        if (skips_used + want > skips.size()) return "skip table size";
+        for (size_t k = 0; k < want; ++k)
+          if (skips[skips_used + k].offset >= gr.vb) return "skip offset";
+        skips_used += want;
+        ++index_used;
+      }
+    }
+    if (p != vend) return "packed record size";
+    if (deg != degree[v]) return "packed degree";
+  }
+  if (skips_used != skips.size() || index_used != skip_index.size())
+    return "skip table trailing entries";
+  return nullptr;
+}
+
+}  // namespace
+
+void SerializeDataGraph(const DataGraph& g, std::string* out) {
+  AppendPod(out, kGraphFormatVersion);
+  AppendPod(out, static_cast<uint8_t>(g.mode_));
+  AppendPod(out, static_cast<uint8_t>(g.storage_));
+  AppendPod<uint64_t>(out, g.num_edges_);
+
+  AppendVec(out, g.label_offsets_);
+  AppendVec(out, g.labels_);
+  AppendVec(out, g.simple_label_offsets_);
+  AppendVec(out, g.simple_labels_);
+  AppendVec(out, g.inv_label_offsets_);
+  AppendVec(out, g.inv_label_vertices_);
+
+  auto write_dir = [out](const DataGraph::AdjDir& a) {
+    AppendVec(out, a.el_group_offsets);
+    AppendVec(out, a.el_groups);
+    AppendVec(out, a.el_nbrs);
+    AppendVec(out, a.type_group_offsets);
+    AppendVec(out, a.type_groups);
+    AppendVec(out, a.type_nbrs);
+    AppendVec(out, a.packed.data);
+    AppendVec(out, a.packed.vertex_begin);
+    AppendVec(out, a.packed.degree);
+    AppendVec(out, a.packed.skips);
+    AppendVec(out, a.packed.skip_index);
+  };
+  write_dir(g.out_);
+  write_dir(g.in_);
+
+  AppendVec(out, g.signatures_);
+  AppendVec(out, g.schema_subclass_);
+  AppendVec(out, g.pred_subj_offsets_);
+  AppendVec(out, g.pred_subjects_);
+  AppendVec(out, g.pred_obj_offsets_);
+  AppendVec(out, g.pred_objects_);
+  AppendVec(out, g.vertex_terms_);
+  AppendVec(out, g.label_terms_);
+  AppendVec(out, g.el_terms_);
+}
+
+util::Result<DataGraph> DeserializeDataGraph(std::string_view payload) {
+  Reader r(payload);
+  uint8_t version = 0, mode = 0, storage = 0;
+  if (!r.Read(&version)) return Corrupt("truncated header");
+  if (version != kGraphFormatVersion)
+    return util::Status::Error("graph section: unsupported format version " +
+                               std::to_string(version));
+  if (!r.Read(&mode) || !r.Read(&storage)) return Corrupt("truncated header");
+  if (mode > 1 || storage > 1) return Corrupt("bad mode byte");
+
+  DataGraph g;
+  g.mode_ = static_cast<TransformMode>(mode);
+  g.storage_ = static_cast<StorageMode>(storage);
+  uint64_t num_edges = 0;
+  if (!r.Read(&num_edges)) return Corrupt("truncated header");
+  g.num_edges_ = num_edges;
+
+  bool ok = r.ReadVec(&g.label_offsets_) && r.ReadVec(&g.labels_) &&
+            r.ReadVec(&g.simple_label_offsets_) && r.ReadVec(&g.simple_labels_) &&
+            r.ReadVec(&g.inv_label_offsets_) && r.ReadVec(&g.inv_label_vertices_);
+  auto read_dir = [&r](DataGraph::AdjDir* a) {
+    return r.ReadVec(&a->el_group_offsets) && r.ReadVec(&a->el_groups) &&
+           r.ReadVec(&a->el_nbrs) && r.ReadVec(&a->type_group_offsets) &&
+           r.ReadVec(&a->type_groups) && r.ReadVec(&a->type_nbrs) &&
+           r.ReadVec(&a->packed.data) && r.ReadVec(&a->packed.vertex_begin) &&
+           r.ReadVec(&a->packed.degree) && r.ReadVec(&a->packed.skips) &&
+           r.ReadVec(&a->packed.skip_index);
+  };
+  ok = ok && read_dir(&g.out_) && read_dir(&g.in_);
+  ok = ok && r.ReadVec(&g.signatures_) && r.ReadVec(&g.schema_subclass_) &&
+       r.ReadVec(&g.pred_subj_offsets_) && r.ReadVec(&g.pred_subjects_) &&
+       r.ReadVec(&g.pred_obj_offsets_) && r.ReadVec(&g.pred_objects_) &&
+       r.ReadVec(&g.vertex_terms_) && r.ReadVec(&g.label_terms_) &&
+       r.ReadVec(&g.el_terms_);
+  if (!ok) return Corrupt("truncated body");
+  if (!r.AtEnd()) return Corrupt("trailing bytes");
+
+  // Structural sanity: every per-vertex / per-group offset table must have
+  // the +1-sentinel size for the accessors' unchecked indexing to be safe.
+  const size_t n = g.vertex_terms_.size();
+  auto csr_ok = [](const std::vector<uint32_t>& offsets, size_t keys, size_t flat) {
+    return offsets.size() == keys + 1 && offsets.front() == 0 &&
+           offsets.back() == flat && std::is_sorted(offsets.begin(), offsets.end());
+  };
+  if (!csr_ok(g.label_offsets_, n, g.labels_.size()) ||
+      !csr_ok(g.simple_label_offsets_, n, g.simple_labels_.size()) ||
+      !csr_ok(g.inv_label_offsets_, g.label_terms_.size(), g.inv_label_vertices_.size()))
+    return Corrupt("label CSR shape");
+  if (g.signatures_.size() != n) return Corrupt("signature count");
+  for (const DataGraph::AdjDir* a : {&g.out_, &g.in_}) {
+    if (a->el_group_offsets.size() != n + 1 || a->type_group_offsets.size() != n + 1 ||
+        a->el_group_offsets.front() != 0 || a->type_group_offsets.front() != 0 ||
+        !std::is_sorted(a->el_group_offsets.begin(), a->el_group_offsets.end()) ||
+        !std::is_sorted(a->type_group_offsets.begin(), a->type_group_offsets.end()))
+      return Corrupt("group offset shape");
+    if (g.storage_ == StorageMode::kCompressed) {
+      if (!a->el_groups.empty() || !a->el_nbrs.empty() || !a->type_groups.empty() ||
+          !a->type_nbrs.empty())
+        return Corrupt("compressed graph with raw arrays");
+      if (const char* err = ValidatePacked(
+              a->packed.data, a->packed.vertex_begin, a->packed.degree, a->packed.skips,
+              a->packed.skip_index, a->el_group_offsets, a->type_group_offsets, n))
+        return Corrupt(err);
+    } else {
+      if (a->el_group_offsets.back() != a->el_groups.size() ||
+          a->type_group_offsets.back() != a->type_groups.size())
+        return Corrupt("group count mismatch");
+      if (!a->packed.data.empty() || !a->packed.vertex_begin.empty() ||
+          !a->packed.degree.empty() || !a->packed.skips.empty() ||
+          !a->packed.skip_index.empty())
+        return Corrupt("uncompressed graph with packed arrays");
+    }
+  }
+  if (g.pred_subj_offsets_.size() != g.el_terms_.size() + 1 ||
+      g.pred_obj_offsets_.size() != g.el_terms_.size() + 1)
+    return Corrupt("predicate index shape");
+
+  // The hash maps are derived state; rebuild them from the id-order vectors.
+  g.term_to_vertex_.reserve(n);
+  for (size_t i = 0; i < n; ++i)
+    g.term_to_vertex_.emplace(g.vertex_terms_[i], static_cast<VertexId>(i));
+  g.term_to_label_.reserve(g.label_terms_.size());
+  for (size_t i = 0; i < g.label_terms_.size(); ++i)
+    g.term_to_label_.emplace(g.label_terms_[i], static_cast<LabelId>(i));
+  g.term_to_el_.reserve(g.el_terms_.size());
+  for (size_t i = 0; i < g.el_terms_.size(); ++i)
+    g.term_to_el_.emplace(g.el_terms_[i], static_cast<EdgeLabelId>(i));
+  return g;
+}
+
+}  // namespace turbo::graph

@@ -1,0 +1,28 @@
+// DataGraph persistence as a snapshot extra section ("GRPH").
+//
+// The rdf snapshot (rdf/snapshot.hpp) serializes the Dataset; rebuilding a
+// DataGraph from it re-runs classification, sorting, and — in compressed
+// mode — the varint encoder. This section captures the finished graph
+// structures verbatim (group CSRs, packed streams, signatures, term maps'
+// backing vectors) so a compressed graph reloads with zero re-encoding.
+// The payload carries its own format version byte; the enclosing snapshot
+// stays at v2, and readers that predate the section skip it by tag.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "graph/data_graph.hpp"
+
+namespace turbo::graph {
+
+/// Section tag under which the serialized graph travels in a snapshot.
+inline constexpr char kGraphSectionTag[5] = "GRPH";
+
+/// Appends the serialized graph payload to `*out`.
+void SerializeDataGraph(const DataGraph& g, std::string* out);
+
+/// Rebuilds a DataGraph from a payload produced by SerializeDataGraph.
+util::Result<DataGraph> DeserializeDataGraph(std::string_view payload);
+
+}  // namespace turbo::graph

@@ -155,7 +155,14 @@ util::Status ParseTripleSection(const std::string& payload, Dataset* ds) {
 
 }  // namespace
 
-util::Status SaveSnapshot(const Dataset& dataset, std::ostream& out) {
+util::Status SaveSnapshot(const Dataset& dataset, std::ostream& out,
+                          const std::vector<SnapshotSection>& extras) {
+  for (const SnapshotSection& s : extras) {
+    if (s.tag.size() != 4)
+      return util::Status::Error("snapshot section tag must be 4 bytes: '" + s.tag + "'");
+    if (s.tag == "TERM" || s.tag == "TRPL" || s.tag == "TEND")
+      return util::Status::Error("snapshot section tag '" + s.tag + "' is reserved");
+  }
   out.write(kMagic, sizeof(kMagic));
   out.write(reinterpret_cast<const char*>(&kVersion), 2);
 
@@ -228,18 +235,26 @@ util::Status SaveSnapshot(const Dataset& dataset, std::ostream& out) {
                 static_cast<std::streamsize>(dataset.size() * sizeof(Triple)));
   }
 
+  // ---- Caller-provided extra sections (e.g. a prebuilt graph image). ----
+  for (const SnapshotSection& s : extras) {
+    WriteSectionHeader(out, Tag(s.tag.c_str()), s.payload.size());
+    out.write(s.payload.data(), static_cast<std::streamsize>(s.payload.size()));
+  }
+
   WriteSectionHeader(out, kTagEnd, 0);
   if (!out) return util::Status::Error("snapshot write failed");
   return util::Status::Ok();
 }
 
-util::Status SaveSnapshotFile(const Dataset& dataset, const std::string& path) {
+util::Status SaveSnapshotFile(const Dataset& dataset, const std::string& path,
+                              const std::vector<SnapshotSection>& extras) {
   std::ofstream out(path, std::ios::binary);
   if (!out) return util::Status::Error("cannot open " + path + " for writing");
-  return SaveSnapshot(dataset, out);
+  return SaveSnapshot(dataset, out, extras);
 }
 
-util::Result<Dataset> LoadSnapshot(std::istream& in, uint32_t threads) {
+util::Result<Dataset> LoadSnapshot(std::istream& in, uint32_t threads,
+                                   std::vector<SnapshotSection>* extras) {
   if (threads == 0) {
     threads = std::thread::hardware_concurrency();
     if (threads == 0) threads = 1;
@@ -289,18 +304,24 @@ util::Result<Dataset> LoadSnapshot(std::istream& in, uint32_t threads) {
       saw_triples = true;
     } else if (tag == kTagEnd) {
       saw_end = true;
+    } else if (extras != nullptr) {
+      // Hand unrecognized sections to the caller (e.g. a "GRPH" prebuilt
+      // graph image) instead of discarding them.
+      extras->push_back(
+          {std::string(reinterpret_cast<const char*>(&tag), 4), std::move(payload)});
     }
-    // Unknown sections are skipped: newer writers may append sections.
+    // Unknown sections are otherwise skipped: newer writers may append them.
   }
   if (!saw_terms || !saw_triples)
     return util::Status::Error("incomplete snapshot (missing section)");
   return ds;
 }
 
-util::Result<Dataset> LoadSnapshotFile(const std::string& path, uint32_t threads) {
+util::Result<Dataset> LoadSnapshotFile(const std::string& path, uint32_t threads,
+                                       std::vector<SnapshotSection>* extras) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return util::Status::Error("cannot open " + path);
-  return LoadSnapshot(in, threads);
+  return LoadSnapshot(in, threads, extras);
 }
 
 }  // namespace turbo::rdf

@@ -21,21 +21,39 @@
 #include <istream>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "rdf/dataset.hpp"
 #include "util/status.hpp"
 
 namespace turbo::rdf {
 
+/// One caller-owned snapshot section: a 4-character tag plus an opaque
+/// payload. Writers append extras after the core sections (still before the
+/// TEND trailer); readers that don't recognize a tag skip it, so extras are
+/// forward- and backward-compatible within format v2. The graph layer uses
+/// this to persist prebuilt DataGraphs ("GRPH") without rdf/ depending on
+/// graph/.
+struct SnapshotSection {
+  std::string tag;  ///< exactly 4 bytes, e.g. "GRPH"
+  std::string payload;
+};
+
 /// Writes a binary snapshot of `dataset` (including inferred triples and
-/// the original/inferred boundary).
-util::Status SaveSnapshot(const Dataset& dataset, std::ostream& out);
-util::Status SaveSnapshotFile(const Dataset& dataset, const std::string& path);
+/// the original/inferred boundary), then any `extras` sections.
+util::Status SaveSnapshot(const Dataset& dataset, std::ostream& out,
+                          const std::vector<SnapshotSection>& extras = {});
+util::Status SaveSnapshotFile(const Dataset& dataset, const std::string& path,
+                              const std::vector<SnapshotSection>& extras = {});
 
 /// Reads a snapshot into a fresh Dataset. `threads` > 1 parallelizes the
 /// dictionary index rebuild (positional bulk install); 0 = hardware
-/// concurrency, matching LoadOptions::threads.
-util::Result<Dataset> LoadSnapshot(std::istream& in, uint32_t threads = 1);
-util::Result<Dataset> LoadSnapshotFile(const std::string& path, uint32_t threads = 1);
+/// concurrency, matching LoadOptions::threads. When `extras` is non-null,
+/// sections with unrecognized tags are collected there (in file order)
+/// instead of being discarded.
+util::Result<Dataset> LoadSnapshot(std::istream& in, uint32_t threads = 1,
+                                   std::vector<SnapshotSection>* extras = nullptr);
+util::Result<Dataset> LoadSnapshotFile(const std::string& path, uint32_t threads = 1,
+                                       std::vector<SnapshotSection>* extras = nullptr);
 
 }  // namespace turbo::rdf

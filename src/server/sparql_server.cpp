@@ -18,6 +18,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "graph/data_graph.hpp"
 #include "server/http.hpp"
 #include "server/result_encoder.hpp"
 #include "sparql/parser.hpp"
@@ -198,6 +199,26 @@ struct SparqlServer::Impl {
                 ",\"tombstones\":" + std::to_string(ls.tombstones) +
                 ",\"overlay_terms\":" + std::to_string(ls.overlay_terms) +
                 ",\"base_triples\":" + std::to_string(ls.base_triples) + "}";
+        // Graph storage footprint (turbo engines only): the byte breakdown
+        // DataGraph::MemoryUsage reports, so operators can compare plain vs
+        // compressed adjacency without restarting under a profiler.
+        if (const graph::DataGraph* g = store->snapshot()->engine->data_graph()) {
+          graph::DataGraph::MemoryBreakdown m = g->MemoryUsage();
+          body += std::string(",\"graph\":{\"storage\":\"") +
+                  (g->compressed() ? "compressed" : "plain") +
+                  "\",\"total_bytes\":" + std::to_string(m.total()) +
+                  ",\"adjacency_bytes\":" + std::to_string(m.adjacency_total()) +
+                  ",\"adjacency\":{\"groups\":" + std::to_string(m.adjacency_groups) +
+                  ",\"neighbors\":" + std::to_string(m.adjacency_neighbors) +
+                  ",\"compressed\":" + std::to_string(m.adjacency_compressed) +
+                  ",\"skip_tables\":" + std::to_string(m.skip_tables) +
+                  ",\"signatures\":" + std::to_string(m.signatures) + "}" +
+                  ",\"vertex_labels\":" + std::to_string(m.vertex_labels) +
+                  ",\"inverse_label_index\":" + std::to_string(m.inverse_label_index) +
+                  ",\"predicate_index\":" + std::to_string(m.predicate_index) +
+                  ",\"term_maps\":" + std::to_string(m.term_maps) +
+                  ",\"schema\":" + std::to_string(m.schema) + "}";
+        }
       }
       body += ",\"in_flight\":" + std::to_string(s.in_flight) + "}\n";
       return w.WriteSimple(200, "application/json", body, {}, keep_alive) && keep_alive;

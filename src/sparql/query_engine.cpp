@@ -11,6 +11,7 @@
 #include "sparql/operators.hpp"
 #include "sparql/parser.hpp"
 #include "sparql/turbo_solver.hpp"
+#include "sparql/typed_value.hpp"
 
 namespace turbo::sparql {
 
@@ -570,6 +571,47 @@ void Cursor::State::RunPipeline(bool streaming) {
       for (const FilterExpr& h : p.having) exprs.push_back(&h);
       cur = pipe.Make<FilterOp>("Having", *post_eval, std::move(exprs), cur, st);
     }
+
+    // COUNT(*) pushdown: a bare single-BGP `SELECT (COUNT(*) AS ?n)` can be
+    // answered by the solver's embedding counter (BgpSolver::CountSolutions)
+    // without assembling, emitting, or grouping a single row. Only an
+    // ungrouped, non-DISTINCT COUNT(*) over a pattern with no other clauses
+    // qualifies, and only when no row budget is in force (the budget meters
+    // pre-modifier rows, which this path never produces). The solver may
+    // still decline — then we fall through to the ordinary row pipeline.
+    const GroupPattern& w = q.where;
+    const bool plain_bgp = !w.triples.empty() && w.filters.empty() &&
+                           w.values.empty() && w.binds.empty() &&
+                           w.optionals.empty() && w.unions.empty();
+    if (plain_bgp && p.group_key_idx.empty() && p.agg_specs.size() == 1 &&
+        p.agg_specs[0].agg.func == Aggregate::Func::kCount &&
+        p.agg_specs[0].agg.star && !p.agg_specs[0].agg.distinct &&
+        opts.row_budget == kNoBudget) {
+      uint64_t n = 0;
+      bool counted = false;
+      util::Status cst =
+          solver->CountSolutions(w.triples, p.vars, &n, &counted, st->control);
+      if (!cst.ok()) {
+        st->Fail(std::move(cst), CauseOf(st->control, StopCause::kProducerFailed));
+        return;
+      }
+      if (counted) {
+        // Feed the one synthesized aggregate row (post_vars schema: the
+        // COUNT column is index 0 when there is no GROUP BY) to the already
+        // built Having → modifier → sink chain.
+        Row agg(p.post_vars.size(), kInvalidId);
+        agg[0] = local_vocab->Intern(
+            NumericToTerm(Numeric::Int(static_cast<int64_t>(n))));
+        pipe.head = cur;
+        pipe.head->Push(agg);
+        if (st->error.ok()) {
+          if (util::Status fst = pipe.head->Finish(); !fst.ok())
+            st->Fail(std::move(fst), CauseOf(st->control, StopCause::kProducerFailed));
+        }
+        return;
+      }
+    }
+
     cur = pipe.Make<GroupAggregateOp>(p.group_key_idx, p.agg_specs,
                                       /*implicit_group=*/q.group_by.empty(), dict,
                                       local_vocab.get(), cur, st);
@@ -714,6 +756,10 @@ QueryEngine::QueryEngine(rdf::Dataset dataset)
     : QueryEngine(std::move(dataset), Config{}) {}
 
 QueryEngine::QueryEngine(rdf::Dataset dataset, Config config)
+    : QueryEngine(std::move(dataset), std::move(config), nullptr) {}
+
+QueryEngine::QueryEngine(rdf::Dataset dataset, Config config,
+                         std::unique_ptr<graph::DataGraph> prebuilt)
     : owned_(std::make_unique<Owned>()) {
   owned_->dataset = std::move(dataset);
   const rdf::Dataset& ds = owned_->dataset;
@@ -723,8 +769,12 @@ QueryEngine::QueryEngine(rdf::Dataset dataset, Config config)
       auto mode = config.solver == SolverKind::kTurbo
                       ? graph::TransformMode::kTypeAware
                       : graph::TransformMode::kDirect;
-      owned_->graph =
-          std::make_unique<graph::DataGraph>(graph::DataGraph::Build(ds, mode));
+      if (prebuilt && prebuilt->mode() == mode &&
+          prebuilt->storage_mode() == config.storage)
+        owned_->graph = std::move(prebuilt);
+      else
+        owned_->graph = std::make_unique<graph::DataGraph>(
+            graph::DataGraph::Build(ds, mode, config.storage));
       owned_->solver = std::make_unique<TurboBgpSolver>(*owned_->graph, ds.dict(),
                                                         config.engine_options);
       break;
@@ -784,6 +834,10 @@ const rdf::Dataset* QueryEngine::dataset() const {
 
 const TurboBgpSolver* QueryEngine::turbo_solver() const {
   return dynamic_cast<const TurboBgpSolver*>(solver_);
+}
+
+const graph::DataGraph* QueryEngine::data_graph() const {
+  return owned_ ? owned_->graph.get() : nullptr;
 }
 
 }  // namespace turbo::sparql

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "engine/options.hpp"
+#include "graph/data_graph.hpp"
 #include "rdf/dataset.hpp"
 #include "sparql/ast.hpp"
 #include "sparql/local_vocab.hpp"
@@ -49,9 +50,6 @@
 
 namespace turbo::baseline {
 class TripleIndex;
-}
-namespace turbo::graph {
-class DataGraph;
 }
 
 namespace turbo::sparql {
@@ -253,6 +251,10 @@ class QueryEngine {
 
   struct Config {
     SolverKind solver = SolverKind::kTurbo;
+    /// Adjacency storage for the Turbo solvers' DataGraph: the plain CSR
+    /// arrays (default) or the delta + group-varint packed streams with
+    /// decode-on-access (graph/compressed_adj.hpp). Ignored by baselines.
+    graph::StorageMode storage = graph::StorageMode::kUncompressed;
     /// Engine options for the Turbo solvers (threads, §4.3 toggles, arena).
     engine::MatchOptions engine_options{};
   };
@@ -261,6 +263,16 @@ class QueryEngine {
   /// transformed graph / triple index the chosen solver needs.
   explicit QueryEngine(rdf::Dataset dataset);
   QueryEngine(rdf::Dataset dataset, Config config);
+
+  /// Owning constructor with a prebuilt graph (the snapshot "GRPH" fast
+  /// path): adopts `prebuilt` when it matches the config's transform and
+  /// storage mode — skipping classification, sorting, and re-encoding —
+  /// and silently falls back to building from `dataset` otherwise (or when
+  /// `prebuilt` is null / the solver is a baseline). The graph must have
+  /// been built from (a snapshot of) this exact dataset: term ids are
+  /// shared.
+  QueryEngine(rdf::Dataset dataset, Config config,
+              std::unique_ptr<graph::DataGraph> prebuilt);
 
   /// Non-owning view over an existing solver (benches and tests that manage
   /// their own EngineSet). The solver must outlive the engine.
@@ -285,6 +297,10 @@ class QueryEngine {
   /// The TurboBgpSolver behind this engine, or nullptr for the baselines —
   /// gives access to MatchStats for EXPLAIN-style diagnostics and tests.
   const TurboBgpSolver* turbo_solver() const;
+  /// The transformed data graph (owning Turbo engines only; nullptr for
+  /// baselines and wrapped solvers). Feeds memory reporting and snapshot
+  /// persistence.
+  const graph::DataGraph* data_graph() const;
 
  private:
   struct Owned;

@@ -148,6 +148,26 @@ class BgpSolver {
                                 const RowSink& emit,
                                 const EvalControl& control = {}) const = 0;
 
+  /// Solver-side COUNT(*): when the solver can count the solutions of `bgp`
+  /// without assembling or emitting rows, it sets *count, sets *counted =
+  /// true, and the executor skips row enumeration entirely (the COUNT(*)
+  /// pushdown). Declining (*counted = false, the default) is always safe —
+  /// the executor falls back to Evaluate + aggregation. A solver must only
+  /// count patterns whose Evaluate would emit exactly one row per embedding
+  /// (no per-solution binding expansion), with no `bound` prefix and no
+  /// pushed filters in play.
+  virtual util::Status CountSolutions(const std::vector<TriplePattern>& bgp,
+                                      const VarRegistry& vars, uint64_t* count,
+                                      bool* counted,
+                                      const EvalControl& control = {}) const {
+    (void)bgp;
+    (void)vars;
+    (void)count;
+    (void)control;
+    *counted = false;
+    return util::Status::Ok();
+  }
+
   /// The dictionary used to resolve constants in patterns and filters.
   virtual const rdf::Dictionary& dict() const = 0;
 };

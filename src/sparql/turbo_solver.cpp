@@ -31,6 +31,199 @@ bool ContainsRegex(const FilterExpr& e) {
   return false;
 }
 
+/// The BGP compiled to a QueryGraph plus everything row assembly needs to
+/// turn embeddings back into rows. Shared between the row path (EvaluateOne)
+/// and the COUNT(*) pushdown, which declines whenever the auxiliary
+/// structures are non-empty (rows would not map 1:1 to embeddings).
+struct CompiledBgp {
+  QueryGraph q;
+  std::unordered_map<int, uint32_t> var_to_qv;    ///< unbound vertex vars
+  std::vector<const TriplePattern*> schema_patterns;
+  std::vector<PendingTypeVar> type_vars;
+  std::vector<PendingElVar> el_vars;
+  bool impossible = false;  ///< some constant is absent: zero solutions
+  util::Status error;       ///< variable position conflicts
+};
+
+/// Compiles `bgp` under the pre-bound row `bound` (§3.2 / §4.1 query-side
+/// transformation; type-aware mode folds rdf:type into labels and diverts
+/// rdfs:subClassOf patterns to the schema side table).
+CompiledBgp CompileBgp(const DataGraph& g, const rdf::Dictionary& dict,
+                       const engine::MatchOptions& options,
+                       const std::vector<TriplePattern>& bgp, const VarRegistry& vars,
+                       const Row& bound) {
+  CompiledBgp c;
+  const bool type_aware = g.mode() == graph::TransformMode::kTypeAware;
+  auto type_term = dict.Find(rdf::Term::Iri(rdf::vocab::kRdfType));
+  auto subclass_term = dict.Find(rdf::Term::Iri(rdf::vocab::kRdfsSubClassOf));
+
+  QueryGraph& q = c.q;
+  std::unordered_map<TermId, uint32_t> const_qv;  // constant / bound-var vertices
+  std::vector<int> predicate_vars;  // for var-position conflict detection
+
+  auto bound_value = [&](const std::string& name) -> TermId {
+    auto vi = vars.Find(name);
+    if (!vi || static_cast<size_t>(*vi) >= bound.size()) return kInvalidId;
+    return bound[*vi];
+  };
+
+  auto vertex_for_term = [&](TermId t) -> uint32_t {
+    auto it = const_qv.find(t);
+    if (it != const_qv.end()) return it->second;
+    graph::QueryVertex v;
+    auto vid = g.VertexOfTerm(t);
+    if (!vid) {
+      c.impossible = true;
+      v.fixed_id = kInvalidId - 1;  // unmatchable
+    } else {
+      v.fixed_id = *vid;
+    }
+    uint32_t qv = q.AddVertex(std::move(v));
+    const_qv.emplace(t, qv);
+    return qv;
+  };
+
+  auto vertex_for = [&](const PatternTerm& pt) -> uint32_t {
+    if (pt.is_var()) {
+      TermId b = bound_value(pt.var);
+      if (b != kInvalidId) return vertex_for_term(b);
+      int vi = *vars.Find(pt.var);
+      auto it = c.var_to_qv.find(vi);
+      if (it != c.var_to_qv.end()) return it->second;
+      graph::QueryVertex v;
+      v.var = vi;
+      uint32_t qv = q.AddVertex(std::move(v));
+      c.var_to_qv.emplace(vi, qv);
+      return qv;
+    }
+    auto t = dict.Find(pt.term);
+    if (!t) {
+      c.impossible = true;
+      // Create a placeholder vertex so the graph stays well-formed.
+      graph::QueryVertex v;
+      v.fixed_id = kInvalidId - 1;
+      return q.AddVertex(std::move(v));
+    }
+    return vertex_for_term(*t);
+  };
+
+  for (const TriplePattern& tp : bgp) {
+    if (type_aware && subclass_term) {
+      bool is_schema = (!tp.p.is_var() && tp.p.term.is_iri() &&
+                        tp.p.term.lexical == rdf::vocab::kRdfsSubClassOf) ||
+                       (tp.p.is_var() && bound_value(tp.p.var) == *subclass_term);
+      if (is_schema) {
+        c.schema_patterns.push_back(&tp);
+        continue;
+      }
+    }
+    // Type-aware folding of rdf:type patterns (§4.1).
+    bool is_type_pattern = type_aware && !tp.p.is_var() &&
+                           tp.p.term.is_iri() && tp.p.term.lexical == rdf::vocab::kRdfType;
+    if (!is_type_pattern && type_aware && tp.p.is_var()) {
+      // A bound predicate variable naming rdf:type also folds.
+      TermId b = bound_value(tp.p.var);
+      if (type_term && b == *type_term) is_type_pattern = true;
+    }
+    if (is_type_pattern) {
+      uint32_t subj = vertex_for(tp.s);
+      TermId obj_term = kInvalidId;
+      if (!tp.o.is_var()) {
+        auto t = dict.Find(tp.o.term);
+        if (!t) {
+          c.impossible = true;
+          continue;
+        }
+        obj_term = *t;
+      } else {
+        obj_term = bound_value(tp.o.var);
+      }
+      if (obj_term != kInvalidId) {
+        auto l = g.LabelOfTerm(obj_term);
+        if (!l) {
+          c.impossible = true;
+          continue;
+        }
+        q.mutable_vertex(subj).labels.push_back(*l);
+      } else {
+        // (?x rdf:type ?t): enumerate labels of the match per solution.
+        int vi = *vars.Find(tp.o.var);
+        c.type_vars.push_back({subj, vi});
+        // The subject must carry at least one label.
+        graph::VertexConstraint prev = q.vertex(subj).constraint;
+        const bool simple = options.simple_entailment;
+        q.mutable_vertex(subj).constraint = [prev, simple](const DataGraph& g2, VertexId v) {
+          if (prev && !prev(g2, v)) return false;
+          return simple ? !g2.simple_labels(v).empty() : !g2.labels(v).empty();
+        };
+      }
+      continue;
+    }
+
+    uint32_t from = vertex_for(tp.s);
+    uint32_t to = vertex_for(tp.o);
+    // Direct transformation keeps rdf:type as an ordinary edge, but its
+    // object is a class vertex with huge fan-in; flag it so the start-vertex
+    // choice prefers entity anchors (see QueryVertex::hub_hint).
+    if (!type_aware && type_term && !tp.p.is_var()) {
+      auto pt = dict.Find(tp.p.term);
+      if (pt && *pt == *type_term && q.vertex(to).has_fixed_id())
+        q.mutable_vertex(to).hub_hint = true;
+    }
+    graph::QueryEdge e;
+    e.from = from;
+    e.to = to;
+    if (!tp.p.is_var()) {
+      auto t = dict.Find(tp.p.term);
+      auto el = t ? g.EdgeLabelOfTerm(*t) : std::nullopt;
+      if (!el) {
+        c.impossible = true;
+        continue;
+      }
+      e.label = *el;
+    } else {
+      TermId b = bound_value(tp.p.var);
+      if (b != kInvalidId) {
+        auto el = g.EdgeLabelOfTerm(b);
+        if (!el) {
+          c.impossible = true;
+          continue;
+        }
+        e.label = *el;
+      } else {
+        int vi = *vars.Find(tp.p.var);
+        e.label = kInvalidId;
+        e.label_var = vi;
+        c.el_vars.push_back({from, to, vi});
+        predicate_vars.push_back(vi);
+      }
+    }
+    q.AddEdge(e);
+  }
+
+  // A variable cannot be both a node and a predicate.
+  for (int pv : predicate_vars) {
+    if (c.var_to_qv.count(pv)) {
+      c.error = util::Status::Error("variable ?" + vars.name(pv) +
+                                    " used in both node and predicate positions");
+      return c;
+    }
+    for (const auto& tv : c.type_vars)
+      if (tv.var == pv) {
+        c.error = util::Status::Error("variable ?" + vars.name(pv) +
+                                      " used in both type and predicate positions");
+        return c;
+      }
+  }
+
+  for (uint32_t u = 0; u < q.num_vertices(); ++u) {
+    auto& ls = q.mutable_vertex(u).labels;
+    std::sort(ls.begin(), ls.end());
+    ls.erase(std::unique(ls.begin(), ls.end()), ls.end());
+  }
+  return c;
+}
+
 }  // namespace
 
 util::Status TurboBgpSolver::Evaluate(const std::vector<TriplePattern>& bgp,
@@ -96,181 +289,18 @@ util::Status TurboBgpSolver::EvaluateOne(const std::vector<TriplePattern>& bgp,
                                          const std::vector<const FilterExpr*>& pushable,
                                          const RowSink& emit,
                                          const EvalControl& control) const {
-  const bool type_aware = g_.mode() == graph::TransformMode::kTypeAware;
-  auto type_term = dict_.Find(rdf::Term::Iri(rdf::vocab::kRdfType));
-  auto subclass_term = dict_.Find(rdf::Term::Iri(rdf::vocab::kRdfsSubClassOf));
+  CompiledBgp c = CompileBgp(g_, dict_, options_, bgp, vars, bound);
+  if (!c.error.ok()) return c.error;
+  if (c.impossible) return util::Status::Ok();  // some constant is absent: zero rows
 
+  QueryGraph& q = c.q;
   // Schema (rdfs:subClassOf) patterns join against the side table the
   // type-aware transformation retains; they bind variables to class TERMS,
   // not vertices, and are applied to each solution row after matching.
-  std::vector<const TriplePattern*> schema_patterns;
-
-  QueryGraph q;
-  std::unordered_map<int, uint32_t> var_to_qv;    // unbound vertex vars
-  std::unordered_map<TermId, uint32_t> const_qv;  // constant / bound-var vertices
-  std::vector<PendingTypeVar> type_vars;
-  std::vector<PendingElVar> el_vars;
-  std::vector<int> predicate_vars;  // for var-position conflict detection
-  bool impossible = false;
-
-  auto bound_value = [&](const std::string& name) -> TermId {
-    auto vi = vars.Find(name);
-    if (!vi || static_cast<size_t>(*vi) >= bound.size()) return kInvalidId;
-    return bound[*vi];
-  };
-
-  auto vertex_for_term = [&](TermId t) -> uint32_t {
-    auto it = const_qv.find(t);
-    if (it != const_qv.end()) return it->second;
-    graph::QueryVertex v;
-    auto vid = g_.VertexOfTerm(t);
-    if (!vid) {
-      impossible = true;
-      v.fixed_id = kInvalidId - 1;  // unmatchable
-    } else {
-      v.fixed_id = *vid;
-    }
-    uint32_t qv = q.AddVertex(std::move(v));
-    const_qv.emplace(t, qv);
-    return qv;
-  };
-
-  auto vertex_for = [&](const PatternTerm& pt) -> uint32_t {
-    if (pt.is_var()) {
-      TermId b = bound_value(pt.var);
-      if (b != kInvalidId) return vertex_for_term(b);
-      int vi = *vars.Find(pt.var);
-      auto it = var_to_qv.find(vi);
-      if (it != var_to_qv.end()) return it->second;
-      graph::QueryVertex v;
-      v.var = vi;
-      uint32_t qv = q.AddVertex(std::move(v));
-      var_to_qv.emplace(vi, qv);
-      return qv;
-    }
-    auto t = dict_.Find(pt.term);
-    if (!t) {
-      impossible = true;
-      // Create a placeholder vertex so the graph stays well-formed.
-      graph::QueryVertex v;
-      v.fixed_id = kInvalidId - 1;
-      return q.AddVertex(std::move(v));
-    }
-    return vertex_for_term(*t);
-  };
-
-  for (const TriplePattern& tp : bgp) {
-    if (type_aware && subclass_term) {
-      bool is_schema = (!tp.p.is_var() && tp.p.term.is_iri() &&
-                        tp.p.term.lexical == rdf::vocab::kRdfsSubClassOf) ||
-                       (tp.p.is_var() && bound_value(tp.p.var) == *subclass_term);
-      if (is_schema) {
-        schema_patterns.push_back(&tp);
-        continue;
-      }
-    }
-    // Type-aware folding of rdf:type patterns (§4.1).
-    bool is_type_pattern = type_aware && !tp.p.is_var() &&
-                           tp.p.term.is_iri() && tp.p.term.lexical == rdf::vocab::kRdfType;
-    if (!is_type_pattern && type_aware && tp.p.is_var()) {
-      // A bound predicate variable naming rdf:type also folds.
-      TermId b = bound_value(tp.p.var);
-      if (type_term && b == *type_term) is_type_pattern = true;
-    }
-    if (is_type_pattern) {
-      uint32_t subj = vertex_for(tp.s);
-      TermId obj_term = kInvalidId;
-      if (!tp.o.is_var()) {
-        auto t = dict_.Find(tp.o.term);
-        if (!t) {
-          impossible = true;
-          continue;
-        }
-        obj_term = *t;
-      } else {
-        obj_term = bound_value(tp.o.var);
-      }
-      if (obj_term != kInvalidId) {
-        auto l = g_.LabelOfTerm(obj_term);
-        if (!l) {
-          impossible = true;
-          continue;
-        }
-        q.mutable_vertex(subj).labels.push_back(*l);
-      } else {
-        // (?x rdf:type ?t): enumerate labels of the match per solution.
-        int vi = *vars.Find(tp.o.var);
-        type_vars.push_back({subj, vi});
-        // The subject must carry at least one label.
-        graph::VertexConstraint prev = q.vertex(subj).constraint;
-        const bool simple = options_.simple_entailment;
-        q.mutable_vertex(subj).constraint = [prev, simple](const DataGraph& g, VertexId v) {
-          if (prev && !prev(g, v)) return false;
-          return simple ? !g.simple_labels(v).empty() : !g.labels(v).empty();
-        };
-      }
-      continue;
-    }
-
-    uint32_t from = vertex_for(tp.s);
-    uint32_t to = vertex_for(tp.o);
-    // Direct transformation keeps rdf:type as an ordinary edge, but its
-    // object is a class vertex with huge fan-in; flag it so the start-vertex
-    // choice prefers entity anchors (see QueryVertex::hub_hint).
-    if (!type_aware && type_term && !tp.p.is_var()) {
-      auto pt = dict_.Find(tp.p.term);
-      if (pt && *pt == *type_term && q.vertex(to).has_fixed_id())
-        q.mutable_vertex(to).hub_hint = true;
-    }
-    graph::QueryEdge e;
-    e.from = from;
-    e.to = to;
-    if (!tp.p.is_var()) {
-      auto t = dict_.Find(tp.p.term);
-      auto el = t ? g_.EdgeLabelOfTerm(*t) : std::nullopt;
-      if (!el) {
-        impossible = true;
-        continue;
-      }
-      e.label = *el;
-    } else {
-      TermId b = bound_value(tp.p.var);
-      if (b != kInvalidId) {
-        auto el = g_.EdgeLabelOfTerm(b);
-        if (!el) {
-          impossible = true;
-          continue;
-        }
-        e.label = *el;
-      } else {
-        int vi = *vars.Find(tp.p.var);
-        e.label = kInvalidId;
-        e.label_var = vi;
-        el_vars.push_back({from, to, vi});
-        predicate_vars.push_back(vi);
-      }
-    }
-    q.AddEdge(e);
-  }
-
-  // A variable cannot be both a node and a predicate.
-  for (int pv : predicate_vars) {
-    if (var_to_qv.count(pv))
-      return util::Status::Error("variable ?" + vars.name(pv) +
-                                 " used in both node and predicate positions");
-    for (const auto& tv : type_vars)
-      if (tv.var == pv)
-        return util::Status::Error("variable ?" + vars.name(pv) +
-                                   " used in both type and predicate positions");
-  }
-
-  if (impossible) return util::Status::Ok();  // some constant is absent: zero rows
-
-  for (uint32_t u = 0; u < q.num_vertices(); ++u) {
-    auto& ls = q.mutable_vertex(u).labels;
-    std::sort(ls.begin(), ls.end());
-    ls.erase(std::unique(ls.begin(), ls.end()), ls.end());
-  }
+  auto& schema_patterns = c.schema_patterns;
+  auto& var_to_qv = c.var_to_qv;
+  auto& type_vars = c.type_vars;
+  auto& el_vars = c.el_vars;
 
   // Push single-variable non-regex filters down as vertex constraints
   // (§5.1: inexpensive filters evaluated on access).
@@ -476,6 +506,44 @@ util::Status TurboBgpSolver::EvaluateOne(const std::vector<TriplePattern>& bgp,
     return EmitResult::kContinue;
   };
   cartesian(0);
+  return util::Status::Ok();
+}
+
+util::Status TurboBgpSolver::CountSolutions(const std::vector<TriplePattern>& bgp,
+                                            const VarRegistry& vars, uint64_t* count,
+                                            bool* counted,
+                                            const EvalControl& control) const {
+  *counted = false;
+  CompiledBgp c = CompileBgp(g_, dict_, options_, bgp, vars, /*bound=*/{});
+  if (!c.error.ok()) return c.error;
+  if (c.impossible) {  // some constant is absent: zero solutions, no matching
+    *count = 0;
+    *counted = true;
+    return util::Status::Ok();
+  }
+  // Count only when every embedding is exactly one row. Pending type- or
+  // predicate-variable bindings expand per solution (and an unbound predicate
+  // variable additionally triggers the type-aware interpretation expansion in
+  // Evaluate); schema patterns join against the side table; a disconnected
+  // pattern needs a cartesian product. All of those decline.
+  if (!c.type_vars.empty() || !c.el_vars.empty() || !c.schema_patterns.empty())
+    return util::Status::Ok();
+  auto comp = c.q.ComponentIds();
+  uint32_t num_comps =
+      c.q.num_vertices() == 0 ? 0 : *std::max_element(comp.begin(), comp.end()) + 1;
+  if (num_comps != 1) return util::Status::Ok();
+
+  engine::MatchOptions mopts = options_;
+  mopts.cancel = control.cancel;
+  mopts.deadline = control.deadline;
+  mopts.abandon = control.abandon;
+  engine::Matcher matcher(g_, mopts, &arena_pool_);
+  engine::MatchStats stats;
+  uint64_t n = matcher.Count(c.q, &stats);
+  MergeStats(stats);
+  if (stats.stopped_early) return control.Check();
+  *count = n;
+  *counted = true;
   return util::Status::Ok();
 }
 

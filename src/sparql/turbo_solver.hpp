@@ -28,6 +28,16 @@ class TurboBgpSolver : public BgpSolver {
                         const RowSink& emit,
                         const EvalControl& control = {}) const override;
 
+  /// COUNT(*) pushdown: compiles the BGP and counts embeddings with
+  /// Matcher::Count — no solution rows are assembled. Declines (leaving
+  /// *counted false) whenever rows would not map 1:1 to embeddings: pending
+  /// type-/predicate-variable bindings, schema (rdfs:subClassOf) joins, the
+  /// variable-predicate interpretation expansion, or a disconnected pattern.
+  /// An impossible pattern (absent constant) counts as 0 without matching.
+  util::Status CountSolutions(const std::vector<TriplePattern>& bgp,
+                              const VarRegistry& vars, uint64_t* count, bool* counted,
+                              const EvalControl& control = {}) const override;
+
   const rdf::Dictionary& dict() const override { return dict_; }
   const graph::DataGraph& data_graph() const { return g_; }
   engine::MatchOptions& mutable_options() { return options_; }

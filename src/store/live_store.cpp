@@ -10,9 +10,14 @@ namespace turbo::store {
 
 LiveStore::LiveStore(rdf::Dataset dataset) : LiveStore(std::move(dataset), Config()) {}
 
-LiveStore::LiveStore(rdf::Dataset dataset, Config config) : cfg_(std::move(config)) {
-  auto engine =
-      std::make_shared<const sparql::QueryEngine>(std::move(dataset), cfg_.engine);
+LiveStore::LiveStore(rdf::Dataset dataset, Config config)
+    : LiveStore(std::move(dataset), std::move(config), nullptr) {}
+
+LiveStore::LiveStore(rdf::Dataset dataset, Config config,
+                     std::unique_ptr<graph::DataGraph> prebuilt)
+    : cfg_(std::move(config)) {
+  auto engine = std::make_shared<const sparql::QueryEngine>(
+      std::move(dataset), cfg_.engine, std::move(prebuilt));
   overlay_ =
       std::make_shared<sparql::LocalVocab>(static_cast<TermId>(engine->dict().size()));
   auto snap = std::make_shared<Snapshot>();

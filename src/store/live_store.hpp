@@ -114,6 +114,11 @@ class LiveStore {
   /// dataset and builds the initial epoch-0 engine.
   explicit LiveStore(rdf::Dataset dataset);
   LiveStore(rdf::Dataset dataset, Config config);
+  /// As above, but hands a prebuilt DataGraph (a snapshot's "GRPH" section)
+  /// to the epoch-0 engine; see QueryEngine's prebuilt constructor for the
+  /// adoption rules. Compactions rebuild from the config as usual.
+  LiveStore(rdf::Dataset dataset, Config config,
+            std::unique_ptr<graph::DataGraph> prebuilt);
   ~LiveStore();
 
   LiveStore(const LiveStore&) = delete;

@@ -1,0 +1,287 @@
+// Compressed adjacency: codec round-trips on adversarial lists, galloping
+// membership vs. a linear oracle, DataGraph storage-mode parity, and the
+// signature false-positive-only property.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "graph/compressed_adj.hpp"
+#include "graph/data_graph.hpp"
+#include "graph/graph_snapshot.hpp"
+#include "test_util.hpp"
+#include "workload/lubm.hpp"
+
+namespace turbo::graph {
+namespace {
+
+std::vector<uint32_t> RoundTrip(const std::vector<uint32_t>& values) {
+  std::vector<uint8_t> bytes;
+  std::vector<SkipEntry> skips;
+  EncodeSortedList(values, &bytes, &skips);
+  size_t encoded = bytes.size();
+  bytes.insert(bytes.end(), kDecodePad, 0);
+  std::vector<uint32_t> out(values.size());
+  size_t consumed = DecodeSortedList(bytes.data(), values.size(), out.data());
+  EXPECT_EQ(consumed, encoded);
+  return out;
+}
+
+TEST(CompressedAdj, RoundTripAdversarialLists) {
+  // Empty, single, dense runs, max-delta gaps, block-boundary sizes.
+  std::vector<std::vector<uint32_t>> cases = {
+      {},
+      {0},
+      {0xffffffffu},
+      {0, 0xffffffffu},
+      {5},
+      {1, 2, 3, 4, 5, 6, 7, 8, 9},
+      {0, 1, 2, 3},
+      {100, 200, 300, 400, 500},
+      {0, 256, 65536, 16777216, 0xfffffffeu, 0xffffffffu},
+  };
+  // Dense run crossing several skip blocks.
+  std::vector<uint32_t> dense;
+  for (uint32_t i = 0; i < 5 * kSkipBlock + 3; ++i) dense.push_back(i * 2);
+  cases.push_back(dense);
+  // Exact block-boundary lengths.
+  for (uint32_t n : {kSkipBlock - 1, kSkipBlock, kSkipBlock + 1, 2 * kSkipBlock}) {
+    std::vector<uint32_t> v;
+    for (uint32_t i = 0; i < n; ++i) v.push_back(i * 1000 + 7);
+    cases.push_back(v);
+  }
+  // Alternating tiny/huge deltas exercising every byte-length tier.
+  {
+    std::vector<uint32_t> v;
+    uint32_t x = 0;
+    uint32_t steps[] = {1, 2, 255, 256, 65535, 65536, 16777215, 16777216};
+    for (int rep = 0; rep < 40; ++rep) {
+      x += steps[rep % 8];
+      if (x < (rep ? v.back() : 0)) break;  // wrapped
+      v.push_back(x);
+    }
+    cases.push_back(v);
+  }
+  for (const auto& values : cases) {
+    EXPECT_EQ(RoundTrip(values), values) << "n=" << values.size();
+  }
+}
+
+TEST(CompressedAdj, RoundTripRandomLists) {
+  std::mt19937 rng(42);
+  for (int iter = 0; iter < 200; ++iter) {
+    size_t n = rng() % 700;
+    std::vector<uint32_t> values;
+    uint64_t x = 0;
+    for (size_t i = 0; i < n; ++i) {
+      // Mix of small and occasionally huge gaps.
+      uint32_t gap = (rng() % 10 == 0) ? rng() : rng() % 64;
+      x += gap + 1;
+      if (x > 0xffffffffull) break;
+      values.push_back(static_cast<uint32_t>(x));
+    }
+    EXPECT_EQ(RoundTrip(values), values) << "iter=" << iter;
+  }
+}
+
+TEST(CompressedAdj, GallopingContainsMatchesLinearOracle) {
+  std::mt19937 rng(7);
+  for (int iter = 0; iter < 60; ++iter) {
+    size_t n = 1 + rng() % 600;
+    std::vector<uint32_t> values;
+    uint32_t x = rng() % 100;
+    for (size_t i = 0; i < n; ++i) {
+      values.push_back(x);
+      x += 1 + rng() % 50;
+    }
+    std::vector<uint8_t> bytes;
+    std::vector<SkipEntry> skips;
+    EncodeSortedList(values, &bytes, &skips);
+    bytes.insert(bytes.end(), kDecodePad, 0);
+    auto oracle = [&](uint32_t q) {
+      return std::find(values.begin(), values.end(), q) != values.end();
+    };
+    // Probe every member, every member's neighbors, and random values.
+    for (uint32_t q : values) {
+      EXPECT_TRUE(CompressedContains(bytes.data(), values.size(), skips, q));
+      for (uint32_t probe : {q - 1, q + 1})
+        EXPECT_EQ(CompressedContains(bytes.data(), values.size(), skips, probe),
+                  oracle(probe))
+            << "probe=" << probe;
+    }
+    for (int k = 0; k < 50; ++k) {
+      uint32_t q = rng();
+      EXPECT_EQ(CompressedContains(bytes.data(), values.size(), skips, q), oracle(q));
+    }
+  }
+}
+
+TEST(CompressedAdj, EmptyListContainsNothing) {
+  std::vector<uint8_t> bytes(kDecodePad, 0);
+  EXPECT_FALSE(CompressedContains(bytes.data(), 0, {}, 0));
+  EXPECT_FALSE(CompressedContains(bytes.data(), 0, {}, 0xffffffffu));
+}
+
+// ---- DataGraph-level parity between storage modes. ----
+
+rdf::Dataset LubmSample() {
+  workload::LubmConfig cfg;
+  cfg.num_universities = 1;
+  return workload::GenerateLubmClosed(cfg);
+}
+
+TEST(CompressedAdj, DataGraphAccessorParityOnLubm) {
+  rdf::Dataset ds = LubmSample();
+  for (TransformMode mode : {TransformMode::kTypeAware, TransformMode::kDirect}) {
+    DataGraph plain = DataGraph::Build(ds, mode, StorageMode::kUncompressed);
+    DataGraph packed = DataGraph::Build(ds, mode, StorageMode::kCompressed);
+    ASSERT_EQ(plain.num_vertices(), packed.num_vertices());
+    ASSERT_EQ(plain.num_edges(), packed.num_edges());
+    std::vector<VertexId> scratch;
+    std::mt19937 rng(3);
+    for (VertexId v = 0; v < plain.num_vertices(); ++v) {
+      for (Direction d : {Direction::kOut, Direction::kIn}) {
+        EXPECT_EQ(plain.Degree(v, d), packed.Degree(v, d));
+        for (const auto& grp : plain.ElGroups(v, d)) {
+          auto want = plain.GroupNeighbors(d, grp);
+          auto got = packed.Neighbors(v, d, grp.el, scratch);
+          ASSERT_TRUE(std::equal(want.begin(), want.end(), got.begin(), got.end()))
+              << "v=" << v << " el=" << grp.el;
+          // Membership parity incl. near-misses.
+          for (VertexId w : want) {
+            EXPECT_TRUE(packed.HasEdge(v, w, grp.el) ==
+                        plain.HasEdge(v, w, grp.el));
+          }
+          VertexId probe = static_cast<VertexId>(rng() % plain.num_vertices());
+          if (d == Direction::kOut) {
+            EXPECT_EQ(plain.HasEdge(v, probe, grp.el), packed.HasEdge(v, probe, grp.el));
+          }
+        }
+        for (const auto& grp : plain.TypeGroups(v, d)) {
+          auto want = plain.GroupNeighbors(d, grp);
+          auto got = packed.Neighbors(v, d, grp.el, grp.vl, scratch);
+          ASSERT_TRUE(std::equal(want.begin(), want.end(), got.begin(), got.end()));
+          EXPECT_EQ(packed.NeighborCount(v, d, grp.el, grp.vl), want.size());
+        }
+        // AllNeighbors parity (multiplicity-preserving concatenation).
+        auto want_all = plain.AllNeighborsRaw(v, d);
+        std::vector<VertexId> all_scratch;
+        auto got_all = packed.AllNeighbors(v, d, all_scratch);
+        ASSERT_TRUE(
+            std::equal(want_all.begin(), want_all.end(), got_all.begin(), got_all.end()));
+        // UnionNeighbors: sorted duplicate-free union across all el groups,
+        // identical in both modes and equal to a from-scratch oracle.
+        std::vector<VertexId> union_oracle(want_all.begin(), want_all.end());
+        std::sort(union_oracle.begin(), union_oracle.end());
+        union_oracle.erase(std::unique(union_oracle.begin(), union_oracle.end()),
+                           union_oracle.end());
+        std::vector<VertexId> ub1, ub2;
+        auto uw = plain.UnionNeighbors(v, d, ub1);
+        auto ug = packed.UnionNeighbors(v, d, ub2);
+        ASSERT_TRUE(std::equal(uw.begin(), uw.end(), union_oracle.begin(),
+                               union_oracle.end()));
+        ASSERT_TRUE(std::equal(ug.begin(), ug.end(), union_oracle.begin(),
+                               union_oracle.end()));
+        // Per-label union + count parity over every label that occurs.
+        std::vector<LabelId> vls;
+        for (const auto& grp : plain.TypeGroups(v, d)) vls.push_back(grp.vl);
+        std::sort(vls.begin(), vls.end());
+        vls.erase(std::unique(vls.begin(), vls.end()), vls.end());
+        for (LabelId vl : vls) {
+          std::vector<VertexId> lb1, lb2;
+          auto lw = plain.NeighborsWithLabel(v, d, vl, lb1);
+          auto lg = packed.NeighborsWithLabel(v, d, vl, lb2);
+          ASSERT_TRUE(std::equal(lw.begin(), lw.end(), lg.begin(), lg.end()))
+              << "v=" << v << " vl=" << vl;
+          EXPECT_EQ(plain.NeighborCountWithLabel(v, d, vl),
+                    packed.NeighborCountWithLabel(v, d, vl));
+        }
+        EXPECT_EQ(packed.NeighborCountWithLabel(v, d, kInvalidId - 1), 0u);
+      }
+      EXPECT_EQ(plain.signature(v), packed.signature(v));
+    }
+    // EdgeLabelsBetween parity on a sample of vertex pairs.
+    std::vector<EdgeLabelId> els_a, els_b;
+    for (int k = 0; k < 2000; ++k) {
+      VertexId a = static_cast<VertexId>(rng() % plain.num_vertices());
+      VertexId b = static_cast<VertexId>(rng() % plain.num_vertices());
+      plain.EdgeLabelsBetween(a, b, &els_a);
+      packed.EdgeLabelsBetween(a, b, &els_b);
+      EXPECT_EQ(els_a, els_b);
+    }
+    // Compression must actually shrink the neighbor storage.
+    auto mu = plain.MemoryUsage();
+    auto mc = packed.MemoryUsage();
+    EXPECT_EQ(mc.adjacency_neighbors, 0u);
+    EXPECT_GT(mc.adjacency_compressed, 0u);
+    EXPECT_LT(mc.adjacency_total(), mu.adjacency_total());
+  }
+}
+
+TEST(CompressedAdj, SignatureIsFalsePositiveOnly) {
+  // For every vertex and every incident (dir, el, vl) requirement the
+  // signature must contain the bit — i.e. a required bit can never reject a
+  // vertex that actually has the neighbor type (no false negatives).
+  rdf::Dataset ds = LubmSample();
+  DataGraph g = DataGraph::Build(ds, TransformMode::kTypeAware);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (Direction d : {Direction::kOut, Direction::kIn}) {
+      for (const auto& grp : g.ElGroups(v, d)) {
+        uint64_t bit = DataGraph::SignatureBit(d, grp.el, kInvalidId);
+        EXPECT_EQ(g.signature(v) & bit, bit);
+      }
+      for (const auto& grp : g.TypeGroups(v, d)) {
+        uint64_t bit = DataGraph::SignatureBit(d, grp.el, grp.vl);
+        EXPECT_EQ(g.signature(v) & bit, bit);
+      }
+    }
+  }
+}
+
+TEST(CompressedAdj, GraphSnapshotRoundTrip) {
+  rdf::Dataset ds = LubmSample();
+  for (StorageMode storage : {StorageMode::kUncompressed, StorageMode::kCompressed}) {
+    DataGraph g = DataGraph::Build(ds, TransformMode::kTypeAware, storage);
+    std::string payload;
+    SerializeDataGraph(g, &payload);
+    auto back = DeserializeDataGraph(payload);
+    ASSERT_TRUE(back.ok()) << back.message();
+    const DataGraph& r = back.value();
+    ASSERT_EQ(r.num_vertices(), g.num_vertices());
+    ASSERT_EQ(r.num_edges(), g.num_edges());
+    ASSERT_EQ(r.storage_mode(), g.storage_mode());
+    ASSERT_EQ(r.mode(), g.mode());
+    std::vector<VertexId> s1, s2;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_EQ(r.signature(v), g.signature(v));
+      EXPECT_EQ(r.VertexTerm(v), g.VertexTerm(v));
+      for (Direction d : {Direction::kOut, Direction::kIn}) {
+        auto a = g.AllNeighbors(v, d, s1);
+        auto b = r.AllNeighbors(v, d, s2);
+        ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+      }
+    }
+    // The byte breakdown survives verbatim — i.e. no re-encoding happened.
+    auto ma = g.MemoryUsage();
+    auto mb = r.MemoryUsage();
+    EXPECT_EQ(ma.adjacency_compressed, mb.adjacency_compressed);
+    EXPECT_EQ(ma.skip_tables, mb.skip_tables);
+    EXPECT_EQ(ma.adjacency_total(), mb.adjacency_total());
+  }
+}
+
+TEST(CompressedAdj, DeserializeRejectsCorruption) {
+  rdf::Dataset ds = testing::MakeDataset({{"a", "p", "b"}, {"b", "p", "c"}});
+  DataGraph g = DataGraph::Build(ds, TransformMode::kTypeAware, StorageMode::kCompressed);
+  std::string payload;
+  SerializeDataGraph(g, &payload);
+  EXPECT_FALSE(DeserializeDataGraph(payload.substr(0, payload.size() / 2)).ok());
+  EXPECT_FALSE(DeserializeDataGraph(payload + "x").ok());
+  std::string bad = payload;
+  bad[0] = 99;  // unsupported version
+  EXPECT_FALSE(DeserializeDataGraph(bad).ok());
+}
+
+}  // namespace
+}  // namespace turbo::graph

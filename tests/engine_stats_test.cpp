@@ -222,13 +222,25 @@ TEST_F(StatsTest, ExplainPlanPointShape) {
 
 TEST_F(StatsTest, ExplainPlanFixedIdStart) {
   QueryGraph q;
-  uint32_t u0 = AddQV(&q, {}, 0);  // pin to data vertex 0
+  // Pin to data vertex 0 (uni0) with a requirement it satisfies (incoming
+  // subOrgOf) — the signature pre-filter drops infeasible pinned starts.
+  uint32_t u0 = AddQV(&q, {}, 0);
   uint32_t u1 = AddQV(&q, {});
-  AddQE(&q, u0, u1, t_.el("memberOf"));
+  AddQE(&q, u1, u0, t_.el("subOrgOf"));
   Matcher m(t_.g());
   std::string plan = m.ExplainPlan(q);
   EXPECT_NE(plan.find("[id=0]"), std::string::npos);
   EXPECT_NE(plan.find("(1 starting vertices)"), std::string::npos);
+}
+
+TEST_F(StatsTest, ExplainPlanFixedIdStartInfeasiblePinPrunedBySignature) {
+  QueryGraph q;
+  uint32_t u0 = AddQV(&q, {}, 0);  // uni0 has no outgoing memberOf edge
+  uint32_t u1 = AddQV(&q, {});
+  AddQE(&q, u0, u1, t_.el("memberOf"));
+  Matcher m(t_.g());
+  std::string plan = m.ExplainPlan(q);
+  EXPECT_NE(plan.find("(0 starting vertices)"), std::string::npos);
 }
 
 }  // namespace

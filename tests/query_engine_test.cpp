@@ -669,6 +669,67 @@ TEST_F(AggregateQueries, CountOverEmptyMatchIsZero) {
   EXPECT_EQ(rows[0], (std::vector<std::string>{"0", "0"}));
 }
 
+// ---------------------------------------------------------------------------
+// COUNT(*) pushdown: a bare single-BGP COUNT(*) is answered by the solver's
+// embedding counter — no solution rows are assembled or grouped.
+// ---------------------------------------------------------------------------
+
+TEST_F(AggregateQueries, CountStarPushdownSkipsRowAssembly) {
+  const TurboBgpSolver* solver = engine_.turbo_solver();
+  ASSERT_NE(solver, nullptr);
+  solver->ResetStats();
+  Cursor cursor;
+  auto rows = Rendered(
+      "SELECT (COUNT(*) AS ?n) WHERE { ?x <http://e/rating> ?r . }", &cursor);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"3"}));
+  // No solution rows entered the pipeline — the pre-modifier meter never
+  // moved — yet the engine demonstrably counted the three embeddings.
+  EXPECT_EQ(cursor.rows_before_modifiers(), 0u);
+  EXPECT_EQ(solver->last_stats().num_solutions, 3u);
+}
+
+TEST_F(AggregateQueries, CountStarPushdownAbsentConstantIsZero) {
+  Cursor cursor;
+  auto rows = Rendered(
+      "SELECT (COUNT(*) AS ?n) WHERE { ?x <http://e/noSuchPredicate> ?r . }",
+      &cursor);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"0"}));
+  EXPECT_EQ(cursor.rows_before_modifiers(), 0u);
+}
+
+TEST_F(AggregateQueries, CountStarPushdownDeclinesPerSolutionExpansion) {
+  // (?x a ?t) binds ?t by per-solution label enumeration, so rows do not map
+  // 1:1 to embeddings — the solver must decline and the row path answers.
+  Cursor cursor;
+  auto rows = Rendered("SELECT (COUNT(*) AS ?n) WHERE { ?x a ?t . }", &cursor);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_GT(cursor.rows_before_modifiers(), 0u);
+  // Cross-check the value against a formulation that can never push down
+  // (two aggregates) over the same pattern.
+  auto check =
+      Rendered("SELECT (COUNT(*) AS ?n) (COUNT(?x) AS ?m) WHERE { ?x a ?t . }");
+  ASSERT_EQ(check.size(), 1u);
+  EXPECT_EQ(rows[0][0], check[0][0]);
+}
+
+TEST_F(AggregateQueries, RowBudgetDisablesCountPushdown) {
+  // A row budget meters pre-modifier rows; the pushdown produces none, so it
+  // must stand aside and let the budget semantics apply unchanged.
+  ExecOptions opts;
+  opts.row_budget = 1;  // three rating rows: must trip
+  auto cursor =
+      engine_.Open("SELECT (COUNT(*) AS ?n) WHERE { ?x <http://e/rating> ?r . }",
+                   opts);
+  ASSERT_TRUE(cursor.ok());
+  Row row;
+  while (cursor.value().Next(&row)) {
+  }
+  EXPECT_FALSE(cursor.value().status().ok());
+  EXPECT_EQ(cursor.value().stop_cause(), StopCause::kRowBudget);
+}
+
 TEST_F(AggregateQueries, HavingFiltersGroupsAndOrderByAlias) {
   Cursor cursor;
   auto rows = Rendered(

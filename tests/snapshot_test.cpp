@@ -80,6 +80,57 @@ TEST(Snapshot, EmptyDatasetRoundTrips) {
   EXPECT_EQ(loaded.value().size(), 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Tagged extra sections (the carrier for the "GRPH" compressed-graph payload).
+// ---------------------------------------------------------------------------
+
+TEST(Snapshot, ExtrasRoundTripAndUnknownSectionsAreSkippable) {
+  Dataset ds = SampleDataset();
+  std::stringstream buf;
+  std::vector<SnapshotSection> extras;
+  extras.push_back({"TSTX", std::string("\x01\x02\x00\xff", 4)});
+  ASSERT_TRUE(SaveSnapshot(ds, buf, extras).ok());
+
+  // A reader that does not ask for extras (every pre-extras reader) must
+  // still load the dataset, skipping the unknown section.
+  std::stringstream again(buf.str());
+  auto plain = LoadSnapshot(again);
+  ASSERT_TRUE(plain.ok()) << plain.message();
+  EXPECT_EQ(plain.value().size(), ds.size());
+
+  // An extras-aware reader gets the section back verbatim.
+  std::stringstream with(buf.str());
+  std::vector<SnapshotSection> got;
+  auto loaded = LoadSnapshot(with, 1, &got);
+  ASSERT_TRUE(loaded.ok()) << loaded.message();
+  EXPECT_EQ(loaded.value().size(), ds.size());
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].tag, "TSTX");
+  EXPECT_EQ(got[0].payload, std::string("\x01\x02\x00\xff", 4));
+}
+
+TEST(Snapshot, SnapshotWithoutExtrasYieldsNone) {
+  // Pre-existing snapshots (written before extras existed) load with an
+  // empty extras vector — the caller's rebuild-from-dataset fallback.
+  Dataset ds = SampleDataset();
+  std::stringstream buf;
+  ASSERT_TRUE(SaveSnapshot(ds, buf).ok());
+  std::vector<SnapshotSection> got;
+  auto loaded = LoadSnapshot(buf, 1, &got);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(Snapshot, ReservedAndMalformedExtraTagsRejected) {
+  Dataset ds = SampleDataset();
+  for (const char* tag : {"TERM", "TRPL", "TEND"}) {
+    std::stringstream buf;
+    EXPECT_FALSE(SaveSnapshot(ds, buf, {{tag, "x"}}).ok()) << tag;
+  }
+  std::stringstream buf;
+  EXPECT_FALSE(SaveSnapshot(ds, buf, {{"TOOLONG", "x"}}).ok());
+}
+
 TEST(Snapshot, LubmRoundTripMatchesQueryResults) {
   workload::LubmConfig cfg;
   cfg.num_universities = 1;

@@ -56,12 +56,25 @@ TEST(SolverCrosscheck, RandomizedBgpAllTogglesBothSemantics) {
 
     graph::DataGraph direct = graph::DataGraph::Build(c.ds, graph::TransformMode::kDirect);
     graph::DataGraph typed = graph::DataGraph::Build(c.ds, graph::TransformMode::kTypeAware);
+    // Compressed adjacency storage must be observationally identical: the
+    // toggle matrix exercises both decode-into-scratch (intersection) and
+    // galloping membership (IsJoinable) over the varint lists.
+    graph::DataGraph direct_c = graph::DataGraph::Build(
+        c.ds, graph::TransformMode::kDirect, graph::StorageMode::kCompressed);
+    graph::DataGraph typed_c = graph::DataGraph::Build(
+        c.ds, graph::TransformMode::kTypeAware, graph::StorageMode::kCompressed);
 
     for (const MatchOptions& o : AllToggleCombos(MatchSemantics::kHomomorphism)) {
       sparql::TurboBgpSolver turbo_typed(typed, c.ds.dict(), o);
       EXPECT_EQ(reference, Evaluate(turbo_typed, c)) << "type-aware" << DescribeToggles(o);
       sparql::TurboBgpSolver turbo_direct(direct, c.ds.dict(), o);
       EXPECT_EQ(reference, Evaluate(turbo_direct, c)) << "direct" << DescribeToggles(o);
+      sparql::TurboBgpSolver turbo_typed_c(typed_c, c.ds.dict(), o);
+      EXPECT_EQ(reference, Evaluate(turbo_typed_c, c))
+          << "type-aware compressed" << DescribeToggles(o);
+      sparql::TurboBgpSolver turbo_direct_c(direct_c, c.ds.dict(), o);
+      EXPECT_EQ(reference, Evaluate(turbo_direct_c, c))
+          << "direct compressed" << DescribeToggles(o);
     }
 
     // Isomorphism: only when query vertices coincide exactly with the
@@ -95,6 +108,8 @@ TEST(SolverCrosscheck, MatcherVsBruteForceOnRandomGraphs) {
     util::Rng rng(seed);
     rdf::Dataset ds = MakeRandomDataset(rng);
     graph::DataGraph g = graph::DataGraph::Build(ds, graph::TransformMode::kTypeAware);
+    graph::DataGraph gc = graph::DataGraph::Build(
+        ds, graph::TransformMode::kTypeAware, graph::StorageMode::kCompressed);
     if (g.num_vertices() == 0 || g.num_edge_labels() == 0) continue;
     SCOPED_TRACE("seed=" + std::to_string(seed));
 
@@ -152,12 +167,14 @@ TEST(SolverCrosscheck, MatcherVsBruteForceOnRandomGraphs) {
     for (MatchSemantics sem : {MatchSemantics::kHomomorphism, MatchSemantics::kIsomorphism}) {
       const auto& expected = sem == MatchSemantics::kHomomorphism ? brute_hom : brute_iso;
       for (const MatchOptions& o : AllToggleCombos(sem)) {
-        engine::Matcher matcher(g, o);
-        std::vector<engine::Solution> got = matcher.FindAll(q);
-        std::sort(got.begin(), got.end());
-        EXPECT_EQ(expected, got)
-            << "sem=" << (sem == MatchSemantics::kHomomorphism ? "hom" : "iso")
-            << DescribeToggles(o);
+        for (const graph::DataGraph* dg : {&g, &gc}) {
+          engine::Matcher matcher(*dg, o);
+          std::vector<engine::Solution> got = matcher.FindAll(q);
+          std::sort(got.begin(), got.end());
+          EXPECT_EQ(expected, got)
+              << "sem=" << (sem == MatchSemantics::kHomomorphism ? "hom" : "iso")
+              << (dg->compressed() ? " compressed" : " plain") << DescribeToggles(o);
+        }
       }
     }
     if (::testing::Test::HasFailure()) break;
@@ -172,7 +189,8 @@ TEST(SolverCrosscheck, MatcherVsBruteForceOnRandomGraphs) {
 //
 // Runs a handful of seeds by default (fast enough for every ctest run);
 // nightly CI scales it up with TURBO_FUZZ_ITERS=150+. Both region-storage
-// modes and a parallel configuration are checked against both baselines.
+// modes, compressed adjacency storage, and a parallel configuration are
+// checked against both baselines.
 // GROUP BY / aggregate tier: random grouped queries (COUNT / SUM / MIN /
 // MAX / AVG, DISTINCT-inside, HAVING) over the 100-500-entity datasets,
 // checked against the brute-force reference evaluator — which aggregates
@@ -213,6 +231,8 @@ TEST(SolverCrosscheck, GroupAggregateFuzz) {
 
     graph::DataGraph direct = graph::DataGraph::Build(c.ds, graph::TransformMode::kDirect);
     graph::DataGraph typed = graph::DataGraph::Build(c.ds, graph::TransformMode::kTypeAware);
+    graph::DataGraph typed_c = graph::DataGraph::Build(
+        c.ds, graph::TransformMode::kTypeAware, graph::StorageMode::kCompressed);
     for (bool reuse : {true, false}) {
       MatchOptions o;
       o.reuse_region_memory = reuse;
@@ -222,6 +242,9 @@ TEST(SolverCrosscheck, GroupAggregateFuzz) {
       sparql::TurboBgpSolver turbo_direct(direct, c.ds.dict(), o);
       EXPECT_EQ(expected, RunAggregated(turbo_direct, c.query))
           << "direct" << DescribeToggles(o);
+      sparql::TurboBgpSolver turbo_typed_c(typed_c, c.ds.dict(), o);
+      EXPECT_EQ(expected, RunAggregated(turbo_typed_c, c.query))
+          << "type-aware compressed" << DescribeToggles(o);
     }
     {
       MatchOptions o;
@@ -270,6 +293,8 @@ TEST(SolverCrosscheck, LargeGraphExecutorFuzz) {
 
     graph::DataGraph direct = graph::DataGraph::Build(c.ds, graph::TransformMode::kDirect);
     graph::DataGraph typed = graph::DataGraph::Build(c.ds, graph::TransformMode::kTypeAware);
+    graph::DataGraph typed_c = graph::DataGraph::Build(
+        c.ds, graph::TransformMode::kTypeAware, graph::StorageMode::kCompressed);
 
     for (bool reuse : {true, false}) {
       MatchOptions o;
@@ -279,6 +304,9 @@ TEST(SolverCrosscheck, LargeGraphExecutorFuzz) {
           << "type-aware" << DescribeToggles(o);
       EXPECT_EQ(reference, RunStreamingCursor(turbo_typed, c.query, cap))
           << "streaming type-aware cap=" << cap << DescribeToggles(o);
+      sparql::TurboBgpSolver turbo_typed_c(typed_c, c.ds.dict(), o);
+      EXPECT_EQ(reference, RunExecutor(turbo_typed_c, c.query))
+          << "type-aware compressed" << DescribeToggles(o);
       sparql::TurboBgpSolver turbo_direct(direct, c.ds.dict(), o);
       EXPECT_EQ(reference, RunExecutor(turbo_direct, c.query))
           << "direct" << DescribeToggles(o);
@@ -304,6 +332,11 @@ TEST(SolverCrosscheck, LargeGraphExecutorFuzz) {
       // bag must still match exactly.
       EXPECT_EQ(reference, RunStreamingCursor(turbo_par, c.query, cap))
           << "streaming parallel cap=" << cap;
+      // Parallel decode shares nothing but the immutable compressed arrays;
+      // each worker decodes into its own arena-backed scratch.
+      sparql::TurboBgpSolver turbo_par_c(typed_c, c.ds.dict(), o);
+      EXPECT_EQ(reference, RunExecutor(turbo_par_c, c.query))
+          << "parallel type-aware compressed";
     }
     if (::testing::Test::HasFailure()) break;
   }
