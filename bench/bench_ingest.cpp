@@ -10,6 +10,9 @@
 //   load+graph/tN    LoadNTriplesFile with the fused GraphBuilder stage
 //   snapshot-save    SaveSnapshotFile of the loaded dataset
 //   snapshot-load    LoadSnapshotFile (bulk sectioned reads)
+// Pipeline rows additionally report per-stage time (parse/merge/remap and
+// graph for the fused row) plus merge_share = merge_ms / total_ms, so the
+// dictionary-merge share of load time is tracked and gated, not folkloric.
 //
 // Environment: INGEST_SCALES (default "2,8" universities), INGEST_THREADS
 // (default "1,2,8"), BENCH_REPS (default 5, drop best/worst), BENCH_JSON.
@@ -109,15 +112,34 @@ int main() {
     bench::PrintHeader(tag + " ingest (" + std::to_string(bytes >> 20) + " MiB N-Triples)");
     bench::PrintRow("variant", {"ms", "Mtriples/s", "allocs"});
 
-    auto record = [&](const std::string& name, const Measured& m) {
+    auto record = [&](const std::string& name, const Measured& m,
+                      const rdf::LoadStats* stages = nullptr) {
       double mtps = m.ms > 0 ? m.triples / m.ms / 1000.0 : 0;
       bench::PrintRow(name, {bench::Ms(m.ms),
                              bench::Ms(mtps),
                              bench::Num(m.allocs)});
-      report.results.push_back(
-          {tag + "/" + name,
-           {{"ms", m.ms}, {"allocs", static_cast<double>(m.allocs)},
-            {"triples", static_cast<double>(m.triples)}}});
+      std::map<std::string, double> metrics{
+          {"ms", m.ms},
+          {"allocs", static_cast<double>(m.allocs)},
+          {"triples", static_cast<double>(m.triples)}};
+      if (stages != nullptr && stages->total_ms > 0) {
+        // Stage breakdown from the last rep (shares are stable across reps;
+        // the averaged wall time above stays the headline number).
+        metrics["parse_ms"] = stages->parse_ms;
+        metrics["merge_ms"] = stages->merge_ms;
+        metrics["remap_ms"] = stages->remap_ms;
+        if (stages->graph_ms > 0) metrics["graph_ms"] = stages->graph_ms;
+        metrics["merge_share"] = stages->merge_ms / stages->total_ms;
+        std::printf("    stages: parse %.0f | merge %.0f | remap %.0f%s ms"
+                    "  (merge share %.1f%%)\n",
+                    stages->parse_ms, stages->merge_ms, stages->remap_ms,
+                    stages->graph_ms > 0
+                        ? (" | graph " + std::to_string(static_cast<long long>(
+                                             stages->graph_ms))).c_str()
+                        : "",
+                    100.0 * stages->merge_ms / stages->total_ms);
+      }
+      report.results.push_back({tag + "/" + name, std::move(metrics)});
     };
 
     // ---- Sequential istream baseline (the pre-pipeline ingestion path). ----
@@ -133,19 +155,21 @@ int main() {
     for (uint32_t threads : thread_counts) {
       rdf::LoadOptions opts;
       opts.threads = threads;
+      rdf::LoadStats stages;
       Measured par = Measure(reps, [&] {
         auto r = rdf::LoadNTriplesFile(nt_path, opts);
         if (!r.ok()) {
           std::fprintf(stderr, "load error: %s\n", r.message().c_str());
           return uint64_t{0};
         }
+        stages = r.value().stats;
         return r.value().stats.triples;
       });
       if (par.triples != seq.triples)
         std::fprintf(stderr, "WARNING: %s triple-count mismatch (%llu vs %llu)\n",
                      tag.c_str(), static_cast<unsigned long long>(par.triples),
                      static_cast<unsigned long long>(seq.triples));
-      record("parse-par/t" + std::to_string(threads), par);
+      record("parse-par/t" + std::to_string(threads), par, &stages);
     }
 
     // ---- Fused load+graph at the top thread count. ----
@@ -153,11 +177,13 @@ int main() {
       rdf::LoadOptions opts;
       opts.threads = thread_counts.back();
       opts.build_graph = true;
+      rdf::LoadStats stages;
       Measured fused = Measure(reps, [&] {
         auto r = rdf::LoadNTriplesFile(nt_path, opts);
+        if (r.ok()) stages = r.value().stats;
         return r.ok() ? r.value().stats.triples : uint64_t{0};
       });
-      record("load+graph/t" + std::to_string(opts.threads), fused);
+      record("load+graph/t" + std::to_string(opts.threads), fused, &stages);
     }
 
     // ---- Snapshot fast path. ----

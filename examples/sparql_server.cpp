@@ -100,6 +100,9 @@ int main(int argc, char** argv) {
     auto opts = lubm > 0 ? workload::LubmReasonerOptions(&ds.dict())
                          : rdf::ReasonerOptions{};
     rdf::MaterializeInference(&ds, opts);
+    // Inference appended terms in discovery order; re-rank so the served
+    // engine gets the frequency-split layout (same as a bulk load).
+    if (lubm > 0) rdf::RerankDatasetByFrequency(&ds);
   }
   std::fprintf(stderr, "loaded %zu triples\n", ds.size());
 

@@ -90,6 +90,44 @@ DataGraph GraphBuilder::Finish() {
   DataGraph& g = g_;
   std::vector<EdgeTriple>& edges = edges_;
 
+  // ---- Renumber graph ids into term-id order. ----
+  // Append() assigns vertex / label / edge-label ids by first occurrence;
+  // term ids are frequency-split (hot head in a dense low band, arrival-
+  // order tail — see rdf/dictionary.hpp). Sorting graph ids by term id
+  // carries that layout into every adjacency structure: hot vertices
+  // cluster in the low id range, shrinking the delta gaps the compressed
+  // encodings store, while the tail keeps its run-of-related-entities
+  // locality. Pure function of the dictionary's ids — identical across
+  // storage modes, thread counts, and append chunking.
+  {
+    auto renumber = [](auto& terms, auto& term_to_id) {
+      using IdVec = std::vector<uint32_t>;
+      IdVec order(terms.size());
+      for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<uint32_t>(i);
+      std::sort(order.begin(), order.end(),
+                [&](uint32_t a, uint32_t b) { return terms[a] < terms[b]; });
+      IdVec new_id(order.size());
+      std::decay_t<decltype(terms)> permuted(terms.size());
+      for (size_t r = 0; r < order.size(); ++r) {
+        new_id[order[r]] = static_cast<uint32_t>(r);
+        permuted[r] = terms[order[r]];
+      }
+      terms = std::move(permuted);
+      for (auto& [t, id] : term_to_id) id = new_id[id];
+      return new_id;
+    };
+    const std::vector<uint32_t> vmap = renumber(g.vertex_terms_, g.term_to_vertex_);
+    const std::vector<uint32_t> lmap = renumber(g.label_terms_, g.term_to_label_);
+    const std::vector<uint32_t> emap = renumber(g.el_terms_, g.term_to_el_);
+    for (EdgeTriple& e : edges) {
+      e.s = vmap[e.s];
+      e.el = emap[e.el];
+      e.o = vmap[e.o];
+    }
+    for (auto& p : label_pairs_) p = {vmap[p.first], lmap[p.second]};
+    for (auto& p : simple_label_pairs_) p = {vmap[p.first], lmap[p.second]};
+  }
+
   const uint32_t n = static_cast<uint32_t>(g.vertex_terms_.size());
   const uint32_t num_labels = static_cast<uint32_t>(g.label_terms_.size());
   const uint32_t num_els = static_cast<uint32_t>(g.el_terms_.size());

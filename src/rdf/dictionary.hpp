@@ -4,22 +4,35 @@
 // how RDF-3X / TripleBit keep dictionaries out of the query hot path (the
 // paper excludes dictionary look-up time from all measurements; so do we).
 //
-// The index side is hash-sharded (kNumShards independent maps keyed by the
-// canonical N-Triples serialization). Incremental use (GetOrAdd / Find) is
-// unchanged. Bulk paths: the parallel load pipeline uses Reserve +
-// MergeBatches, merging per-chunk mini-dictionaries shard-parallel — each
-// shard owns a disjoint hash range, so shard merges never contend, and new
-// ids are assigned by per-shard prefix sums, making id assignment
-// deterministic (it depends on batch order and content, never on thread
-// count or scheduling). Snapshot reloads use AddUnique (positional bulk
-// install); AddBatch is the simple interning-loop convenience.
+// Id layout is *frequency-split* (RDF-3X style): bulk loads rank globally-new
+// terms so that the hot head of the term distribution — predicates and type
+// objects first, then any term whose occurrence count clears a threshold —
+// lands in a dense low-id band [0, hot_band_size()), while the cold tail
+// keeps first-occurrence order (real dumps emit runs of statements about one
+// subject, and that arrival locality is what keeps delta-gap encodings
+// small). Small ids for hot terms shrink every downstream varint — the
+// compressed adjacency in particular — and the band doubles as the domain of
+// a read-mostly hot-term cache probed before any shard lookup.
+//
+// The index side is hash-sharded (kNumShards independent open-addressing
+// tables keyed by the canonical N-Triples serialization, key bytes stored
+// once in a per-shard arena — no per-entry node or string allocations).
+// Incremental use (GetOrAdd / Find) is unchanged. Bulk paths: the parallel
+// load pipeline uses MergeBatches, merging per-chunk mini-dictionaries
+// shard-parallel — each shard owns a disjoint hash range, so shard merges
+// never contend; new ids come from one global frequency-split ranking over
+// the pending terms, making id assignment deterministic (it depends on batch
+// order and content, never on thread count or scheduling). Snapshot reloads
+// use AddUnique (positional bulk install); AddBatch is the simple
+// interning-loop convenience.
 #pragma once
 
+#include <atomic>
 #include <forward_list>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "rdf/term.hpp"
@@ -70,10 +83,10 @@ inline size_t HashTermKey(std::string_view s) {
   return static_cast<size_t>(h);
 }
 
-/// Hash usable for std::string / std::string_view / HashedKey keys
-/// (heterogeneous unordered lookup), shared by the global dictionary shards
-/// and the per-chunk mini-dictionaries so shard assignment agrees
-/// everywhere. HashedKey short-circuits to the stored value.
+/// Hash usable for std::string / std::string_view / HashedKey keys, shared
+/// by the global dictionary shards and the per-chunk mini-dictionaries so
+/// shard assignment agrees everywhere. HashedKey short-circuits to the
+/// stored value.
 struct TermKeyHash {
   using is_transparent = void;
   size_t operator()(std::string_view s) const { return HashTermKey(s); }
@@ -81,16 +94,13 @@ struct TermKeyHash {
   size_t operator()(const HashedKey& k) const { return k.hash; }
 };
 
-/// Transparent content equality across the three key representations.
-struct TermKeyEq {
-  using is_transparent = void;
-  static std::string_view View(std::string_view s) { return s; }
-  static std::string_view View(const std::string& s) { return s; }
-  static std::string_view View(const HashedKey& k) { return k.key; }
-  template <typename A, typename B>
-  bool operator()(const A& a, const B& b) const {
-    return View(a) == View(b);
-  }
+/// Term-role bits carried by bulk batches: whether a term ever occurred in
+/// predicate position or as the object of rdf:type. Flagged terms rank ahead
+/// of everything else in the frequency-split ordering — they are the labels
+/// the graph layer folds into every adjacency directory entry.
+enum TermRoleFlag : uint8_t {
+  kRolePredicate = 1,
+  kRoleTypeObject = 2,
 };
 
 /// One parse chunk's private dictionary content, in first-occurrence order:
@@ -107,6 +117,11 @@ struct TermKeyEq {
 ///    statements, snapshot reloads) and is moved into the dictionary.
 /// MergeBatches consumes the batch either way.
 ///
+/// `counts` / `flags` (optional, filled after the chunk's triples exist)
+/// carry per-entry occurrence counts and TermRoleFlag bits; MergeBatches
+/// aggregates them across batches to drive the frequency-split ranking.
+/// When absent, every entry counts once with no role flags.
+///
 /// Move-only on purpose: `keys` may view into `owned`, whose nodes are
 /// stable under a (noexcept) move but would dangle after a copy — and a
 /// throwing move would make std::vector reallocation silently copy, so
@@ -115,6 +130,8 @@ struct TermBatch {
   std::vector<std::string_view> keys;
   std::vector<size_t> hashes;
   std::vector<Term> terms;  ///< empty in key-only mode, else parallel
+  std::vector<uint32_t> counts;  ///< occurrences in the chunk (may be empty)
+  std::vector<uint8_t> flags;    ///< TermRoleFlag bits (may be empty)
   std::forward_list<std::string> owned;  ///< backing store for non-external keys
 
   TermBatch() = default;
@@ -201,11 +218,126 @@ class FlatIdMap {
   size_t count_ = 0;
 };
 
+/// One shard of the global term index: open-addressing (hash, id) slots with
+/// the key bytes stored once in an append-only arena. Compared to the
+/// node-based map it replaces, an insert is a slot write plus an arena
+/// append (no node allocation, no separate std::string), and the whole
+/// index is two flat allocations per shard — the difference is most visible
+/// in the bulk-merge install phase, which used to allocate twice per
+/// globally-new term.
+class ShardTable {
+ public:
+  static constexpr TermId kNotFound = 0xffffffffu;
+
+  TermId Find(size_t hash, std::string_view key) const {
+    if (slots_.empty()) return kNotFound;
+    for (size_t i = hash & mask();; i = (i + 1) & mask()) {
+      const Slot& s = slots_[i];
+      if (s.id == kNotFound) return kNotFound;
+      if (s.hash == hash &&
+          std::string_view(arena_.data() + s.key_off, s.key_len) == key)
+        return s.id;
+    }
+  }
+
+  /// `key` must be absent (Find first); the bytes are copied into the arena.
+  void Insert(size_t hash, std::string_view key, TermId id) {
+    if (slots_.empty() || (size_ + 1) * 10 >= slots_.size() * 7)
+      Rehash(std::max<size_t>(size_ + 1, slots_.size()));
+    Slot s;
+    s.hash = hash;
+    s.key_off = arena_.size();
+    s.key_len = static_cast<uint32_t>(key.size());
+    s.id = id;
+    arena_.append(key);
+    Place(s);
+    ++size_;
+  }
+
+  /// Pre-sizes the slot array for `n` total entries (exact counts are known
+  /// at merge-install time; sizing once avoids mid-install rehashes).
+  void Reserve(size_t n) {
+    if (n * 10 >= slots_.size() * 7) Rehash(n);
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return slots_.size(); }
+  size_t bytes() const {
+    return slots_.capacity() * sizeof(Slot) + arena_.capacity();
+  }
+
+ private:
+  struct Slot {
+    size_t hash = 0;
+    uint64_t key_off = 0;
+    uint32_t key_len = 0;
+    TermId id = kNotFound;
+  };
+  size_t mask() const { return slots_.size() - 1; }
+
+  void Place(const Slot& s) {
+    size_t i = s.hash & mask();
+    while (slots_[i].id != kNotFound) i = (i + 1) & mask();
+    slots_[i] = s;
+  }
+
+  void Rehash(size_t n) {
+    std::vector<Slot> old = std::move(slots_);
+    size_t cap = 64;
+    while (cap * 7 < n * 10) cap *= 2;
+    slots_.assign(cap, Slot{});
+    for (const Slot& s : old)
+      if (s.id != kNotFound) Place(s);
+  }
+
+  std::vector<Slot> slots_;
+  std::string arena_;
+  size_t size_ = 0;
+};
+
+/// Input row for the frequency-split ranking: aggregated occurrence count,
+/// TermRoleFlag bits, and a caller-chosen first-occurrence key used both as
+/// the deterministic tie-break and as the cold-tail order.
+struct RankInput {
+  uint64_t count = 0;
+  uint64_t first = 0;
+  uint8_t flags = 0;
+};
+
+/// Computes the frequency-split permutation over `items`: returns `order`
+/// with order[rank] = item index, and stores the hot-band length in
+/// *hot_band. The band holds every role-flagged term plus any term whose
+/// count clears max(16, 8 * mean), capped at kMaxHotBand, sorted by
+/// (predicate < type-object < other, count desc, first asc); the tail
+/// keeps `first` order. Pure function of the inputs — scheduling never
+/// enters, which is what keeps bulk-load ids deterministic at any thread
+/// count.
+std::vector<uint32_t> FrequencySplitOrder(std::span<const RankInput> items,
+                                          size_t* hot_band);
+
 /// Bidirectional term dictionary with a numeric-value side cache used by
 /// FILTER evaluation.
 class Dictionary {
  public:
   static constexpr uint32_t kNumShards = 16;
+  /// Hot band cap: bounds the hot-term cache so it stays cache-resident.
+  static constexpr size_t kMaxHotBand = 1u << 16;
+
+  Dictionary() = default;
+  // Copyable (LiveStore compaction clones the base dictionary); the hot-
+  // cache counters are atomics for concurrent readers, so spell the copies
+  // out.
+  Dictionary(const Dictionary& o) { CopyFrom(o); }
+  Dictionary& operator=(const Dictionary& o) {
+    if (this != &o) CopyFrom(o);
+    return *this;
+  }
+  Dictionary(Dictionary&& o) noexcept { MoveFrom(std::move(o)); }
+  Dictionary& operator=(Dictionary&& o) noexcept {
+    if (this != &o) MoveFrom(std::move(o));
+    return *this;
+  }
 
   /// Interns a term, returning its id (existing or new).
   TermId GetOrAdd(const Term& term);
@@ -216,8 +348,11 @@ class Dictionary {
   std::optional<TermId> Find(const Term& term) const;
   std::optional<TermId> FindIri(const std::string& iri) const { return Find(Term::Iri(iri)); }
 
-  /// Pre-sizes the term table and index shards for `num_terms` total terms
-  /// (bulk loads know the exact count or a tight upper bound).
+  /// Pre-sizes the term table and index shards for `num_terms` total terms.
+  /// Callers should pass a *distinct*-term count (or a tight estimate), not
+  /// a sum of per-batch sizes: bulk merges size their shards exactly from
+  /// the resolved distinct counts, so over-reserving here only wastes
+  /// allocation work.
   void Reserve(size_t num_terms);
 
   /// Bulk-interns `terms` in order, appending each term's id (existing or
@@ -227,17 +362,21 @@ class Dictionary {
 
   /// Positional bulk install: terms[i] gets id size() + i, unconditionally —
   /// the snapshot rebuild path, where triple sections reference terms by
-  /// position. Hashing, table fill, and shard insertion parallelize on
-  /// `pool` (may be null). Errors if any term duplicates another or an
-  /// existing entry; the dictionary is unusable after an error (callers
-  /// discard it — a corrupt snapshot aborts the whole load).
+  /// position (and the saved id order already carries the frequency split).
+  /// Hashing, table fill, and shard insertion parallelize on `pool` (may be
+  /// null). Errors if any term duplicates another or an existing entry; the
+  /// dictionary is unusable after an error (callers discard it — a corrupt
+  /// snapshot aborts the whole load).
   util::Status AddUnique(std::vector<Term>&& terms, util::ThreadPool* pool = nullptr);
 
   /// Hash-sharded merge of per-chunk mini-dictionaries: after the call,
-  /// (*mappings)[b][i] is the global id of batches[b].terms[i]. New terms
-  /// get ids in deterministic (shard, batch, position) order regardless of
-  /// `pool` parallelism; batches are consumed. `pool` may be null
-  /// (sequential merge, same ids).
+  /// (*mappings)[b][i] is the global id of batches[b].terms[i]. Globally-new
+  /// terms get ids in frequency-split order (see FrequencySplitOrder, fed by
+  /// the batches' counts/flags) regardless of `pool` parallelism; batches
+  /// are consumed. `pool` may be null (sequential merge, same ids). When the
+  /// dictionary was empty on entry the ranking also establishes the hot
+  /// band + hot-term cache; later merges rank their new tail but leave the
+  /// established band untouched.
   void MergeBatches(std::vector<TermBatch>* batches,
                     std::vector<std::vector<TermId>>* mappings,
                     util::ThreadPool* pool = nullptr);
@@ -254,10 +393,38 @@ class Dictionary {
 
   size_t size() const { return terms_.size(); }
 
+  // ---- Frequency-split layout. ----
+  /// Terms [0, hot_band_size()) form the dense hot band (0 when the
+  /// dictionary was built without ranking, e.g. purely incrementally).
+  size_t hot_band_size() const { return hot_band_; }
+  /// Declares [0, band) the hot band (snapshot reload path; the saved id
+  /// order already encodes the ranking) and rebuilds the hot-term cache.
+  void SetHotBand(size_t band);
+  /// Re-ranks the whole dictionary in place: `order[rank] = old id`. Every
+  /// existing id moves to its rank; the caller owns rewriting stored triples
+  /// through the inverse mapping. Used by Permute-style dataset reranks and
+  /// LiveStore compaction.
+  void Permute(std::span<const uint32_t> order, size_t hot_band);
+
+  /// Layout introspection for /stats, the shell banner, and tests.
+  struct LayoutStats {
+    size_t terms = 0;
+    size_t hot_band = 0;
+    uint64_t hot_hits = 0;    ///< Find/GetOrAdd/merge probes served by the cache
+    uint64_t hot_probes = 0;  ///< total probes that consulted the cache
+    size_t shard_entries_min = 0;
+    size_t shard_entries_max = 0;
+    double shard_load_min = 0;  ///< entries / slots per shard
+    double shard_load_max = 0;
+    double shard_load_avg = 0;
+    size_t index_bytes = 0;  ///< shard slots + key arenas + hot cache
+  };
+  LayoutStats layout_stats() const;
+
   /// Shard owning a key with hash `h` — shared with the load pipeline.
   static uint32_t ShardOf(size_t h) {
-    // Mix the high bits in: unordered_map bucket choice uses the low bits,
-    // so shard selection prefers an independent slice.
+    // Mix the high bits in: linear-probe placement uses the low bits, so
+    // shard selection prefers an independent slice.
     return static_cast<uint32_t>((h >> 48) ^ (h >> 24) ^ h) & (kNumShards - 1);
   }
 
@@ -266,16 +433,33 @@ class Dictionary {
     double value = 0;
     bool valid = false;
   };
-  using ShardMap = std::unordered_map<std::string, TermId, TermKeyHash, TermKeyEq>;
+  struct HotSlot {
+    size_t hash = 0;
+    TermId id = 0xffffffffu;
+  };
 
   /// Appends `term` to the table (id = old size) and indexes it under `key`
   /// in shard `s`. The caller has already checked absence.
-  TermId Append(const Term& term, std::string&& key, uint32_t s);
+  TermId Append(const Term& term, std::string_view key, size_t hash, uint32_t s);
   static CachedNum NumericOf(const Term& term);
+  /// Probes the hot-term cache; kNotFound on miss. Counts probes/hits.
+  TermId FindHot(size_t hash, std::string_view key) const;
+  /// Rebuilds the hot cache over ids [0, hot_band_).
+  void RebuildHotCache();
+  void CopyFrom(const Dictionary& o);
+  void MoveFrom(Dictionary&& o);
 
-  ShardMap shards_[kNumShards];
+  ShardTable shards_[kNumShards];
   std::vector<Term> terms_;
   std::vector<CachedNum> numeric_;
+
+  size_t hot_band_ = 0;
+  // Read-mostly hot-term cache: an immutable-between-merges snapshot array
+  // probed lock-free before any shard. hot_keys_ is indexed by id (< band).
+  std::vector<HotSlot> hot_slots_;
+  std::vector<std::string> hot_keys_;
+  mutable std::atomic<uint64_t> hot_hits_{0};
+  mutable std::atomic<uint64_t> hot_probes_{0};
 };
 
 }  // namespace turbo::rdf

@@ -15,7 +15,10 @@
 //
 // Chunk boundaries are deterministic (fixed chunk_bytes), and the sharded
 // merge assigns ids independent of scheduling, so a load produces the exact
-// same Dataset (bit-identical ids) at any thread count. Parse errors carry
+// same Dataset (bit-identical ids) at any thread count. Chunk parsing also
+// tallies per-term occurrence counts and role flags (predicate position,
+// rdf:type object), which the merge's global ranking turns into the
+// frequency-split id layout (see rdf/dictionary.hpp). Parse errors carry
 // the same line number and offending line text the sequential parser
 // reports, chosen first-error-wins by line.
 //
@@ -104,5 +107,14 @@ util::Result<LoadResult> LoadTurtleFile(const std::string& path,
 /// N-Triples.
 util::Result<LoadResult> LoadRdfFile(const std::string& path,
                                      const LoadOptions& options = {});
+
+/// Re-ranks an *incrementally built* dataset's term ids into the
+/// frequency-split layout (the bulk-load pipeline ranks during the merge;
+/// datasets built through Dataset::Add — generated workloads, hand-built
+/// fixtures — get arrival-order ids and can opt in here). Counts and role
+/// flags come from the dataset's own triples; every triple is rewritten
+/// through the new id mapping in place. Call before handing ids to anything
+/// that stores them (graph build, snapshots, cached TermIds).
+void RerankDatasetByFrequency(Dataset* ds);
 
 }  // namespace turbo::rdf

@@ -13,7 +13,11 @@ namespace turbo::rdf {
 namespace {
 
 constexpr char kMagic[6] = {'T', 'H', 'S', 'N', 'A', 'P'};
-constexpr uint16_t kVersion = 2;
+// v3 extends the TERM section with the frequency-split hot-band length
+// (see rdf/dictionary.hpp); ids and every other byte are unchanged, so v2
+// streams still load — they just come up with an empty band.
+constexpr uint16_t kVersion = 3;
+constexpr uint16_t kMinVersion = 2;
 
 uint32_t Tag(const char t[5]) {
   uint32_t v;
@@ -67,11 +71,15 @@ class PayloadReader {
   size_t pos_ = 0;
 };
 
-util::Status ParseTermSection(const std::string& payload, uint32_t threads, Dataset* ds) {
+util::Status ParseTermSection(const std::string& payload, uint16_t version,
+                              uint32_t threads, Dataset* ds) {
   PayloadReader r(payload);
   uint64_t num_terms;
   if (!r.Read(&num_terms) || num_terms > kMaxSection)
     return util::Status::Error("corrupt snapshot (term count)");
+  uint64_t hot_band = 0;  // v2: no band recorded
+  if (version >= 3 && (!r.Read(&hot_band) || hot_band > num_terms))
+    return util::Status::Error("corrupt snapshot (hot band)");
   const size_t n = static_cast<size_t>(num_terms);
   const char* kinds = r.Borrow(n);
   const char* lex_len_raw = r.Borrow(n * 4);
@@ -125,6 +133,9 @@ util::Status ParseTermSection(const std::string& payload, uint32_t threads, Data
     if (auto st = ds->dict().AddUnique(std::move(terms), &pool); !st.ok())
       return util::Status::Error(st.message() + " in snapshot");
   }
+  // Saved ids already carry the frequency split; declaring the band just
+  // re-arms the hot-term cache over the same id order.
+  ds->dict().SetHotBand(static_cast<size_t>(hot_band));
   return util::Status::Ok();
 }
 
@@ -191,8 +202,9 @@ util::Status SaveSnapshot(const Dataset& dataset, std::ostream& out,
     for (size_t i = 0; i < n; ++i)
       blob_total += dict.term(i).lexical.size() + dict.term(i).datatype.size() +
                     dict.term(i).lang.size();
-    WriteSectionHeader(out, kTagTerms, 8 + n * 13 + blob_total);
+    WriteSectionHeader(out, kTagTerms, 16 + n * 13 + blob_total);
     AppendPod<uint64_t>(&staging, n);
+    AppendPod<uint64_t>(&staging, static_cast<uint64_t>(dict.hot_band_size()));
     for (size_t i = 0; i < n; ++i) {
       AppendPod<uint8_t>(&staging, static_cast<uint8_t>(dict.term(i).kind));
       flush_if_full();
@@ -265,10 +277,12 @@ util::Result<Dataset> LoadSnapshot(std::istream& in, uint32_t threads,
   uint16_t version = 0;
   if (!in.read(reinterpret_cast<char*>(&version), 2))
     return util::Status::Error("truncated snapshot (header)");
-  // v1 used the same leading bytes with ASCII "01" where v2 stores the
-  // version integer; either way a mismatch is a version error.
-  if (version != kVersion)
+  // v1 used the same leading bytes with ASCII "01" where v2+ stores the
+  // version integer; anything outside [kMinVersion, kVersion] is a version
+  // error.
+  if (version < kMinVersion || version > kVersion)
     return util::Status::Error("unsupported snapshot version (expected v" +
+                               std::to_string(kMinVersion) + "..v" +
                                std::to_string(kVersion) + "; re-save with this build)");
 
   Dataset ds;
@@ -295,7 +309,7 @@ util::Result<Dataset> LoadSnapshot(std::istream& in, uint32_t threads,
     }
     if (tag == kTagTerms) {
       if (saw_terms) return util::Status::Error("duplicate TERM section");
-      if (auto st = ParseTermSection(payload, threads, &ds); !st.ok()) return st;
+      if (auto st = ParseTermSection(payload, version, threads, &ds); !st.ok()) return st;
       saw_terms = true;
     } else if (tag == kTagTriples) {
       if (!saw_terms) return util::Status::Error("TRPL section before TERM");

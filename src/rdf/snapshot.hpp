@@ -4,18 +4,20 @@
 // that refresh artifact: a compact binary image of a Dataset (dictionary +
 // triples + original/inferred boundary).
 //
-// Format v2 (little-endian), sectioned and version-tagged:
+// Format v3 (little-endian), sectioned and version-tagged:
 //   header   "THSNAP" | u16 version
 //   sections u32 tag | u64 payload_bytes | payload    (in order TERM, TRPL)
 //   trailer  tag TEND | u64 0
 // TERM payload (columnar, so loading is one bulk read + array walks):
-//   u64 num_terms | u8 kind[n] | u32 lex_len[n] | u32 dt_len[n] |
-//   u32 lang_len[n] | lexical blob | datatype blob | lang blob
+//   u64 num_terms | u64 hot_band | u8 kind[n] | u32 lex_len[n] |
+//   u32 dt_len[n] | u32 lang_len[n] | lexical blob | datatype blob |
+//   lang blob
 // TRPL payload:
 //   u64 num_triples | u64 num_original | (u32 s, u32 p, u32 o)[n]
 // Each section is read with a single bulk read into memory; unknown
-// sections are skipped (forward compatibility), and v1 streams are rejected
-// with a version error.
+// sections are skipped (forward compatibility). v2 streams (no hot_band
+// field — term ids carry no declared frequency band) still load with the
+// exact same ids; v1 streams are rejected with a version error.
 #pragma once
 
 #include <istream>
@@ -31,7 +33,7 @@ namespace turbo::rdf {
 /// One caller-owned snapshot section: a 4-character tag plus an opaque
 /// payload. Writers append extras after the core sections (still before the
 /// TEND trailer); readers that don't recognize a tag skip it, so extras are
-/// forward- and backward-compatible within format v2. The graph layer uses
+/// forward- and backward-compatible across format versions. The graph layer uses
 /// this to persist prebuilt DataGraphs ("GRPH") without rdf/ depending on
 /// graph/.
 struct SnapshotSection {

@@ -219,6 +219,23 @@ struct SparqlServer::Impl {
                   ",\"term_maps\":" + std::to_string(m.term_maps) +
                   ",\"schema\":" + std::to_string(m.schema) + "}";
         }
+        // Dictionary layout: the frequency-split band + hot-term cache and
+        // shard fill (see rdf/dictionary.hpp), next to the graph bytes they
+        // shrink.
+        {
+          rdf::Dictionary::LayoutStats d =
+              store->snapshot()->engine->dict().layout_stats();
+          char load[96];
+          std::snprintf(load, sizeof(load),
+                        "{\"min\":%.3f,\"max\":%.3f,\"avg\":%.3f}",
+                        d.shard_load_min, d.shard_load_max, d.shard_load_avg);
+          body += ",\"dict\":{\"terms\":" + std::to_string(d.terms) +
+                  ",\"hot_band\":" + std::to_string(d.hot_band) +
+                  ",\"hot_cache_hits\":" + std::to_string(d.hot_hits) +
+                  ",\"hot_cache_probes\":" + std::to_string(d.hot_probes) +
+                  ",\"index_bytes\":" + std::to_string(d.index_bytes) +
+                  ",\"shard_load\":" + load + "}";
+        }
       }
       body += ",\"in_flight\":" + std::to_string(s.in_flight) + "}\n";
       return w.WriteSimple(200, "application/json", body, {}, keep_alive) && keep_alive;

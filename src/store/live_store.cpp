@@ -4,6 +4,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "rdf/loader.hpp"
 #include "sparql/parser.hpp"
 
 namespace turbo::store {
@@ -199,7 +200,8 @@ util::Status LiveStore::CompactLocked() {
   merged.dict() = odict;  // the dictionary is copyable by design
   // Re-intern overlay terms in id order: GetOrAdd assigns ids sequentially
   // from dict.size(), so every delta triple's term ids carry over verbatim
-  // into the merged dataset — no triple rewriting needed.
+  // into the merged dataset while it is assembled (the frequency re-rank
+  // below rewrites everything in one pass at the end).
   const size_t overlay_terms = overlay_->size();
   for (size_t i = 0; i < overlay_terms; ++i) {
     const rdf::Term* t = overlay_->Find(static_cast<TermId>(odict.size() + i));
@@ -229,6 +231,17 @@ util::Status LiveStore::CompactLocked() {
     }
     merged.AppendInferred(inferred);
   }
+
+  // Re-rank the merged dataset into the frequency-split id layout: overlay
+  // terms earned real occurrence counts while living in the delta, and
+  // compaction is the one point where every triple is rewritten anyway, so
+  // hot overlay terms (new predicates, new types, hubs) fold into the dense
+  // low-id band instead of accreting at the tail forever. Pinned-epoch
+  // readers stay byte-stable — they hold the previous snapshot and its
+  // engine, whose ids never move; only the *next* epoch sees the new ids,
+  // and its engine, overlay limit, and plan-cache entries are all rebuilt
+  // below.
+  rdf::RerankDatasetByFrequency(&merged);
 
   auto engine =
       std::make_shared<const sparql::QueryEngine>(std::move(merged), cfg_.engine);

@@ -1,5 +1,6 @@
 #include "workload/bsbm.hpp"
 
+#include "rdf/loader.hpp"
 #include "rdf/vocabulary.hpp"
 #include "util/rng.hpp"
 
@@ -126,6 +127,7 @@ rdf::Dataset GenerateBsbm(const BsbmConfig& config) { return Generator(config).R
 rdf::Dataset GenerateBsbmClosed(const BsbmConfig& config) {
   rdf::Dataset ds = GenerateBsbm(config);
   rdf::MaterializeInference(&ds);
+  rdf::RerankDatasetByFrequency(&ds);  // same id layout as a bulk load
   return ds;
 }
 

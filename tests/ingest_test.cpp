@@ -443,5 +443,85 @@ TEST(Ingest, MergeBatchesIsDeterministicAndComplete) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Frequency-split layout
+// ---------------------------------------------------------------------------
+
+/// Fixture with a deliberately skewed term distribution: one dominant
+/// predicate, an rdf:type class, one hub object, forty one-shot entities.
+/// Mean occurrence ≈ 4, so the hot threshold (max(16, 8 * mean)) is 32:
+/// only role-flagged terms and the hub (40 uses) clear the band.
+std::string SkewedFixture() {
+  std::string text;
+  for (int i = 0; i < 40; ++i)
+    text += "<http://x/e" + std::to_string(i) + "> <http://x/p> <http://x/hub> .\n";
+  for (int i = 0; i < 20; ++i)
+    text += "<http://x/e" + std::to_string(i) +
+            "> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://x/C> .\n";
+  return text;
+}
+
+TEST(Ingest, FrequencySplitPutsHotTermsInLowBand) {
+  auto r = LoadNTriples(SkewedFixture(), Opts(1, 1 << 20));
+  ASSERT_TRUE(r.ok()) << r.message();
+  const Dictionary& dict = r.value().dataset.dict();
+  // Band order: predicates by count desc (p 40x, rdf:type 20x), then type
+  // objects (C), then unflagged terms above threshold (hub 40x).
+  EXPECT_EQ(dict.Find(Term::Iri("http://x/p")), std::optional<TermId>(0u));
+  EXPECT_EQ(dict.Find(Term::Iri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")),
+            std::optional<TermId>(1u));
+  EXPECT_EQ(dict.Find(Term::Iri("http://x/C")), std::optional<TermId>(2u));
+  EXPECT_EQ(dict.Find(Term::Iri("http://x/hub")), std::optional<TermId>(3u));
+  EXPECT_EQ(dict.hot_band_size(), 4u);
+  // Cold tail keeps first-occurrence order behind the band.
+  EXPECT_EQ(dict.Find(Term::Iri("http://x/e0")), std::optional<TermId>(4u));
+  EXPECT_EQ(dict.Find(Term::Iri("http://x/e39")), std::optional<TermId>(43u));
+}
+
+TEST(Ingest, HotCacheServesLookupsInsideTheBand) {
+  auto r = LoadNTriples(SkewedFixture(), Opts(1, 1 << 20));
+  ASSERT_TRUE(r.ok()) << r.message();
+  const Dictionary& dict = r.value().dataset.dict();
+  const uint64_t hits0 = dict.layout_stats().hot_hits;
+  EXPECT_TRUE(dict.Find(Term::Iri("http://x/p")).has_value());
+  EXPECT_TRUE(dict.Find(Term::Iri("http://x/hub")).has_value());
+  EXPECT_EQ(dict.layout_stats().hot_hits, hits0 + 2);
+  // Cold terms fall through the cache to the shard probe — and still hit.
+  EXPECT_TRUE(dict.Find(Term::Iri("http://x/e17")).has_value());
+  EXPECT_EQ(dict.layout_stats().hot_hits, hits0 + 2);
+  EXPECT_GT(dict.layout_stats().hot_probes, dict.layout_stats().hot_hits);
+}
+
+TEST(Ingest, ShardLoadFactorIsSteadyStateAfterBulkLoad) {
+  // Regression guard for the Reserve over-reservation bug: sizing shards
+  // from summed per-batch counts left them ~2x over-allocated on skewed
+  // inputs. The merge now sizes each shard from its exact distinct count,
+  // so steady-state fill must sit in the open-addressing sweet spot.
+  auto r = LoadNTriples(LubmText(), Opts(8, 64 << 10));
+  ASSERT_TRUE(r.ok()) << r.message();
+  Dictionary::LayoutStats d = r.value().dataset.dict().layout_stats();
+  EXPECT_GT(d.terms, 10000u);
+  EXPECT_LE(d.shard_load_max, 0.70);  // the tables' own grow bound
+  EXPECT_GE(d.shard_load_avg, 0.30);  // no 2x over-reserve
+  EXPECT_GE(d.shard_load_min, 0.20);  // hash keeps shards balanced
+  EXPECT_GT(d.hot_band, 0u);
+  EXPECT_LT(d.hot_band, d.terms);
+}
+
+TEST(Ingest, RerankDatasetMatchesBulkLoadLayout) {
+  // An incrementally built dataset (arrival-order ids) re-ranked in place
+  // must keep its triples (term-level) and adopt the same band policy the
+  // bulk load applies.
+  Dataset inc;
+  std::istringstream in(SkewedFixture());
+  ASSERT_TRUE(ParseNTriples(in, &inc).ok());
+  std::vector<std::string> before = Canonical(inc);
+  RerankDatasetByFrequency(&inc);
+  EXPECT_EQ(Canonical(inc), before);
+  auto bulk = LoadNTriples(SkewedFixture(), Opts(1, 1 << 20));
+  ASSERT_TRUE(bulk.ok());
+  ExpectBitIdentical(inc, bulk.value().dataset);
+}
+
 }  // namespace
 }  // namespace turbo::rdf

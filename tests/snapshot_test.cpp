@@ -3,6 +3,7 @@
 
 #include <sstream>
 
+#include "rdf/loader.hpp"
 #include "rdf/reasoner.hpp"
 #include "rdf/snapshot.hpp"
 #include "test_util.hpp"
@@ -129,6 +130,85 @@ TEST(Snapshot, ReservedAndMalformedExtraTagsRejected) {
   }
   std::stringstream buf;
   EXPECT_FALSE(SaveSnapshot(ds, buf, {{"TOOLONG", "x"}}).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Format versioning: v3 records the frequency-split hot band; v2 streams
+// (written before the band existed) must keep loading with identical ids.
+// ---------------------------------------------------------------------------
+
+TEST(Snapshot, V3RoundTripPreservesHotBand) {
+  Dataset ds = SampleDataset();
+  RerankDatasetByFrequency(&ds);
+  ASSERT_GT(ds.dict().hot_band_size(), 0u);  // every predicate is role-flagged
+  std::stringstream buf;
+  ASSERT_TRUE(SaveSnapshot(ds, buf).ok());
+  auto loaded = LoadSnapshot(buf);
+  ASSERT_TRUE(loaded.ok()) << loaded.message();
+  EXPECT_EQ(loaded.value().dict().hot_band_size(), ds.dict().hot_band_size());
+  ASSERT_EQ(loaded.value().dict().size(), ds.dict().size());
+  for (TermId i = 0; i < ds.dict().size(); ++i)
+    EXPECT_EQ(loaded.value().dict().term(i), ds.dict().term(i)) << "id " << i;
+  // The re-armed hot cache serves band lookups on the loaded copy.
+  Term hottest = ds.dict().term(0);
+  EXPECT_EQ(loaded.value().dict().Find(hottest), std::optional<TermId>(0u));
+  EXPECT_GT(loaded.value().dict().layout_stats().hot_hits, 0u);
+}
+
+TEST(Snapshot, V2StreamStillLoads) {
+  // Hand-crafted v2 bytes: the exact pre-band wire format (no hot_band
+  // field in TERM). Three IRI terms, one original triple (0,1,2).
+  auto pod = [](std::string* out, auto v) {
+    out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  std::string term_payload;
+  pod(&term_payload, uint64_t{3});                         // num_terms (no band)
+  const std::string lex[3] = {"http://t/s", "http://t/p", "http://t/o"};
+  for (int i = 0; i < 3; ++i) pod(&term_payload, uint8_t{0});  // TermKind::kIri
+  for (int i = 0; i < 3; ++i) pod(&term_payload, static_cast<uint32_t>(lex[i].size()));
+  for (int i = 0; i < 3; ++i) pod(&term_payload, uint32_t{0});  // datatype lens
+  for (int i = 0; i < 3; ++i) pod(&term_payload, uint32_t{0});  // lang lens
+  for (int i = 0; i < 3; ++i) term_payload += lex[i];
+  std::string trpl_payload;
+  pod(&trpl_payload, uint64_t{1});  // num_triples
+  pod(&trpl_payload, uint64_t{1});  // num_original
+  for (uint32_t id : {0u, 1u, 2u}) pod(&trpl_payload, id);
+
+  std::string bytes = "THSNAP";
+  pod(&bytes, uint16_t{2});
+  auto section = [&](const char* tag, const std::string& payload) {
+    bytes.append(tag, 4);
+    pod(&bytes, static_cast<uint64_t>(payload.size()));
+    bytes += payload;
+  };
+  section("TERM", term_payload);
+  section("TRPL", trpl_payload);
+  section("TEND", "");
+
+  std::stringstream buf(bytes);
+  auto loaded = LoadSnapshot(buf);
+  ASSERT_TRUE(loaded.ok()) << loaded.message();
+  const Dataset& ds = loaded.value();
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds.dict().hot_band_size(), 0u);  // v2 carries no band
+  // Ids are preserved byte-identically: positional, in stream order.
+  EXPECT_EQ(ds.dict().term(0), Term::Iri("http://t/s"));
+  EXPECT_EQ(ds.dict().term(1), Term::Iri("http://t/p"));
+  EXPECT_EQ(ds.dict().term(2), Term::Iri("http://t/o"));
+  EXPECT_EQ(ds.triples()[0].s, 0u);
+  EXPECT_EQ(ds.triples()[0].p, 1u);
+  EXPECT_EQ(ds.triples()[0].o, 2u);
+}
+
+TEST(Snapshot, RejectsV1AndFutureVersions) {
+  for (uint16_t version : {uint16_t{1}, uint16_t{4}}) {
+    std::string bytes = "THSNAP";
+    bytes.append(reinterpret_cast<const char*>(&version), 2);
+    std::stringstream buf(bytes);
+    auto r = LoadSnapshot(buf);
+    ASSERT_FALSE(r.ok()) << "version " << version;
+    EXPECT_NE(r.message().find("unsupported snapshot version"), std::string::npos);
+  }
 }
 
 TEST(Snapshot, LubmRoundTripMatchesQueryResults) {
